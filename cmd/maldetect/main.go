@@ -1,0 +1,248 @@
+// Command maldetect runs the paper's end-to-end detection pipeline on a
+// DNS trace in the text log format written by cmd/dnsgen: it builds the
+// three bipartite graphs, learns LINE embeddings, trains the SVM on a
+// labeled subset, and scores every retained domain.
+//
+// Usage:
+//
+//	maldetect -trace trace.tsv -truth truth.tsv [-train-frac 0.7] [-seed N] [-top 25]
+//
+// The truth file supplies labels; a train-frac fraction (stratified) is
+// used for training and the rest is scored, printing the top suspicious
+// held-out domains and held-out AUC.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dhcp"
+	"repro/internal/eval"
+	"repro/internal/mathx"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "trace.tsv", "input trace (text log format)")
+		truthPath = flag.String("truth", "truth.tsv", "ground-truth labels")
+		dhcpPath  = flag.String("dhcp", "", "DHCP lease log for device pinning (optional)")
+		trainFrac = flag.Float64("train-frac", 0.7, "fraction of labeled domains used for training")
+		seed      = flag.Uint64("seed", 1, "seed for embedding/SVM/shuffle")
+		top       = flag.Int("top", 25, "suspicious domains to print")
+	)
+	flag.Parse()
+	if err := run(*tracePath, *truthPath, *dhcpPath, *trainFrac, *seed, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "maldetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, top int) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// First pass: discover the capture window so the detector's minute
+	// and day indices are anchored correctly.
+	var first, last time.Time
+	n := 0
+	if err := pipeline.ReadLog(bufio.NewReaderSize(f, 1<<20), func(in pipeline.Input) {
+		if n == 0 || in.Time.Before(first) {
+			first = in.Time
+		}
+		if in.Time.After(last) {
+			last = in.Time
+		}
+		n++
+	}); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("trace %s is empty", tracePath)
+	}
+	days := int(last.Sub(first).Hours()/24) + 1
+	start := first.Truncate(24 * time.Hour)
+
+	var resolver *dhcp.Resolver
+	if dhcpPath != "" {
+		leases, err := readLeases(dhcpPath)
+		if err != nil {
+			return err
+		}
+		resolver = dhcp.NewResolver(leases)
+		fmt.Fprintf(os.Stderr, "maldetect: loaded %d DHCP leases\n", len(leases))
+	}
+
+	det := core.NewDetector(core.Config{Start: start, Days: days, DHCP: resolver, Seed: seed})
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	if err := pipeline.ReadLog(bufio.NewReaderSize(f, 1<<20), func(in pipeline.Input) {
+		det.Consume(in)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "maldetect: consumed %d observations over %d days\n", n, days)
+
+	if err := det.BuildModel(); err != nil {
+		return err
+	}
+	stats, err := det.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "maldetect: %d devices, %d observed e2LDs, %d retained\n",
+		stats.Devices, stats.ObservedE2LDs, stats.RetainedE2LDs)
+
+	truth, err := readTruth(truthPath)
+	if err != nil {
+		return err
+	}
+	retained, err := det.Domains()
+	if err != nil {
+		return err
+	}
+	var domains []string
+	var labels []int
+	for _, d := range retained {
+		if lab, ok := truth[d]; ok {
+			domains = append(domains, d)
+			labels = append(labels, lab)
+		}
+	}
+	if len(domains) < 10 {
+		return fmt.Errorf("only %d labeled retained domains", len(domains))
+	}
+
+	// Stratified train/test split.
+	rng := mathx.NewRNG(seed).SplitLabeled("split")
+	perm := rng.Perm(len(domains))
+	var trainD, testD []string
+	var trainY, testY []int
+	cut := int(trainFrac * float64(len(domains)))
+	for i, p := range perm {
+		if i < cut {
+			trainD = append(trainD, domains[p])
+			trainY = append(trainY, labels[p])
+		} else {
+			testD = append(testD, domains[p])
+			testY = append(testY, labels[p])
+		}
+	}
+
+	clf, err := det.TrainClassifier(trainD, trainY)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "maldetect: trained on %d domains (%d SVs)\n",
+		len(clf.Used), clf.Model().NumSV())
+
+	type scored struct {
+		domain string
+		score  float64
+		label  int
+	}
+	var results []scored
+	var scores []float64
+	var ys []int
+	for i, d := range testD {
+		s, ok := clf.Score(d)
+		if !ok {
+			continue
+		}
+		results = append(results, scored{d, s, testY[i]})
+		scores = append(scores, s)
+		ys = append(ys, testY[i])
+	}
+	if auc, err := eval.AUC(scores, ys); err == nil {
+		fmt.Printf("held-out AUC: %.4f over %d domains\n", auc, len(scores))
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].score > results[j].score })
+	fmt.Printf("\ntop %d suspicious held-out domains:\n", top)
+	fmt.Printf("%-36s %10s  %s\n", "domain", "score", "truth")
+	for i, r := range results {
+		if i >= top {
+			break
+		}
+		lab := "benign"
+		if r.label == 1 {
+			lab = "malicious"
+		}
+		fmt.Printf("%-36s %10.4f  %s\n", r.domain, r.score, lab)
+	}
+	return nil
+}
+
+// readLeases parses the DHCP lease log written by cmd/dnsgen:
+// MAC, IP, start, end (RFC 3339), tab-separated.
+func readLeases(path string) ([]dhcp.Lease, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []dhcp.Lease
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("dhcp line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		start, err := time.Parse(time.RFC3339, fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("dhcp line %d: bad start: %w", lineNo, err)
+		}
+		end, err := time.Parse(time.RFC3339, fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("dhcp line %d: bad end: %w", lineNo, err)
+		}
+		out = append(out, dhcp.Lease{MAC: fields[0], IP: fields[1], Start: start, End: end})
+	}
+	return out, sc.Err()
+}
+
+func readTruth(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("truth line %d: want at least 2 fields", lineNo)
+		}
+		switch fields[1] {
+		case "malicious":
+			out[fields[0]] = 1
+		case "benign":
+			out[fields[0]] = 0
+		default:
+			return nil, fmt.Errorf("truth line %d: unknown label %q", lineNo, fields[1])
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,131 @@
+// Campus detection: the paper's deployment scenario end to end.
+//
+// It simulates several days of DNS traffic from a campus network with
+// planted malware families (Conficker-style DGA, wordlist spam kits,
+// phishing, APT C&C), feeds the trace through the full pipeline —
+// pre-processing with DHCP device pinning, bipartite behavioral
+// modeling, LINE embeddings, SVM — and evaluates detection quality on a
+// held-out set labeled through the simulated VirusTotal feeds, exactly
+// as §6.1 labels the paper's data.
+//
+// Run with: go run ./examples/campus-detection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	maldomain "repro"
+	"repro/internal/dnssim"
+	"repro/internal/eval"
+	"repro/internal/mathx"
+	"repro/internal/threatintel"
+)
+
+func main() {
+	const seed = 2024
+
+	fmt.Println("generating campus traffic (150 hosts, 3 days, 4 malware families)...")
+	scenario := dnssim.NewScenario(dnssim.SmallScenario(seed))
+
+	det := maldomain.NewDetector(maldomain.Config{
+		Start: scenario.Config.Start,
+		Days:  scenario.Config.Days,
+		DHCP:  scenario.DHCP(),
+		Seed:  seed,
+	})
+	events := 0
+	scenario.Generate(func(ev dnssim.Event) {
+		det.Consume(maldomain.Observation(ev))
+		events++
+	})
+	fmt.Printf("consumed %d DNS observations\n", events)
+
+	fmt.Println("building behavioral model (graphs, projections, embeddings)...")
+	if err := det.BuildModel(); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := det.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retained %d of %d observed e2LDs after pruning\n",
+		stats.RetainedE2LDs, stats.ObservedE2LDs)
+
+	// Label through the simulated VirusTotal 60-feed confirmation rule.
+	ti := threatintel.NewService(scenario.TruthTable(), threatintel.Config{Seed: seed})
+	retained, err := det.Domains()
+	if err != nil {
+		log.Fatal(err)
+	}
+	domains, labels := ti.LabeledSet(retained)
+	malicious := 0
+	for _, l := range labels {
+		malicious += l
+	}
+	fmt.Printf("labeled set: %d domains, %d malicious (%.0f%%)\n",
+		len(domains), malicious, 100*float64(malicious)/float64(len(domains)))
+
+	// 70/30 stratified split.
+	rng := mathx.NewRNG(seed)
+	perm := rng.Perm(len(domains))
+	cut := len(domains) * 7 / 10
+	var trainD, testD []string
+	var trainY, testY []int
+	for i, p := range perm {
+		if i < cut {
+			trainD = append(trainD, domains[p])
+			trainY = append(trainY, labels[p])
+		} else {
+			testD = append(testD, domains[p])
+			testY = append(testY, labels[p])
+		}
+	}
+
+	fmt.Println("training SVM on combined three-view embedding...")
+	clf, err := det.TrainClassifier(trainD, trainY)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var scores []float64
+	for _, d := range testD {
+		s, _ := clf.Score(d)
+		scores = append(scores, s)
+	}
+	auc, err := eval.AUC(scores, testY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conf := eval.Confusions(scores, testY)
+	fmt.Printf("\nheld-out results over %d domains:\n", len(testD))
+	fmt.Printf("  AUC       %.4f  (paper reports 0.94 on its campus trace)\n", auc)
+	fmt.Printf("  accuracy  %.3f   precision %.3f   recall %.3f\n",
+		conf.Accuracy(), conf.Precision(), conf.Recall())
+
+	// Show the strongest detections with their planted ground truth.
+	type hit struct {
+		domain string
+		score  float64
+	}
+	var hits []hit
+	for i, d := range testD {
+		if scores[i] > 0 {
+			hits = append(hits, hit{d, scores[i]})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].score > hits[j].score })
+	fmt.Println("\nstrongest detections:")
+	for i, h := range hits {
+		if i >= 10 {
+			break
+		}
+		truth, _ := scenario.Truth(h.domain)
+		family := truth.Family
+		if family == "" {
+			family = "(benign!)"
+		}
+		fmt.Printf("  %-28s %+.3f  %s\n", h.domain, h.score, family)
+	}
+}

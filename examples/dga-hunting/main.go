@@ -1,0 +1,114 @@
+// DGA hunting: cluster-expansion threat hunting (§7.2.1, Figure 4).
+//
+// Starting from a handful of confirmed malicious seed domains, the
+// program clusters every retained domain by its combined behavioral
+// embedding with X-Means, marks the clusters containing seeds, and
+// triages their remaining members through the simulated VirusTotal
+// confirmation rule — separating newly *confirmed* malicious domains
+// from unconfirmed-but-suspicious ones, and reporting the discovered
+// families.
+//
+// Run with: go run ./examples/dga-hunting
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	maldomain "repro"
+	"repro/internal/dnssim"
+	"repro/internal/mathx"
+	"repro/internal/threatintel"
+	"repro/internal/xmeans"
+)
+
+func main() {
+	const seed = 99
+
+	fmt.Println("simulating campus traffic and building the behavioral model...")
+	scenario := dnssim.NewScenario(dnssim.SmallScenario(seed))
+	det := maldomain.NewDetector(maldomain.Config{
+		Start: scenario.Config.Start,
+		Days:  scenario.Config.Days,
+		DHCP:  scenario.DHCP(),
+		Seed:  seed,
+	})
+	scenario.Generate(func(ev dnssim.Event) { det.Consume(maldomain.Observation(ev)) })
+	if err := det.BuildModel(); err != nil {
+		log.Fatal(err)
+	}
+	ti := threatintel.NewService(scenario.TruthTable(), threatintel.Config{Seed: seed})
+
+	retained, err := det.Domains()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, kept, err := det.ClusterDomains(retained, xmeans.Config{KMin: 8, KMax: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("X-Means grouped %d domains into %d clusters\n", len(kept), res.K)
+
+	// Pick 10 random seeds among VT-confirmed malicious domains.
+	var confirmed []string
+	for _, d := range kept {
+		if l, ok := scenario.Truth(d); ok && l.Malicious && ti.Validate(d) {
+			confirmed = append(confirmed, d)
+		}
+	}
+	sort.Strings(confirmed)
+	rng := mathx.NewRNG(seed)
+	rng.Shuffle(len(confirmed), func(i, j int) { confirmed[i], confirmed[j] = confirmed[j], confirmed[i] })
+	seeds := confirmed[:10]
+	fmt.Println("\nseed domains (known malicious):")
+	for _, s := range seeds {
+		fam, _, _ := ti.Family(s)
+		fmt.Printf("  %-28s %s\n", s, fam)
+	}
+
+	seedSet := make(map[string]bool, len(seeds))
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	clusterOf := make(map[string]int, len(kept))
+	for i, d := range kept {
+		clusterOf[d] = res.Assign[i]
+	}
+	hot := make(map[int]bool)
+	for _, s := range seeds {
+		hot[clusterOf[s]] = true
+	}
+
+	newTrue, suspicious := 0, 0
+	families := map[string]int{}
+	var examples []string
+	for i, d := range kept {
+		if !hot[res.Assign[i]] || seedSet[d] {
+			continue
+		}
+		if ti.Validate(d) {
+			newTrue++
+			if fam, _, ok := ti.Family(d); ok {
+				families[fam]++
+			}
+			if len(examples) < 12 {
+				examples = append(examples, d)
+			}
+		} else if l, ok := scenario.Truth(d); ok && l.Malicious {
+			suspicious++
+		}
+	}
+	fmt.Printf("\nexpansion from %d seeds across %d hot clusters:\n", len(seeds), len(hot))
+	fmt.Printf("  newly confirmed malicious: %d\n", newTrue)
+	fmt.Printf("  suspicious (unconfirmed):  %d\n", suspicious)
+	fmt.Println("\ndiscovered families:")
+	for fam, n := range families {
+		fmt.Printf("  %-20s %d domains\n", fam, n)
+	}
+	fmt.Println("\nsample discoveries:")
+	sort.Strings(examples)
+	for _, d := range examples {
+		fmt.Printf("  %s\n", d)
+	}
+}

@@ -1,0 +1,147 @@
+// Embedding explorer: what the learned feature space looks like (§7.3).
+//
+// It builds the behavioral model over simulated campus traffic, then
+// examines the combined embedding space directly: nearest neighbors of a
+// malicious and a benign domain by cosine similarity, and a t-SNE
+// projection of several discovered clusters rendered as an ASCII scatter
+// plot — a terminal rendition of the paper's Figure 5.
+//
+// Run with: go run ./examples/embedding-explorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	maldomain "repro"
+	"repro/internal/dnssim"
+	"repro/internal/mathx"
+	"repro/internal/tsne"
+	"repro/internal/xmeans"
+)
+
+func main() {
+	const seed = 314
+
+	fmt.Println("building the behavioral model over simulated campus traffic...")
+	scenario := dnssim.NewScenario(dnssim.SmallScenario(seed))
+	det := maldomain.NewDetector(maldomain.Config{
+		Start: scenario.Config.Start,
+		Days:  scenario.Config.Days,
+		DHCP:  scenario.DHCP(),
+		Seed:  seed,
+	})
+	scenario.Generate(func(ev dnssim.Event) { det.Consume(maldomain.Observation(ev)) })
+	if err := det.BuildModel(); err != nil {
+		log.Fatal(err)
+	}
+	domains, err := det.Domains()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick one malicious and one benign probe and list nearest neighbors.
+	var malProbe, benProbe string
+	for _, d := range domains {
+		l, ok := scenario.Truth(d)
+		if !ok {
+			continue
+		}
+		if l.Malicious && malProbe == "" {
+			malProbe = d
+		}
+		if !l.Malicious && benProbe == "" && len(d) > 8 {
+			benProbe = d
+		}
+		if malProbe != "" && benProbe != "" {
+			break
+		}
+	}
+	for _, probe := range []string{malProbe, benProbe} {
+		truth, _ := scenario.Truth(probe)
+		kind := "benign"
+		if truth.Malicious {
+			kind = "malicious / " + truth.Family
+		}
+		fmt.Printf("\nnearest neighbors of %s (%s):\n", probe, kind)
+		for _, n := range nearest(det, domains, probe, 8) {
+			nt, _ := scenario.Truth(n.domain)
+			tag := "benign"
+			if nt.Malicious {
+				tag = nt.Family
+			}
+			fmt.Printf("  %-28s cos=%.3f  %s\n", n.domain, n.cos, tag)
+		}
+	}
+
+	// Cluster and draw a Figure 5-style scatter of five clusters.
+	res, kept, err := det.ClusterDomains(domains, xmeans.Config{KMin: 8, KMax: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	members := res.Members()
+	var chosen []int
+	for c, m := range members {
+		if len(m) >= 8 && len(m) <= 120 {
+			chosen = append(chosen, c)
+		}
+		if len(chosen) == 5 {
+			break
+		}
+	}
+	var points [][]float64
+	var classes []int
+	for id, c := range chosen {
+		for _, i := range members[c] {
+			v, ok := det.FeatureVector(kept[i])
+			if !ok {
+				continue
+			}
+			points = append(points, v)
+			classes = append(classes, id)
+		}
+	}
+	fmt.Printf("\nt-SNE projection of %d domains from %d clusters:\n\n", len(points), len(chosen))
+	layout, err := tsne.Embed(points, tsne.Config{Perplexity: 20, Iterations: 350, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tsne.ASCIIScatter(layout, classes, 22, 72))
+}
+
+type neighbor struct {
+	domain string
+	cos    float64
+}
+
+func nearest(det *maldomain.Detector, domains []string, probe string, k int) []neighbor {
+	pv, ok := det.FeatureVector(probe)
+	if !ok {
+		return nil
+	}
+	var out []neighbor
+	for _, d := range domains {
+		if d == probe {
+			continue
+		}
+		v, ok := det.FeatureVector(d)
+		if !ok {
+			continue
+		}
+		out = append(out, neighbor{d, cosine(pv, v)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cos > out[j].cos })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func cosine(a, b []float64) float64 {
+	na, nb := mathx.Norm(a), mathx.Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return mathx.Dot(a, b) / (na * nb)
+}

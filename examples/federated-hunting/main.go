@@ -1,0 +1,151 @@
+// Federated hunting: the paper's future work (§10) in action.
+//
+// Three simulated campus networks observe the same global malware
+// campaigns through different local populations (distinct hosts, benign
+// catalogs and traffic, shared malware families via a common family
+// seed). Each campus runs the full behavioral pipeline independently,
+// flags suspicious domains with a locally trained classifier, and ships
+// a compact report. The federation layer then correlates the reports —
+// by domain identity, shared resolution infrastructure, and local
+// cluster structure — into cross-network campaigns.
+//
+// Run with: go run ./examples/federated-hunting
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	maldomain "repro"
+	"repro/internal/dnssim"
+	"repro/internal/federate"
+	"repro/internal/threatintel"
+	"repro/internal/xmeans"
+)
+
+// campusConfig shrinks the small scenario so three campuses build fast.
+func campusConfig(campusSeed uint64) dnssim.Config {
+	cfg := dnssim.SmallScenario(campusSeed)
+	cfg.Hosts = 90
+	cfg.Days = 2
+	cfg.BenignDomains = 260
+	cfg.FamilySeed = 0xC0FFEE // the shared global threat landscape
+	return cfg
+}
+
+func main() {
+	campuses := []string{"campus-a", "campus-b", "campus-c"}
+	var reports []federate.CampusReport
+
+	for i, name := range campuses {
+		fmt.Printf("=== %s: building local model...\n", name)
+		r, err := runCampus(name, uint64(1000*(i+1)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    flagged %d suspicious domains\n", len(r.Flagged))
+		reports = append(reports, r)
+	}
+
+	campaigns := federate.Correlate(reports, federate.Config{MinCampuses: 2, MinDomains: 3})
+	fmt.Printf("\ncross-network campaigns (%d found):\n", len(campaigns))
+	fmt.Print(federate.Summary(campaigns))
+	if len(campaigns) > 0 {
+		fmt.Println("\nlargest campaign members:")
+		c := campaigns[0]
+		for i, d := range c.Domains {
+			if i >= 12 {
+				fmt.Printf("  ... and %d more\n", len(c.Domains)-12)
+				break
+			}
+			fmt.Printf("  %s\n", d)
+		}
+	}
+}
+
+// runCampus builds one campus's detector, trains on its local labeled
+// set, and reports everything scoring on the malicious side.
+func runCampus(name string, seed uint64) (federate.CampusReport, error) {
+	scenario := dnssim.NewScenario(campusConfig(seed))
+	det := maldomain.NewDetector(maldomain.Config{
+		Start: scenario.Config.Start,
+		Days:  scenario.Config.Days,
+		DHCP:  scenario.DHCP(),
+		Seed:  seed,
+	})
+	start := time.Now()
+	scenario.Generate(func(ev dnssim.Event) { det.Consume(maldomain.Observation(ev)) })
+	if err := det.BuildModel(); err != nil {
+		return federate.CampusReport{}, err
+	}
+	fmt.Printf("    model built in %s\n", time.Since(start).Round(time.Second))
+
+	ti := threatintel.NewService(scenario.TruthTable(), threatintel.Config{Seed: seed})
+	retained, err := det.Domains()
+	if err != nil {
+		return federate.CampusReport{}, err
+	}
+	domains, labels := ti.LabeledSet(retained)
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		return federate.CampusReport{}, err
+	}
+
+	// With the paper's heavily regularized C the raw decision threshold 0
+	// collapses to the majority class; operating points are chosen on the
+	// ROC instead (§6.2). Flag by rank: as many domains as the local
+	// labeled malicious population suggests, plus 20% headroom.
+	type scored struct {
+		domain string
+		score  float64
+	}
+	var all []scored
+	for _, d := range retained {
+		if s, ok := clf.Score(d); ok {
+			all = append(all, scored{d, s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+	malCount := 0
+	for _, l := range labels {
+		malCount += l
+	}
+	budget := malCount * 12 / 10
+	if budget > len(all) {
+		budget = len(all)
+	}
+
+	report := federate.CampusReport{
+		Campus:    name,
+		Flagged:   make(map[string]float64),
+		DomainIPs: make(map[string][]string),
+	}
+	stats := det.Processor().Stats()
+	var flaggedList []string
+	for _, sc := range all[:budget] {
+		report.Flagged[sc.domain] = sc.score
+		flaggedList = append(flaggedList, sc.domain)
+		if st := stats[sc.domain]; st != nil {
+			for ip := range st.IPs {
+				report.DomainIPs[sc.domain] = append(report.DomainIPs[sc.domain], ip)
+			}
+		}
+	}
+	// Cluster the flagged domains so locality evidence ships too.
+	if len(flaggedList) >= 8 {
+		res, kept, err := det.ClusterDomains(flaggedList, xmeans.Config{KMin: 2, KMax: 16})
+		if err == nil {
+			members := res.Members()
+			for _, idx := range members {
+				var cluster []string
+				for _, i := range idx {
+					cluster = append(cluster, kept[i])
+				}
+				report.Clusters = append(report.Clusters, cluster)
+			}
+		}
+	}
+	return report, nil
+}

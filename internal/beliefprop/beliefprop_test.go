@@ -1,0 +1,209 @@
+package beliefprop
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/mathx"
+)
+
+// star builds hosts h0..h{n-1} all querying the same domain set.
+func addClique(g *Graph, hosts, domains []string) {
+	for _, h := range hosts {
+		for _, d := range domains {
+			g.AddEdge(h, d)
+		}
+	}
+}
+
+func TestGuiltPropagatesThroughSharedHosts(t *testing.T) {
+	g := NewGraph()
+	// Infected cluster: 3 hosts query seed.bad plus two unknown domains.
+	addClique(g, []string{"h1", "h2", "h3"}, []string{"seed.bad", "unknown1.bad", "unknown2.bad"})
+	// Clean cluster: 3 other hosts query benign domains.
+	addClique(g, []string{"h4", "h5", "h6"}, []string{"seed.good", "unknown.good"})
+
+	res, err := Run(g, map[string]int{"seed.bad": 1, "seed.good": 0}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DomainBelief["unknown1.bad"] <= res.DomainBelief["unknown.good"] {
+		t.Errorf("guilt did not propagate: bad=%.4f good=%.4f",
+			res.DomainBelief["unknown1.bad"], res.DomainBelief["unknown.good"])
+	}
+	if res.DomainBelief["unknown1.bad"] <= 0.5 {
+		t.Errorf("co-queried domain belief %.4f not above neutral", res.DomainBelief["unknown1.bad"])
+	}
+	if res.DomainBelief["unknown.good"] >= 0.5 {
+		t.Errorf("benign-cluster domain belief %.4f not below neutral", res.DomainBelief["unknown.good"])
+	}
+	// Hosts near the malicious seed should look compromised.
+	if res.HostBelief["h1"] <= res.HostBelief["h4"] {
+		t.Errorf("host beliefs: infected %.4f <= clean %.4f",
+			res.HostBelief["h1"], res.HostBelief["h4"])
+	}
+}
+
+func TestSeedBeliefsStayAnchored(t *testing.T) {
+	g := NewGraph()
+	addClique(g, []string{"h1", "h2"}, []string{"seed.bad", "x.com"})
+	res, err := Run(g, map[string]int{"seed.bad": 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DomainBelief["seed.bad"] < 0.9 {
+		t.Errorf("seed belief decayed to %.4f", res.DomainBelief["seed.bad"])
+	}
+}
+
+func TestIsolatedDomainStaysNeutral(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("h1", "seed.bad")
+	g.AddEdge("h2", "lonely.org") // no connection to the seed
+	res, err := Run(g, map[string]int{"seed.bad": 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.DomainBelief["lonely.org"]
+	if b < 0.45 || b > 0.55 {
+		t.Errorf("disconnected domain belief %.4f, want ≈0.5", b)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Run(NewGraph(), map[string]int{"a": 1}, Config{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := NewGraph()
+	g.AddEdge("h", "present.com")
+	if _, err := Run(g, map[string]int{"absent.com": 1}, Config{}); !errors.Is(err, ErrNoSeeds) {
+		t.Errorf("no-seed error = %v", err)
+	}
+}
+
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("h", "d.com")
+	g.AddEdge("h", "d.com")
+	g.AddEdge("h", "d.com")
+	if g.Edges() != 1 {
+		t.Fatalf("Edges = %d, want 1", g.Edges())
+	}
+	if g.Domains() != 1 || g.Hosts() != 1 {
+		t.Fatalf("vertices = %d/%d, want 1/1", g.Domains(), g.Hosts())
+	}
+}
+
+func TestConvergenceReported(t *testing.T) {
+	g := NewGraph()
+	addClique(g, []string{"h1", "h2"}, []string{"a.com", "b.com"})
+	res, err := Run(g, map[string]int{"a.com": 1}, Config{MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("tiny graph did not converge in %d iterations", res.Iterations)
+	}
+	if res.Iterations <= 0 || res.Iterations > 50 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+// Synthetic ranking quality: plant family structure and verify BP ranks
+// held-out malicious domains above benign ones.
+func TestRankingQualityOnPlantedFamilies(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	g := NewGraph()
+
+	// 6 malware families: 6 hosts sharing 10 domains each.
+	var malicious []string
+	for f := 0; f < 6; f++ {
+		var hosts, domains []string
+		for i := 0; i < 6; i++ {
+			hosts = append(hosts, fmt.Sprintf("inf-%d-%d", f, i))
+		}
+		for i := 0; i < 10; i++ {
+			d := fmt.Sprintf("mal-%d-%d.bad", f, i)
+			domains = append(domains, d)
+			malicious = append(malicious, d)
+		}
+		addClique(g, hosts, domains)
+	}
+	// Benign background: 120 hosts querying random benign domains.
+	var benign []string
+	for i := 0; i < 200; i++ {
+		benign = append(benign, fmt.Sprintf("ben-%d.com", i))
+	}
+	for h := 0; h < 120; h++ {
+		host := fmt.Sprintf("user-%d", h)
+		for q := 0; q < 12; q++ {
+			g.AddEdge(host, benign[rng.Intn(len(benign))])
+		}
+		// Infected user hosts also browse benign sites.
+		if h < 36 {
+			g.AddEdge(fmt.Sprintf("inf-%d-%d", h%6, h/6), benign[rng.Intn(len(benign))])
+		}
+	}
+
+	// Seed 2 malicious domains per family + 30 benign.
+	seeds := map[string]int{}
+	for f := 0; f < 6; f++ {
+		seeds[fmt.Sprintf("mal-%d-0.bad", f)] = 1
+		seeds[fmt.Sprintf("mal-%d-1.bad", f)] = 1
+	}
+	for i := 0; i < 30; i++ {
+		seeds[benign[i]] = 0
+	}
+	res, err := Run(g, seeds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var scores []float64
+	var labels []int
+	for _, d := range malicious {
+		if _, isSeed := seeds[d]; isSeed {
+			continue
+		}
+		scores = append(scores, res.DomainBelief[d])
+		labels = append(labels, 1)
+	}
+	for _, d := range benign[30:] {
+		scores = append(scores, res.DomainBelief[d])
+		labels = append(labels, 0)
+	}
+	auc, err := eval.AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Errorf("BP ranking AUC %.3f on planted families, want >= 0.9", auc)
+	}
+	t.Logf("BP AUC = %.3f over %d domains", auc, len(scores))
+}
+
+func BenchmarkRun(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	g := NewGraph()
+	for f := 0; f < 10; f++ {
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 12; j++ {
+				g.AddEdge(fmt.Sprintf("h%d-%d", f, i), fmt.Sprintf("d%d-%d.x", f, j))
+			}
+		}
+	}
+	for h := 0; h < 200; h++ {
+		for q := 0; q < 10; q++ {
+			g.AddEdge(fmt.Sprintf("u%d", h), fmt.Sprintf("b%d.com", rng.Intn(300)))
+		}
+	}
+	seeds := map[string]int{"d0-0.x": 1, "b0.com": 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, seeds, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

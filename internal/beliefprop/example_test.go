@@ -1,0 +1,29 @@
+package beliefprop_test
+
+import (
+	"fmt"
+
+	"repro/internal/beliefprop"
+)
+
+func ExampleRun() {
+	g := beliefprop.NewGraph()
+	// Two hosts query a known-bad domain and an unknown one.
+	for _, h := range []string{"laptop-1", "laptop-2"} {
+		g.AddEdge(h, "seed.bad")
+		g.AddEdge(h, "unknown.example")
+	}
+	// A third host only visits a known-good site.
+	g.AddEdge("laptop-3", "seed.good")
+
+	res, err := beliefprop.Run(g,
+		map[string]int{"seed.bad": 1, "seed.good": 0},
+		beliefprop.Config{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("unknown.example suspicious: %v\n", res.DomainBelief["unknown.example"] > 0.5)
+	// Output:
+	// unknown.example suspicious: true
+}

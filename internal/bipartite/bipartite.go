@@ -1,0 +1,402 @@
+// Package bipartite implements the paper's behavioral modeling stage
+// (§4): the three bipartite graphs that relate domains to the hosts that
+// query them (HDBG), the IP addresses they resolve to (DIBG), and the
+// minutes in which they are queried (DTBG); the pruning rules of §4.1;
+// and the one-mode projections onto the domain vertex set with
+// Jaccard-coefficient edge weights (§4.2).
+package bipartite
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// View names one of the three behavioral views of §4.2.
+type View int
+
+// The three behavioral views.
+const (
+	// ViewQuery is the domain querying behavioral similarity view
+	// (shared querying hosts, Eq. 1).
+	ViewQuery View = iota + 1
+	// ViewIP is the domain IP resolving similarity view (shared resolved
+	// addresses, Eq. 2).
+	ViewIP
+	// ViewTime is the domain temporal similarity view (shared active
+	// minutes, Eq. 3).
+	ViewTime
+)
+
+// String returns the view's short name.
+func (v View) String() string {
+	switch v {
+	case ViewQuery:
+		return "query"
+	case ViewIP:
+		return "ip"
+	case ViewTime:
+		return "time"
+	default:
+		return fmt.Sprintf("view(%d)", int(v))
+	}
+}
+
+// Views lists all three views in canonical order.
+var Views = []View{ViewQuery, ViewIP, ViewTime}
+
+// Graph is one bipartite graph: a shared ordered domain vertex set and,
+// per domain, the sorted set of attribute vertices (hosts, IPs, or
+// minutes) it connects to, as dense attribute ids. Graphs are immutable
+// after construction and safe for concurrent reads.
+type Graph struct {
+	View    View
+	Domains []string
+	// Sets[i] holds the sorted attribute ids adjacent to Domains[i].
+	Sets [][]int32
+	// AttrCount is the number of distinct attribute vertices.
+	AttrCount int
+	// EdgeCount is the total number of bipartite edges.
+	EdgeCount int
+}
+
+// PruneConfig is the §4.1 graph reduction policy.
+type PruneConfig struct {
+	// MaxHostFrac removes domains queried by more than this fraction of
+	// all observed devices (well-known services such as search engines).
+	// Default 0.5, matching the paper's "over 50% of end hosts" rule.
+	MaxHostFrac float64
+	// MinHosts removes domains queried by fewer than this many distinct
+	// devices. Default 2, matching the paper's single-host rule.
+	MinHosts int
+}
+
+// DefaultPrune is the paper's pruning policy.
+var DefaultPrune = PruneConfig{MaxHostFrac: 0.5, MinHosts: 2}
+
+// Build constructs all three bipartite graphs from pipeline aggregates
+// over a shared pruned domain vertex set. deviceCount is the total number
+// of distinct devices observed (the denominator of the >50% rule).
+func Build(stats map[string]*pipeline.DomainStats, deviceCount int, prune PruneConfig) (query, ip, timeg *Graph) {
+	domains := retainedDomains(stats, deviceCount, prune)
+
+	query = &Graph{View: ViewQuery, Domains: domains}
+	ip = &Graph{View: ViewIP, Domains: domains}
+	timeg = &Graph{View: ViewTime, Domains: domains}
+
+	hostIDs := newInterner()
+	ipIDs := newInterner()
+	minuteIDs := newInterner()
+
+	query.Sets = make([][]int32, len(domains))
+	ip.Sets = make([][]int32, len(domains))
+	timeg.Sets = make([][]int32, len(domains))
+
+	for i, d := range domains {
+		st := stats[d]
+		query.Sets[i] = internStrings(hostIDs, st.Hosts)
+		ip.Sets[i] = internStrings(ipIDs, st.IPs)
+		timeg.Sets[i] = internInts(minuteIDs, st.Minutes)
+		query.EdgeCount += len(query.Sets[i])
+		ip.EdgeCount += len(ip.Sets[i])
+		timeg.EdgeCount += len(timeg.Sets[i])
+	}
+	query.AttrCount = hostIDs.count
+	ip.AttrCount = ipIDs.count
+	timeg.AttrCount = minuteIDs.count
+	return query, ip, timeg
+}
+
+// retainedDomains applies the pruning rules and returns the surviving
+// domain list in deterministic (sorted) order.
+func retainedDomains(stats map[string]*pipeline.DomainStats, deviceCount int, prune PruneConfig) []string {
+	if prune.MaxHostFrac <= 0 {
+		prune.MaxHostFrac = DefaultPrune.MaxHostFrac
+	}
+	if prune.MinHosts <= 0 {
+		prune.MinHosts = DefaultPrune.MinHosts
+	}
+	limit := int(prune.MaxHostFrac * float64(deviceCount))
+	var out []string
+	for d, st := range stats {
+		if len(st.Hosts) < prune.MinHosts {
+			continue
+		}
+		if deviceCount > 0 && len(st.Hosts) > limit {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type interner struct {
+	strIDs map[string]int32
+	intIDs map[int]int32
+	count  int
+}
+
+func newInterner() *interner {
+	return &interner{strIDs: make(map[string]int32), intIDs: make(map[int]int32)}
+}
+
+func internStrings(in *interner, set map[string]struct{}) []int32 {
+	out := make([]int32, 0, len(set))
+	for s := range set {
+		id, ok := in.strIDs[s]
+		if !ok {
+			id = int32(in.count)
+			in.strIDs[s] = id
+			in.count++
+		}
+		out = append(out, id)
+	}
+	sortInt32(out)
+	return out
+}
+
+func internInts(in *interner, set map[int]struct{}) []int32 {
+	out := make([]int32, 0, len(set))
+	for v := range set {
+		id, ok := in.intIDs[v]
+		if !ok {
+			id = int32(in.count)
+			in.intIDs[v] = id
+			in.count++
+		}
+		out = append(out, id)
+	}
+	sortInt32(out)
+	return out
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Edge is one weighted edge of a one-mode projection: domains U and V
+// (indices into the projection's Domains) with Jaccard weight W in (0,1].
+// Edges always satisfy U < V.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// Projection is the one-mode projection of a bipartite graph onto its
+// domain vertex set (Figure 3(b)). It shares the Domains slice with the
+// source graph.
+type Projection struct {
+	View    View
+	Domains []string
+	Edges   []Edge
+}
+
+// Measure selects the set-similarity coefficient used for projection
+// edge weights. The paper uses Jaccard (Eqs. 1-3); the alternatives are
+// provided for the ablation study in DESIGN.md §4.
+type Measure int
+
+// Similarity measures.
+const (
+	// MeasureJaccard is |A∩B| / |A∪B| (the paper's choice).
+	MeasureJaccard Measure = iota
+	// MeasureCosine is |A∩B| / √(|A|·|B|) (Ochiai coefficient).
+	MeasureCosine
+	// MeasureOverlap is |A∩B| / min(|A|, |B|) (Szymkiewicz-Simpson).
+	MeasureOverlap
+)
+
+// String returns the measure's short name.
+func (m Measure) String() string {
+	switch m {
+	case MeasureJaccard:
+		return "jaccard"
+	case MeasureCosine:
+		return "cosine"
+	case MeasureOverlap:
+		return "overlap"
+	default:
+		return fmt.Sprintf("measure(%d)", int(m))
+	}
+}
+
+// weight computes the coefficient from the intersection size and the two
+// set sizes.
+func (m Measure) weight(inter float64, lenA, lenB int) float64 {
+	switch m {
+	case MeasureCosine:
+		return inter / math.Sqrt(float64(lenA)*float64(lenB))
+	case MeasureOverlap:
+		lo := lenA
+		if lenB < lo {
+			lo = lenB
+		}
+		if lo == 0 {
+			return 0
+		}
+		return inter / float64(lo)
+	default:
+		union := float64(lenA+lenB) - inter
+		if union <= 0 {
+			return 0
+		}
+		return inter / union
+	}
+}
+
+// ProjectConfig tunes projection construction.
+type ProjectConfig struct {
+	// Measure selects the similarity coefficient (default Jaccard, the
+	// paper's choice).
+	Measure Measure
+	// MinSimilarity drops edges with weight below this threshold;
+	// 0 keeps every nonzero-overlap pair. Thresholding controls graph
+	// density for the embedding stage.
+	MinSimilarity float64
+	// MaxAttrDegree skips attribute vertices adjacent to more than this
+	// many domains when counting intersections (stop-attribute filtering:
+	// an address or minute shared by thousands of domains carries no
+	// discriminative signal but dominates the quadratic cost). 0 means no
+	// limit. Union sizes still use the full sets, so skipped attributes
+	// can only shrink weights, never invent edges.
+	MaxAttrDegree int
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Project computes the one-mode projection of g onto the domain set with
+// Jaccard weights. The algorithm builds an attribute→domains inverted
+// index, then for each domain accumulates intersection counts against all
+// later domains using an epoch-tagged counter array, giving
+// O(Σ_attr deg(attr)²) time without per-pair set operations.
+func Project(g *Graph, cfg ProjectConfig) *Projection {
+	n := len(g.Domains)
+	proj := &Projection{View: g.View, Domains: g.Domains}
+	if n == 0 {
+		return proj
+	}
+
+	// Inverted index: attribute id -> domain ids having it.
+	index := make([][]int32, g.AttrCount)
+	for di, set := range g.Sets {
+		for _, a := range set {
+			index[a] = append(index[a], int32(di))
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next = make(chan int, workers*4)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts := make([]int32, n)
+			stamped := make([]int32, n)
+			var epoch int32
+			var local []Edge
+			var cands []int32
+			for di := range next {
+				epoch++
+				set := g.Sets[di]
+				// Accumulate |set ∩ other| for every other > di.
+				for _, a := range set {
+					idx := index[a]
+					if cfg.MaxAttrDegree > 0 && len(idx) > cfg.MaxAttrDegree {
+						continue
+					}
+					for _, dj := range idx {
+						if int(dj) <= di {
+							continue
+						}
+						if stamped[dj] != epoch {
+							stamped[dj] = epoch
+							counts[dj] = 0
+							cands = append(cands, dj)
+						}
+						counts[dj]++
+					}
+				}
+				for _, dj := range cands {
+					w := cfg.Measure.weight(float64(counts[dj]), len(set), len(g.Sets[dj]))
+					if w >= cfg.MinSimilarity && w > 0 {
+						local = append(local, Edge{U: int32(di), V: dj, W: w})
+					}
+				}
+				cands = cands[:0]
+			}
+			if len(local) > 0 {
+				mu.Lock()
+				proj.Edges = append(proj.Edges, local...)
+				mu.Unlock()
+			}
+		}()
+	}
+	for di := 0; di < n; di++ {
+		next <- di
+	}
+	close(next)
+	wg.Wait()
+
+	sort.Slice(proj.Edges, func(i, j int) bool {
+		if proj.Edges[i].U != proj.Edges[j].U {
+			return proj.Edges[i].U < proj.Edges[j].U
+		}
+		return proj.Edges[i].V < proj.Edges[j].V
+	})
+	return proj
+}
+
+// Similarity computes the exact Jaccard coefficient between the attribute
+// sets of domains i and j of g (Eqs. 1-3). It is the reference
+// implementation used by tests and by spot queries; Project is the bulk
+// path.
+func Similarity(g *Graph, i, j int) float64 {
+	a, b := g.Sets[i], g.Sets[j]
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] == b[y]:
+			inter++
+			x++
+			y++
+		case a[x] < b[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// DomainIndex returns a map from domain name to its index in g.Domains.
+func (g *Graph) DomainIndex() map[string]int {
+	m := make(map[string]int, len(g.Domains))
+	for i, d := range g.Domains {
+		m[d] = i
+	}
+	return m
+}

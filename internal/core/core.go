@@ -1,0 +1,382 @@
+// Package core assembles the paper's end-to-end detection system
+// (Figure 2): DNS pre-processing, behavioral modeling via bipartite
+// graphs and one-mode projections, LINE feature learning, SVM
+// classification, and X-Means cluster mining. The root package maldomain
+// re-exports this API; see the repository README for usage.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/dhcp"
+	"repro/internal/etld"
+	"repro/internal/graph"
+	"repro/internal/line"
+	"repro/internal/pipeline"
+	"repro/internal/svm"
+	"repro/internal/xmeans"
+)
+
+// Config parameterizes a Detector. The zero value plus Start/Days is
+// usable: every knob has the paper's default.
+type Config struct {
+	// Start anchors the measurement window; Days is its length.
+	Start time.Time
+	Days  int
+	// DHCP, when set, pins client IPs to device identities.
+	DHCP *dhcp.Resolver
+	// Suffixes is the public-suffix table (default etld.Default).
+	Suffixes *etld.Table
+
+	// Prune is the §4.1 graph-reduction policy (default: >50% fan-out
+	// and single-host rules).
+	Prune bipartite.PruneConfig
+	// MinSimilarity drops projection edges below this Jaccard weight
+	// (default 0.02).
+	MinSimilarity float64
+	// TimeMinSimilarity overrides MinSimilarity for the temporal view
+	// when positive. Minute-overlap weights are naturally much smaller
+	// than host/IP overlaps, so the temporal projection usually needs a
+	// lower threshold to retain any structure.
+	TimeMinSimilarity float64
+	// MaxAttrDegree enables stop-attribute filtering during projection;
+	// 0 means no limit.
+	MaxAttrDegree int
+
+	// EmbedDim is the per-view embedding size k; the combined feature
+	// vector has 3k dimensions (default 32).
+	EmbedDim int
+	// EmbedSamples overrides LINE's SGD sample count (0 = auto).
+	EmbedSamples int
+	// EmbedOrder selects the LINE proximity objective (default
+	// OrderBoth).
+	EmbedOrder line.Order
+
+	// SVM is the classifier configuration (defaults: RBF, C=0.09,
+	// γ=0.06 per §6.2).
+	SVM svm.Config
+
+	// Workers bounds parallelism in projection and embedding (0 = all
+	// cores).
+	Workers int
+	// Seed drives every stochastic stage.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Suffixes == nil {
+		c.Suffixes = etld.Default
+	}
+	if c.Prune.MaxHostFrac == 0 && c.Prune.MinHosts == 0 {
+		c.Prune = bipartite.DefaultPrune
+	}
+	if c.MinSimilarity == 0 {
+		c.MinSimilarity = 0.02
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 32
+	}
+	if c.EmbedOrder == 0 {
+		c.EmbedOrder = line.OrderBoth
+	}
+	if c.Days <= 0 {
+		c.Days = 31
+	}
+	return c
+}
+
+// Detector is the end-to-end system. Feed observations with Consume,
+// then call BuildModel once; afterwards feature vectors, classifiers and
+// clusterings are available. A Detector is not safe for concurrent use.
+type Detector struct {
+	cfg  Config
+	proc *pipeline.Processor
+
+	built       bool
+	graphs      map[bipartite.View]*bipartite.Graph
+	projections map[bipartite.View]*bipartite.Projection
+	embeddings  map[bipartite.View]*line.Embedding
+	domains     []string
+	index       map[string]int
+}
+
+// ModelStats summarizes the built model for reports and logs.
+type ModelStats struct {
+	TotalQueries    int
+	Devices         int
+	ObservedE2LDs   int
+	RetainedE2LDs   int
+	ProjectionEdges map[bipartite.View]int
+}
+
+// NewDetector returns a Detector for cfg.
+func NewDetector(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{
+		cfg: cfg,
+		proc: pipeline.NewProcessor(pipeline.Config{
+			Start:    cfg.Start,
+			Days:     cfg.Days,
+			DHCP:     cfg.DHCP,
+			Suffixes: cfg.Suffixes,
+		}),
+	}
+}
+
+// Errors returned by Detector methods.
+var (
+	ErrAlreadyBuilt = errors.New("core: model already built")
+	ErrNotBuilt     = errors.New("core: call BuildModel first")
+	ErrNoDomains    = errors.New("core: no domains survived pruning")
+)
+
+// Consume folds one joined DNS observation into the pipeline aggregates.
+// It must not be called after BuildModel.
+func (d *Detector) Consume(in pipeline.Input) {
+	d.proc.Consume(in)
+}
+
+// Processor exposes the underlying pipeline aggregates (read-only), for
+// the Exposure baseline and traffic reporting.
+func (d *Detector) Processor() *pipeline.Processor { return d.proc }
+
+// Config returns the detector's effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// BuildModel runs behavioral modeling and feature learning: bipartite
+// graph construction with pruning, the three one-mode projections, and
+// one LINE embedding per view.
+func (d *Detector) BuildModel() error {
+	if d.built {
+		return ErrAlreadyBuilt
+	}
+	q, ip, tg := bipartite.Build(d.proc.Stats(), d.proc.DeviceCount(), d.cfg.Prune)
+	if len(q.Domains) == 0 {
+		return ErrNoDomains
+	}
+	d.graphs = map[bipartite.View]*bipartite.Graph{
+		bipartite.ViewQuery: q,
+		bipartite.ViewIP:    ip,
+		bipartite.ViewTime:  tg,
+	}
+	d.domains = q.Domains
+	d.index = q.DomainIndex()
+
+	d.projections = make(map[bipartite.View]*bipartite.Projection, 3)
+	d.embeddings = make(map[bipartite.View]*line.Embedding, 3)
+	for _, view := range bipartite.Views {
+		minSim := d.cfg.MinSimilarity
+		if view == bipartite.ViewTime && d.cfg.TimeMinSimilarity > 0 {
+			minSim = d.cfg.TimeMinSimilarity
+		}
+		proj := bipartite.Project(d.graphs[view], bipartite.ProjectConfig{
+			MinSimilarity: minSim,
+			MaxAttrDegree: d.cfg.MaxAttrDegree,
+			Workers:       d.cfg.Workers,
+		})
+		d.projections[view] = proj
+
+		edges := make([]graph.Edge, len(proj.Edges))
+		for i, e := range proj.Edges {
+			edges[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+		}
+		g, err := graph.Build(len(d.domains), edges)
+		if err != nil {
+			return fmt.Errorf("core: building %v similarity graph: %w", view, err)
+		}
+		emb, err := line.Train(g, line.Config{
+			Dim:     d.cfg.EmbedDim,
+			Order:   d.cfg.EmbedOrder,
+			Samples: d.cfg.EmbedSamples,
+			Workers: d.cfg.Workers,
+			Seed:    d.cfg.Seed ^ uint64(view)*0x9e3779b97f4a7c15,
+		})
+		if err != nil {
+			return fmt.Errorf("core: embedding %v view: %w", view, err)
+		}
+		d.embeddings[view] = emb
+	}
+	d.built = true
+	return nil
+}
+
+// Stats summarizes the built model.
+func (d *Detector) Stats() (ModelStats, error) {
+	if !d.built {
+		return ModelStats{}, ErrNotBuilt
+	}
+	s := ModelStats{
+		TotalQueries:    d.proc.TotalQueries(),
+		Devices:         d.proc.DeviceCount(),
+		ObservedE2LDs:   len(d.proc.Stats()),
+		RetainedE2LDs:   len(d.domains),
+		ProjectionEdges: make(map[bipartite.View]int, 3),
+	}
+	for v, p := range d.projections {
+		s.ProjectionEdges[v] = len(p.Edges)
+	}
+	return s, nil
+}
+
+// Domains returns the retained (post-pruning) domain vertex set, sorted.
+func (d *Detector) Domains() ([]string, error) {
+	if !d.built {
+		return nil, ErrNotBuilt
+	}
+	return d.domains, nil
+}
+
+// Graph returns one of the three bipartite graphs.
+func (d *Detector) Graph(v bipartite.View) (*bipartite.Graph, error) {
+	if !d.built {
+		return nil, ErrNotBuilt
+	}
+	return d.graphs[v], nil
+}
+
+// Projection returns one of the three one-mode projections.
+func (d *Detector) Projection(v bipartite.View) (*bipartite.Projection, error) {
+	if !d.built {
+		return nil, ErrNotBuilt
+	}
+	return d.projections[v], nil
+}
+
+// FeatureVector returns the domain's feature representation built from
+// the requested views, concatenated in the given order (§6.1 uses all
+// three: [V1..Vk | Vk+1..V2k | V2k+1..V3k]). ok is false for domains not
+// in the retained vertex set.
+func (d *Detector) FeatureVector(domain string, views ...bipartite.View) ([]float64, bool) {
+	if !d.built {
+		return nil, false
+	}
+	i, ok := d.index[domain]
+	if !ok {
+		return nil, false
+	}
+	if len(views) == 0 {
+		views = bipartite.Views
+	}
+	out := make([]float64, 0, len(views)*d.cfg.EmbedDim)
+	for _, v := range views {
+		out = append(out, d.embeddings[v].Vectors[i]...)
+	}
+	return out, true
+}
+
+// FeatureMatrix builds vectors for a slice of domains, skipping ones not
+// retained; it returns the matrix and the corresponding kept domains.
+func (d *Detector) FeatureMatrix(domains []string, views ...bipartite.View) ([][]float64, []string) {
+	var X [][]float64
+	var kept []string
+	for _, dom := range domains {
+		if v, ok := d.FeatureVector(dom, views...); ok {
+			X = append(X, v)
+			kept = append(kept, dom)
+		}
+	}
+	return X, kept
+}
+
+// TrainClassifier fits the SVM of §6.2 on labeled domains (label 1 =
+// malicious). Domains not in the retained set are skipped; Classifier.Used
+// reports which training domains were actually used.
+func (d *Detector) TrainClassifier(domains []string, labels []int, views ...bipartite.View) (*Classifier, error) {
+	if !d.built {
+		return nil, ErrNotBuilt
+	}
+	if len(domains) != len(labels) {
+		return nil, fmt.Errorf("core: %d domains vs %d labels", len(domains), len(labels))
+	}
+	var X [][]float64
+	var y []int
+	var used []string
+	for i, dom := range domains {
+		if v, ok := d.FeatureVector(dom, views...); ok {
+			X = append(X, v)
+			y = append(y, labels[i])
+			used = append(used, dom)
+		}
+	}
+	if len(X) == 0 {
+		return nil, ErrNoDomains
+	}
+	cfg := d.cfg.SVM
+	if cfg.Seed == 0 {
+		cfg.Seed = d.cfg.Seed
+	}
+	model, err := svm.Train(X, y, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: training SVM: %w", err)
+	}
+	return &Classifier{detector: d, model: model, views: viewsOrAll(views), Used: used}, nil
+}
+
+// Classifier is a trained malicious-domain classifier bound to its
+// detector's feature space.
+type Classifier struct {
+	detector *Detector
+	model    *svm.Model
+	views    []bipartite.View
+	// Used lists the training domains that were actually in the retained
+	// vertex set.
+	Used []string
+}
+
+// Score returns the SVM decision value for a domain (positive =
+// malicious side of the boundary); ok is false for unknown domains.
+func (c *Classifier) Score(domain string) (float64, bool) {
+	v, ok := c.detector.FeatureVector(domain, c.views...)
+	if !ok {
+		return 0, false
+	}
+	return c.model.Decision(v), true
+}
+
+// Predict returns 1 (malicious) or 0 (benign); ok is false for unknown
+// domains.
+func (c *Classifier) Predict(domain string) (int, bool) {
+	s, ok := c.Score(domain)
+	if !ok {
+		return 0, false
+	}
+	if s > 0 {
+		return 1, true
+	}
+	return 0, true
+}
+
+// Model exposes the underlying SVM (support-vector count etc.).
+func (c *Classifier) Model() *svm.Model { return c.model }
+
+// ClusterDomains groups the given domains by X-Means over their combined
+// feature vectors (§7.1), returning the clustering and the domains
+// actually clustered (those in the retained set, order-aligned with the
+// result's Assign).
+func (d *Detector) ClusterDomains(domains []string, cfg xmeans.Config) (*xmeans.Result, []string, error) {
+	if !d.built {
+		return nil, nil, ErrNotBuilt
+	}
+	X, kept := d.FeatureMatrix(domains)
+	if len(X) == 0 {
+		return nil, nil, ErrNoDomains
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = d.cfg.Seed
+	}
+	res, err := xmeans.Cluster(X, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	return res, kept, nil
+}
+
+func viewsOrAll(views []bipartite.View) []bipartite.View {
+	if len(views) == 0 {
+		return bipartite.Views
+	}
+	return views
+}

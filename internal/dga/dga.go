@@ -1,0 +1,141 @@
+// Package dga implements domain generation algorithms in the styles the
+// paper's cluster analysis surfaces (§7, Tables 1–2): a Conficker-like
+// pseudo-random-letter generator over throwaway TLDs such as .ws, a
+// wordlist-combination generator producing pronounceable spam domains on
+// .bid, and a hash-hex generator typical of newer malware families.
+//
+// Each Generator is deterministic in (seed, index): two infected hosts
+// running the same family with the same seed derive the same domain
+// sequence, which is precisely the property that makes DGA domains
+// cluster in the host-domain projection graph.
+package dga
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Generator produces the idx-th domain of a family's sequence for a given
+// campaign seed. Implementations must be deterministic and safe for
+// concurrent use.
+type Generator interface {
+	// Domain returns the idx-th generated e2LD (name plus TLD).
+	Domain(seed uint64, idx int) string
+	// Style is a short family-style tag used in reports ("conficker",
+	// "wordlist", "hashhex").
+	Style() string
+}
+
+// Conficker generates Conficker-style names: 8–12 pseudo-random lowercase
+// letters on a rotating set of disposable TLDs (.ws, .cc, .info, ...).
+type Conficker struct {
+	// TLDs overrides the default TLD rotation when non-empty.
+	TLDs []string
+}
+
+var _ Generator = Conficker{}
+
+var confickerTLDs = []string{"ws", "info", "cc", "biz", "net"}
+
+// Domain implements Generator.
+func (c Conficker) Domain(seed uint64, idx int) string {
+	rng := mathx.NewRNG(seed ^ uint64(idx)*0x9e3779b97f4a7c15)
+	n := 8 + rng.Intn(5)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	tlds := c.TLDs
+	if len(tlds) == 0 {
+		tlds = confickerTLDs
+	}
+	return fmt.Sprintf("%s.%s", b, tlds[rng.Intn(len(tlds))])
+}
+
+// Style implements Generator.
+func (Conficker) Style() string { return "conficker" }
+
+// Wordlist generates spam-style pronounceable names by concatenating and
+// lightly mutating dictionary fragments, echoing the .bid spam cluster in
+// the paper's Table 1 (e.g. "fattylivercur.bid", "bstwoodprofit.bid").
+type Wordlist struct {
+	// TLD overrides the default ".bid" when non-empty.
+	TLD string
+}
+
+var _ Generator = Wordlist{}
+
+var wordFragments = []string{
+	"fatty", "liver", "cur", "wood", "profit", "belly", "canvas", "solar",
+	"turmeric", "uses", "flight", "gam", "holster", "permit", "nano",
+	"clen", "cook", "nice", "easy", "amrica", "detect", "ger", "ankle",
+	"tol", "spam", "deal", "cash", "loan", "diet", "trick", "fast",
+	"muscle", "grow", "skin", "care", "miracl", "cure", "weight", "loss",
+	"crypto", "gain", "win", "free", "gift", "card", "insur", "claim",
+}
+
+// Domain implements Generator.
+func (w Wordlist) Domain(seed uint64, idx int) string {
+	rng := mathx.NewRNG(seed ^ uint64(idx)*0xbf58476d1ce4e5b9)
+	parts := 2 + rng.Intn(2)
+	name := make([]byte, 0, 24)
+	for i := 0; i < parts; i++ {
+		name = append(name, wordFragments[rng.Intn(len(wordFragments))]...)
+	}
+	// Spammers drop or double letters to dodge exact-match blacklists.
+	if len(name) > 6 && rng.Float64() < 0.5 {
+		pos := 1 + rng.Intn(len(name)-2)
+		if rng.Float64() < 0.5 {
+			name = append(name[:pos], name[pos+1:]...) // drop
+		} else {
+			name = append(name[:pos+1], name[pos:]...) // double
+		}
+	}
+	if len(name) > 20 {
+		name = name[:20]
+	}
+	tld := w.TLD
+	if tld == "" {
+		tld = "bid"
+	}
+	return fmt.Sprintf("%s.%s", name, tld)
+}
+
+// Style implements Generator.
+func (Wordlist) Style() string { return "wordlist" }
+
+// HashHex generates hex-digest-style names (16 hex characters) on .top,
+// typical of newer hash-based DGA families.
+type HashHex struct{}
+
+var _ Generator = HashHex{}
+
+// Domain implements Generator.
+func (HashHex) Domain(seed uint64, idx int) string {
+	rng := mathx.NewRNG(seed ^ uint64(idx)*0x94d049bb133111eb)
+	const hexDigits = "0123456789abcdef"
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = hexDigits[rng.Intn(16)]
+	}
+	return fmt.Sprintf("%s.top", b)
+}
+
+// Style implements Generator.
+func (HashHex) Style() string { return "hashhex" }
+
+// Sequence returns the first n domains of g's sequence for seed,
+// de-duplicated while preserving order (DGAs occasionally collide).
+func Sequence(g Generator, seed uint64, n int) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for idx := 0; len(out) < n; idx++ {
+		d := g.Domain(seed, idx)
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

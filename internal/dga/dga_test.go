@@ -1,0 +1,138 @@
+package dga
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/etld"
+)
+
+var generators = []Generator{Conficker{}, Wordlist{}, HashHex{}}
+
+func TestDeterminism(t *testing.T) {
+	for _, g := range generators {
+		for idx := 0; idx < 50; idx++ {
+			a := g.Domain(12345, idx)
+			b := g.Domain(12345, idx)
+			if a != b {
+				t.Errorf("%s: Domain(12345,%d) nondeterministic: %q vs %q", g.Style(), idx, a, b)
+			}
+		}
+	}
+}
+
+func TestSeedsProduceDisjointSequences(t *testing.T) {
+	for _, g := range generators {
+		a := Sequence(g, 1, 100)
+		b := Sequence(g, 2, 100)
+		set := make(map[string]bool, len(a))
+		for _, d := range a {
+			set[d] = true
+		}
+		overlap := 0
+		for _, d := range b {
+			if set[d] {
+				overlap++
+			}
+		}
+		if overlap > 2 {
+			t.Errorf("%s: seeds 1 and 2 overlap on %d/100 domains", g.Style(), overlap)
+		}
+	}
+}
+
+func TestDomainsAreValidE2LDs(t *testing.T) {
+	for _, g := range generators {
+		for _, d := range Sequence(g, 7, 200) {
+			got, err := etld.E2LD(d)
+			if err != nil {
+				t.Fatalf("%s produced %q which has no e2LD: %v", g.Style(), d, err)
+			}
+			if got != d {
+				t.Errorf("%s produced %q, not an e2LD (e2LD is %q)", g.Style(), d, got)
+			}
+		}
+	}
+}
+
+func TestConfickerShape(t *testing.T) {
+	for _, d := range Sequence(Conficker{}, 3, 100) {
+		name, _, ok := strings.Cut(d, ".")
+		if !ok {
+			t.Fatalf("domain %q has no TLD", d)
+		}
+		if len(name) < 8 || len(name) > 12 {
+			t.Errorf("conficker name %q length %d outside [8,12]", name, len(name))
+		}
+		for _, c := range name {
+			if c < 'a' || c > 'z' {
+				t.Errorf("conficker name %q contains non-letter %q", name, c)
+			}
+		}
+	}
+}
+
+func TestConfickerCustomTLDs(t *testing.T) {
+	g := Conficker{TLDs: []string{"ws"}}
+	for _, d := range Sequence(g, 3, 50) {
+		if !strings.HasSuffix(d, ".ws") {
+			t.Errorf("domain %q not on .ws", d)
+		}
+	}
+}
+
+func TestWordlistShape(t *testing.T) {
+	for _, d := range Sequence(Wordlist{}, 9, 100) {
+		name, tld, _ := strings.Cut(d, ".")
+		if tld != "bid" {
+			t.Errorf("wordlist domain %q not on .bid", d)
+		}
+		if len(name) < 5 || len(name) > 20 {
+			t.Errorf("wordlist name %q length %d outside [5,20]", name, len(name))
+		}
+	}
+}
+
+func TestHashHexShape(t *testing.T) {
+	for _, d := range Sequence(HashHex{}, 11, 100) {
+		name, tld, _ := strings.Cut(d, ".")
+		if tld != "top" || len(name) != 16 {
+			t.Errorf("hashhex domain %q malformed", d)
+		}
+		for _, c := range name {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Errorf("hashhex name %q has non-hex rune %q", name, c)
+			}
+		}
+	}
+}
+
+func TestSequenceUniqueAndOrdered(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		seq := Sequence(Conficker{}, seed, n)
+		if len(seq) != n {
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, d := range seq {
+			if seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConficker(b *testing.B) {
+	g := Conficker{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Domain(42, i)
+	}
+}

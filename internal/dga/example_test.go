@@ -1,0 +1,17 @@
+package dga_test
+
+import (
+	"fmt"
+
+	"repro/internal/dga"
+)
+
+func ExampleSequence() {
+	// Two infected machines running the same malware derive the same
+	// domain sequence from the shared campaign seed.
+	hostA := dga.Sequence(dga.Conficker{TLDs: []string{"ws"}}, 42, 3)
+	hostB := dga.Sequence(dga.Conficker{TLDs: []string{"ws"}}, 42, 3)
+	fmt.Println(hostA[0] == hostB[0], hostA[1] == hostB[1], hostA[2] == hostB[2])
+	// Output:
+	// true true true
+}

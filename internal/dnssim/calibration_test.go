@@ -1,0 +1,242 @@
+package dnssim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/etld"
+)
+
+// The calibration features exist to keep the synthetic data from being
+// artificially easy for the paper's baselines; these tests pin the
+// behaviors down.
+
+func TestBenignDomainsHaveNXNoise(t *testing.T) {
+	s := smallScenario(t)
+	nxByDomain := make(map[string]int)
+	totByDomain := make(map[string]int)
+	s.Generate(func(ev Event) {
+		d, err := etld.E2LD(ev.QName)
+		if err != nil {
+			return
+		}
+		l, ok := s.Truth(d)
+		if !ok || l.Malicious {
+			return
+		}
+		totByDomain[d]++
+		if ev.RCode == dnswire.RCodeNXDomain {
+			nxByDomain[d]++
+		}
+	})
+	withNX := 0
+	for d, tot := range totByDomain {
+		if tot >= 50 && nxByDomain[d] > 0 {
+			withNX++
+		}
+	}
+	if withNX < 10 {
+		t.Errorf("only %d well-observed benign domains ever NXDOMAIN; real traffic has many", withNX)
+	}
+}
+
+func TestRegisteredMaliciousDomainsSometimesNX(t *testing.T) {
+	s := smallScenario(t)
+	resolvedAndNX := 0
+	resolvedOnly := 0
+	type counts struct{ ok, nx int }
+	perDomain := make(map[string]*counts)
+	s.Generate(func(ev Event) {
+		d, err := etld.E2LD(ev.QName)
+		if err != nil {
+			return
+		}
+		l, okT := s.Truth(d)
+		if !okT || !l.Malicious {
+			return
+		}
+		c := perDomain[d]
+		if c == nil {
+			c = &counts{}
+			perDomain[d] = c
+		}
+		if ev.RCode == dnswire.RCodeNXDomain {
+			c.nx++
+		} else {
+			c.ok++
+		}
+	})
+	for _, c := range perDomain {
+		if c.ok > 20 {
+			if c.nx > 0 {
+				resolvedAndNX++
+			} else {
+				resolvedOnly++
+			}
+		}
+	}
+	if resolvedAndNX == 0 {
+		t.Error("no registered malicious domain ever NXDOMAINs; zero-NX would be a benign tell")
+	}
+}
+
+func TestFlashBenignDomainsAreShortLived(t *testing.T) {
+	cfg := SmallScenario(61)
+	cfg.Days = 7 // longer window so flash windows are visibly shorter
+	s := NewScenario(cfg)
+	short, long := 0, 0
+	for i := range s.benign {
+		span := s.benign[i].activeTo - s.benign[i].activeFrom + 1
+		if span < cfg.Days {
+			short++
+		} else {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("flash mix degenerate: %d short, %d long", short, long)
+	}
+	frac := float64(short) / float64(short+long)
+	if frac < 0.15 || frac > 0.5 {
+		t.Errorf("flash fraction %.2f outside configured ~0.3 band", frac)
+	}
+}
+
+func TestFlashDomainsRespectWindows(t *testing.T) {
+	cfg := SmallScenario(62)
+	cfg.Days = 7
+	s := NewScenario(cfg)
+	window := make(map[string][2]int)
+	for i := range s.benign {
+		window[s.benign[i].e2ld] = [2]int{s.benign[i].activeFrom, s.benign[i].activeTo}
+	}
+	s.Generate(func(ev Event) {
+		d, err := etld.E2LD(ev.QName)
+		if err != nil {
+			return
+		}
+		w, ok := window[d]
+		if !ok {
+			return // malicious, mega, or NX-noise name
+		}
+		day := int(ev.Time.Sub(cfg.Start) / (24 * time.Hour))
+		if day < w[0] || day > w[1] {
+			// NX-noise subdomains share the e2LD; only NOERROR page
+			// queries are window-bound.
+			if ev.RCode == dnswire.RCodeNoError {
+				t.Fatalf("domain %s queried on day %d outside window %v", d, day, w)
+			}
+		}
+	})
+}
+
+func TestRomanizedNamesPresent(t *testing.T) {
+	s := smallScenario(t)
+	nonDictionary := 0
+	total := 0
+	for i := range s.benign {
+		name, _, _ := strings.Cut(s.benign[i].e2ld, ".")
+		total++
+		hasWord := false
+		for _, w := range benignWords {
+			if len(w) >= 3 && strings.Contains(name, w) {
+				hasWord = true
+				break
+			}
+		}
+		if !hasWord {
+			nonDictionary++
+		}
+	}
+	if frac := float64(nonDictionary) / float64(total); frac < 0.1 {
+		t.Errorf("only %.0f%% of benign names are non-dictionary; lexical baseline would be too easy", 100*frac)
+	}
+}
+
+func TestCDNDomainsAccumulateManyIPs(t *testing.T) {
+	s := smallScenario(t)
+	ips := make(map[string]map[string]bool)
+	s.Generate(func(ev Event) {
+		d, err := etld.E2LD(ev.QName)
+		if err != nil {
+			return
+		}
+		if ips[d] == nil {
+			ips[d] = make(map[string]bool)
+		}
+		for _, a := range ev.Answers {
+			ips[d][a] = true
+		}
+	})
+	// Pool-backed benign domains must grow beyond their initial 1-4
+	// addresses when observed often enough.
+	grew := 0
+	for i := range s.benign {
+		if s.benign[i].pool == nil {
+			continue
+		}
+		if len(ips[s.benign[i].e2ld]) > 4 {
+			grew++
+		}
+	}
+	if grew < 5 {
+		t.Errorf("only %d CDN-backed domains resolved to >4 addresses", grew)
+	}
+}
+
+func TestConfickerTLDRestriction(t *testing.T) {
+	cfg := SmallScenario(63)
+	cfg.Families = []FamilyConfig{{
+		Name: "conficker-ws", Kind: KindDGAConficker, TLDs: []string{"ws"},
+		Domains: 30, RegisteredFrac: 0.5, InfectedHosts: 8,
+		BeaconsPerDay: 10, DomainsPerBeacon: 3, FluxIPs: 6, Port: 80,
+	}}
+	s := NewScenario(cfg)
+	for _, d := range s.Families()["conficker-ws"] {
+		if !strings.HasSuffix(d, ".ws") {
+			t.Fatalf("family domain %s not on .ws", d)
+		}
+	}
+}
+
+func TestBeaconJitterSpreadsQueries(t *testing.T) {
+	// With the default 20-minute jitter, one beacon's family queries must
+	// not all land in the same minute.
+	s := smallScenario(t)
+	sameMinute, spread := 0, 0
+	var lastT time.Time
+	var lastFam string
+	s.Generate(func(ev Event) {
+		d, err := etld.E2LD(ev.QName)
+		if err != nil {
+			return
+		}
+		l, ok := s.Truth(d)
+		if !ok || !l.Malicious {
+			return
+		}
+		if l.Family == lastFam && !lastT.IsZero() {
+			// Consecutive same-family events from the per-host stream
+			// approximate one beacon's queries.
+			gap := ev.Time.Sub(lastT)
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap < time.Minute {
+				sameMinute++
+			} else if gap < 30*time.Minute {
+				spread++
+			}
+		}
+		lastT = ev.Time
+		lastFam = l.Family
+	})
+	if spread == 0 {
+		t.Fatal("no beacon queries spread beyond one minute; jitter not applied")
+	}
+	if sameMinute > spread {
+		t.Errorf("beacon queries cluster in single minutes (%d same vs %d spread)", sameMinute, spread)
+	}
+}

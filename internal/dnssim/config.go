@@ -1,0 +1,365 @@
+// Package dnssim generates synthetic campus-network DNS traffic with the
+// relational structure the paper's detection pipeline exploits.
+//
+// The paper evaluates on one month of DNS packets captured at the edge
+// routers of a large campus network — data that is not publicly
+// available. The detection signal, however, is purely relational: which
+// hosts query which domains (host-domain bipartite graph), which domains
+// resolve to shared IP addresses (domain-IP graph), and which domains are
+// queried in the same minutes (domain-time graph). dnssim plants exactly
+// those relations:
+//
+//   - a host population with diurnal weekday/weekend activity profiles
+//     (students, staff, servers, IoT devices) drawing benign domains from
+//     a Zipf-popular catalog;
+//   - web-page structure: visiting a page triggers queries for embedded
+//     ad/CDN/analytics domains in the same minute (temporal correlation
+//     among benign domains, the effect §4.2.3 attributes to redirections
+//     and embedded hyperlinks);
+//   - CDN and shared-hosting IP pools reused across many benign domains
+//     (IP-structural noise);
+//   - malware families: sets of infected hosts that beacon to the
+//     family's domains — DGA-generated (Conficker-style, wordlist spam,
+//     hash-hex) or fixed phishing/C&C sets — resolving via fast-flux IP
+//     pools with rotating low-TTL answers, a fraction of the DGA space
+//     unregistered (NXDOMAIN), and optional TTL-evasion families that use
+//     benign-looking high TTLs (the drift Exposure is sensitive to, §8.2);
+//   - DHCP churn, so the same device appears under several client IPs.
+//
+// Every generated e2LD carries ground-truth labels (benign/malicious,
+// family, style) used by the simulated threat-intelligence feeds.
+package dnssim
+
+import (
+	"time"
+
+	"repro/internal/mathx"
+)
+
+// Profile classifies a host's activity pattern.
+type Profile int
+
+// Host profiles. Distribution across the population is configurable.
+const (
+	// ProfileStudent is active roughly 08:00-24:00 with an evening peak.
+	ProfileStudent Profile = iota + 1
+	// ProfileStaff is active roughly 08:00-18:00 on weekdays.
+	ProfileStaff
+	// ProfileServer is active around the clock with low variance.
+	ProfileServer
+	// ProfileIoT queries a tiny fixed set of domains on a timer.
+	ProfileIoT
+)
+
+// FamilyKind selects how a malware family derives its domain set.
+type FamilyKind int
+
+// Malware family kinds.
+const (
+	// KindDGAConficker uses Conficker-style random-letter DGA domains.
+	KindDGAConficker FamilyKind = iota + 1
+	// KindDGAWordlist uses pronounceable wordlist spam domains (.bid).
+	KindDGAWordlist
+	// KindDGAHashHex uses hex-digest DGA domains (.top).
+	KindDGAHashHex
+	// KindPhish uses a fixed set of typosquat/phishing domains.
+	KindPhish
+	// KindCnC uses a small fixed set of long-lived C&C domains.
+	KindCnC
+	// KindCompromised uses hacked legitimate sites repurposed as C&C
+	// relays: dictionary names on mainstream TLDs, benign TTLs, stable
+	// dedicated addresses. Statistically indistinguishable from benign
+	// domains — the class of threats Exposure's features cannot see and
+	// behavioral modeling can (the paper's core motivation, §1).
+	KindCompromised
+)
+
+// Config is the full scenario description. The zero value is not usable;
+// start from DefaultScenario or SmallScenario and adjust.
+type Config struct {
+	// Seed drives all randomness in scenario construction and traffic
+	// generation. Identical configs with identical seeds generate
+	// identical traffic.
+	Seed uint64
+	// FamilySeed, when nonzero, decouples malware-family construction
+	// (domains, flux pools, registration) from the campus seed: several
+	// campus scenarios with distinct Seeds but one FamilySeed observe the
+	// same global malware campaigns through different local populations —
+	// the multi-network deployment the paper's future work proposes.
+	FamilySeed uint64
+
+	// Start and Days bound the capture window.
+	Start time.Time
+	Days  int
+
+	// Hosts is the number of end devices.
+	Hosts int
+	// ProfileMix gives relative weights for student/staff/server/IoT
+	// hosts, in that order. Zero value means {55, 30, 5, 10}.
+	ProfileMix [4]float64
+
+	// BenignDomains is the catalog size of ordinary benign e2LDs.
+	BenignDomains int
+	// MegaDomains is the number of ultra-popular domains (search engines,
+	// OS telemetry) queried by most hosts; these exist to exercise the
+	// >50%-of-hosts pruning rule.
+	MegaDomains int
+	// ZipfExponent shapes benign domain popularity (default 0.9).
+	ZipfExponent float64
+	// VisitsPerDay is the mean number of page visits per active host-day.
+	VisitsPerDay float64
+	// EmbedProb is the probability that a visited page has embedded
+	// third-party domains (ads/CDN/analytics).
+	EmbedProb float64
+
+	// CDNPools is the number of shared CDN/hosting IP pools; a fraction
+	// of benign domains resolve into these shared pools.
+	CDNPools int
+	// SharedHostingFrac is the fraction of benign domains on shared pools.
+	SharedHostingFrac float64
+
+	// Families describes the planted malware families.
+	Families []FamilyConfig
+	// CrossContamination is the per-visit probability that an uninfected
+	// host queries a random malicious domain (spam clicks, drive-by
+	// pages); this is the main label-noise knob for classifier AUC.
+	CrossContamination float64
+
+	// NXDomainNoiseProb is the per-visit probability of a typo query that
+	// yields NXDOMAIN for a nonexistent benign-looking name.
+	NXDomainNoiseProb float64
+	// BenignNXProb is the per-visit probability that the visited benign
+	// e2LD also produces an NXDOMAIN under one of its own subdomains
+	// (missing AAAA/wpad-style lookups), so benign domains carry a
+	// nonzero NX ratio as in real traffic.
+	BenignNXProb float64
+	// FlashFrac is the fraction of benign tail domains that are
+	// short-lived (active only during a window of a few days — event
+	// pages, campaign sites, article CDNs).
+	FlashFrac float64
+	// ForeignNameFrac is the fraction of benign domains with
+	// non-dictionary romanized names (the non-English-context lexical
+	// noise §8.2 discusses); these carry DGA-like character statistics
+	// while being benign.
+	ForeignNameFrac float64
+	// BeaconJitter is the window over which one beacon's domain queries
+	// spread (default 12 minutes); larger jitter weakens minute-level
+	// co-occurrence among family domains.
+	BeaconJitter time.Duration
+	// DormancyProb is the per-(host, family, day) probability that the
+	// malware stays silent that day (default 0.4); dormancy makes family
+	// domains' infected-host sets partially rather than fully
+	// overlapping.
+	DormancyProb float64
+	// InterestGroupSize is the size of benign niche communities (course
+	// cohorts, gaming clans, departments). Each community shares a small
+	// set of niche domains only its members visit, producing benign
+	// clusters in the query view that are structurally similar to malware
+	// families. Default 20 hosts; 0 < Hosts disables grouping only when
+	// negative.
+	InterestGroupSize int
+	// NicheDomainsPerGroup is how many tail domains each community
+	// adopts (default 8).
+	NicheDomainsPerGroup int
+	// NicheVisitFrac is the fraction of a host's visits that go to its
+	// community's niche domains (default 0.2).
+	NicheVisitFrac float64
+
+	// DHCP configures lease churn. LeaseTime default 12h, MoveProb 0.15.
+	DHCPLeaseTime time.Duration
+	DHCPMoveProb  float64
+}
+
+// FamilyConfig describes one malware family.
+type FamilyConfig struct {
+	// Name tags the family in ground truth ("conficker-a", "spamkit-3").
+	Name string
+	// Kind selects the domain-generation mechanism.
+	Kind FamilyKind
+	// TLDs restricts DGA-generated domains to these TLDs when non-empty
+	// (e.g. the paper's Conficker cluster lives entirely on .ws).
+	TLDs []string
+	// Domains is the number of distinct e2LDs the family uses over the
+	// whole window.
+	Domains int
+	// RegisteredFrac is the fraction of family domains that actually
+	// resolve; the rest return NXDOMAIN (typical for DGA families that
+	// register only a daily handful). Fixed-set kinds default to 1.0.
+	RegisteredFrac float64
+	// InfectedHosts is how many hosts carry this family's malware.
+	InfectedHosts int
+	// BeaconsPerDay is the mean beacon events per infected host-day.
+	BeaconsPerDay float64
+	// DomainsPerBeacon is how many family domains one beacon queries.
+	DomainsPerBeacon int
+	// FluxIPs is the size of the family's fast-flux IP pool.
+	FluxIPs int
+	// SharesHostingWithBenign marks families on bulletproof shared
+	// hosting whose IPs are also used by benign tail domains (IP noise).
+	SharesHostingWithBenign bool
+	// HighTTL marks TTL-evading families that use CDN-like TTLs instead
+	// of classic low fast-flux TTLs (the Exposure-evasion behavior the
+	// paper cites from Xu et al.).
+	HighTTL bool
+	// Port is the C&C destination port reported in flow summaries.
+	Port int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProfileMix == ([4]float64{}) {
+		c.ProfileMix = [4]float64{55, 30, 5, 10}
+	}
+	if c.ZipfExponent == 0 {
+		c.ZipfExponent = 0.9
+	}
+	if c.VisitsPerDay == 0 {
+		c.VisitsPerDay = 30
+	}
+	if c.EmbedProb == 0 {
+		c.EmbedProb = 0.6
+	}
+	if c.CDNPools == 0 {
+		c.CDNPools = 12
+	}
+	if c.SharedHostingFrac == 0 {
+		c.SharedHostingFrac = 0.25
+	}
+	if c.DHCPLeaseTime == 0 {
+		c.DHCPLeaseTime = 12 * time.Hour
+	}
+	if c.DHCPMoveProb == 0 {
+		c.DHCPMoveProb = 0.15
+	}
+	if c.MegaDomains == 0 {
+		c.MegaDomains = 8
+	}
+	if c.BenignNXProb == 0 {
+		c.BenignNXProb = 0.05
+	}
+	if c.FlashFrac == 0 {
+		c.FlashFrac = 0.3
+	}
+	if c.ForeignNameFrac == 0 {
+		c.ForeignNameFrac = 0.25
+	}
+	if c.BeaconJitter == 0 {
+		c.BeaconJitter = 4 * time.Minute
+	}
+	if c.DormancyProb == 0 {
+		c.DormancyProb = 0.4
+	}
+	if c.InterestGroupSize == 0 {
+		c.InterestGroupSize = 20
+	}
+	if c.NicheDomainsPerGroup == 0 {
+		c.NicheDomainsPerGroup = 8
+	}
+	if c.NicheVisitFrac == 0 {
+		c.NicheVisitFrac = 0.2
+	}
+	return c
+}
+
+// defaultStart is the first day of the paper's measurement month.
+var defaultStart = time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// DefaultScenario reproduces the paper's experimental scale in shape: a
+// month of traffic, a labeled-set-sized domain population (>10,000 e2LDs
+// with roughly 30% malicious), and a family mix spanning DGA botnets,
+// spam kits, phishing clusters, and long-lived C&C.
+func DefaultScenario(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		Start:              defaultStart,
+		Days:               31,
+		Hosts:              800,
+		BenignDomains:      7400,
+		VisitsPerDay:       30,
+		CrossContamination: 0.01,
+		NXDomainNoiseProb:  0.01,
+		Families:           defaultFamilies(3200),
+	}.withDefaults()
+}
+
+// SmallScenario is a scaled-down configuration for tests and examples:
+// a few days, ~150 hosts, ~600 labeled domains. The relational structure
+// is the same; only the scale shrinks.
+func SmallScenario(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		Start:              defaultStart,
+		Days:               3,
+		Hosts:              150,
+		BenignDomains:      420,
+		VisitsPerDay:       40,
+		CrossContamination: 0.004,
+		NXDomainNoiseProb:  0.01,
+		Families: []FamilyConfig{
+			{Name: "conficker-a", Kind: KindDGAConficker, Domains: 60, RegisteredFrac: 0.4,
+				InfectedHosts: 12, BeaconsPerDay: 30, DomainsPerBeacon: 4, FluxIPs: 10, Port: 80},
+			{Name: "spamkit-1", Kind: KindDGAWordlist, Domains: 40, RegisteredFrac: 0.9,
+				InfectedHosts: 18, BeaconsPerDay: 16, DomainsPerBeacon: 3, FluxIPs: 6,
+				SharesHostingWithBenign: true, Port: 25},
+			{Name: "phishco", Kind: KindPhish, Domains: 25, InfectedHosts: 10,
+				BeaconsPerDay: 10, DomainsPerBeacon: 2, FluxIPs: 4, Port: 443},
+			{Name: "cnc-apt", Kind: KindCnC, Domains: 8, InfectedHosts: 5,
+				BeaconsPerDay: 40, DomainsPerBeacon: 2, FluxIPs: 3, HighTTL: true, Port: 1337},
+		},
+	}.withDefaults()
+}
+
+// defaultFamilies builds a family mix totaling approximately
+// totalMalicious domains, echoing the cluster census in §7 (Conficker DGA
+// clusters, .bid spam clusters, phishing groups, small C&C sets).
+func defaultFamilies(totalMalicious int) []FamilyConfig {
+	// Fractions of the malicious domain budget per family archetype.
+	// Beacon rates and fan-outs are calibrated so family domains have
+	// partially overlapping (not identical) infected-host sets and thin
+	// minute-level co-occurrence, matching the relative view strengths
+	// the paper reports (query 0.89 > IP 0.83 >> temporal 0.65).
+	archetypes := []struct {
+		cfg   FamilyConfig
+		share float64
+	}{
+		{FamilyConfig{Name: "conficker", Kind: KindDGAConficker, TLDs: []string{"ws"},
+			RegisteredFrac: 0.35, InfectedHosts: 24, BeaconsPerDay: 10,
+			DomainsPerBeacon: 3, FluxIPs: 12, Port: 80}, 0.22},
+		{FamilyConfig{Name: "rustockdga", Kind: KindDGAConficker, RegisteredFrac: 0.4,
+			InfectedHosts: 14, BeaconsPerDay: 8, DomainsPerBeacon: 3, FluxIPs: 9, Port: 2710}, 0.09},
+		{FamilyConfig{Name: "spamkit", Kind: KindDGAWordlist, RegisteredFrac: 0.9,
+			InfectedHosts: 30, BeaconsPerDay: 6, DomainsPerBeacon: 2, FluxIPs: 7,
+			SharesHostingWithBenign: true, Port: 25}, 0.16},
+		{FamilyConfig{Name: "clickfraud", Kind: KindDGAHashHex, RegisteredFrac: 0.7,
+			InfectedHosts: 20, BeaconsPerDay: 14, DomainsPerBeacon: 3, FluxIPs: 10, Port: 80}, 0.11},
+		{FamilyConfig{Name: "phish", Kind: KindPhish, InfectedHosts: 16,
+			BeaconsPerDay: 5, DomainsPerBeacon: 2, FluxIPs: 5,
+			SharesHostingWithBenign: true, Port: 443}, 0.12},
+		{FamilyConfig{Name: "apt-cnc", Kind: KindCnC, InfectedHosts: 8,
+			BeaconsPerDay: 20, DomainsPerBeacon: 2, FluxIPs: 4, HighTTL: true, Port: 1337}, 0.05},
+		{FamilyConfig{Name: "hacked-sites", Kind: KindCompromised, InfectedHosts: 24,
+			BeaconsPerDay: 9, DomainsPerBeacon: 3, FluxIPs: 3, HighTTL: true, Port: 443}, 0.25},
+	}
+	var out []FamilyConfig
+	rng := mathx.NewRNG(0xfa417) // structural variety only; traffic uses Config.Seed
+	for _, a := range archetypes {
+		budget := int(a.share * float64(totalMalicious))
+		// Split each archetype's budget into several concrete families so
+		// clustering has many family-pure groups to find.
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			f := a.cfg
+			f.Name = f.Name + "-" + string(rune('a'+i))
+			f.Domains = budget / n
+			if f.Domains < 4 {
+				f.Domains = 4
+			}
+			// Vary infection size ±50% across the split families.
+			f.InfectedHosts = f.InfectedHosts/2 + rng.Intn(f.InfectedHosts)
+			if f.InfectedHosts < 3 {
+				f.InfectedHosts = 3
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package dnssim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/etld"
+)
+
+func smallScenario(t testing.TB) *Scenario {
+	t.Helper()
+	return NewScenario(SmallScenario(42))
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	a := NewScenario(SmallScenario(7)).Collect()
+	b := NewScenario(SmallScenario(7)).Collect()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].QName != b[i].QName || !a[i].Time.Equal(b[i].Time) || a[i].ClientIP != b[i].ClientIP {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedsChangeTraffic(t *testing.T) {
+	a := NewScenario(SmallScenario(1)).Collect()
+	b := NewScenario(SmallScenario(2)).Collect()
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i].QName != b[i].QName {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traffic")
+		}
+	}
+}
+
+func TestTruthCoversCatalog(t *testing.T) {
+	s := smallScenario(t)
+	cfg := s.Config
+	mal := s.MaliciousDomains()
+	ben := s.BenignDomains()
+	wantMal := 0
+	for _, f := range cfg.Families {
+		wantMal += f.Domains
+	}
+	if len(mal) != wantMal {
+		t.Errorf("malicious domains = %d, want %d", len(mal), wantMal)
+	}
+	if len(ben) != cfg.BenignDomains+cfg.MegaDomains {
+		t.Errorf("benign domains = %d, want %d", len(ben), cfg.BenignDomains+cfg.MegaDomains)
+	}
+	for _, d := range mal {
+		l, ok := s.Truth(d)
+		if !ok || !l.Malicious || l.Family == "" {
+			t.Fatalf("bad truth for malicious domain %q: %+v ok=%v", d, l, ok)
+		}
+	}
+}
+
+func TestAllDomainsAreE2LDs(t *testing.T) {
+	s := smallScenario(t)
+	for d := range s.TruthTable() {
+		got, err := etld.E2LD(d)
+		if err != nil {
+			t.Fatalf("catalog domain %q has no e2LD: %v", d, err)
+		}
+		if got != d {
+			t.Errorf("catalog domain %q is not an e2LD (e2LD = %q)", d, got)
+		}
+	}
+}
+
+func TestEventsWellFormed(t *testing.T) {
+	s := smallScenario(t)
+	end := s.Config.Start.Add(time.Duration(s.Config.Days+1) * 24 * time.Hour)
+	n := 0
+	s.Generate(func(ev Event) {
+		n++
+		if ev.Time.Before(s.Config.Start.Add(-24*time.Hour)) || ev.Time.After(end) {
+			t.Fatalf("event time %v outside window", ev.Time)
+		}
+		if ev.QName == "" || ev.ClientIP == "" {
+			t.Fatalf("event missing name or client: %+v", ev)
+		}
+		switch ev.RCode {
+		case dnswire.RCodeNoError:
+			if len(ev.Answers) == 0 {
+				t.Fatalf("NOERROR event with no answers: %+v", ev)
+			}
+		case dnswire.RCodeNXDomain:
+			if len(ev.Answers) != 0 {
+				t.Fatalf("NXDOMAIN event with answers: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected rcode %v", ev.RCode)
+		}
+	})
+	if n < 10000 {
+		t.Fatalf("small scenario produced only %d events", n)
+	}
+}
+
+// The core relational property: hosts infected by the same family query
+// overlapping family-domain sets, and family domains share flux IPs.
+func TestFamilyRelationalStructure(t *testing.T) {
+	s := smallScenario(t)
+	macOf := make(map[string]string) // clientIP is dynamic; use scenario truth instead
+	_ = macOf
+
+	domHosts := make(map[string]map[string]bool) // e2LD -> set of client IPs
+	domIPs := make(map[string]map[string]bool)   // e2LD -> resolved IPs
+	s.Generate(func(ev Event) {
+		d, err := etld.E2LD(ev.QName)
+		if err != nil {
+			return
+		}
+		if domHosts[d] == nil {
+			domHosts[d] = make(map[string]bool)
+			domIPs[d] = make(map[string]bool)
+		}
+		domHosts[d][ev.ClientIP] = true
+		for _, ip := range ev.Answers {
+			domIPs[d][ip] = true
+		}
+	})
+
+	fams := s.Families()
+	for name, domains := range fams {
+		// Count family domains that were actually queried.
+		queried := 0
+		resolved := 0
+		for _, d := range domains {
+			if len(domHosts[d]) > 0 {
+				queried++
+			}
+			if len(domIPs[d]) > 0 {
+				resolved++
+			}
+		}
+		if queried < len(domains)/2 {
+			t.Errorf("family %s: only %d/%d domains ever queried", name, queried, len(domains))
+		}
+		if resolved == 0 {
+			t.Errorf("family %s: no domain ever resolved", name)
+		}
+		// Each resolved family domain draws a small subset of the family
+		// flux pool, so any two subsets need not intersect directly — but
+		// every domain must share at least one address with some *other*
+		// family domain (the pairwise structure the DIBG projection
+		// exploits transitively).
+		ipOwners := make(map[string]int) // ip -> how many family domains use it
+		resolvedDomains := 0
+		for _, d := range domains {
+			if len(domIPs[d]) == 0 {
+				continue
+			}
+			resolvedDomains++
+			for ip := range domIPs[d] {
+				ipOwners[ip]++
+			}
+		}
+		if resolvedDomains >= 2 {
+			for _, d := range domains {
+				if len(domIPs[d]) == 0 {
+					continue
+				}
+				shared := false
+				for ip := range domIPs[d] {
+					if ipOwners[ip] >= 2 {
+						shared = true
+						break
+					}
+				}
+				if !shared {
+					t.Errorf("family %s: domain %s shares no IPs with any sibling", name, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMegaDomainsHaveHighFanout(t *testing.T) {
+	s := smallScenario(t)
+	domHosts := make(map[string]map[string]bool)
+	s.Generate(func(ev Event) {
+		d, err := etld.E2LD(ev.QName)
+		if err != nil {
+			return
+		}
+		if domHosts[d] == nil {
+			domHosts[d] = make(map[string]bool)
+		}
+		domHosts[d][ev.ClientIP] = true
+	})
+	// At least one mega domain must exceed 50% of hosts (clientIP churn
+	// inflates the denominator, so compare against host count directly).
+	hi := 0
+	for _, m := range s.mega {
+		if len(domHosts[m.e2ld]) > hi {
+			hi = len(domHosts[m.e2ld])
+		}
+	}
+	if hi < s.Config.Hosts/2 {
+		t.Errorf("largest mega-domain fanout %d < half of %d hosts", hi, s.Config.Hosts)
+	}
+}
+
+func TestPacketsRoundTrip(t *testing.T) {
+	s := smallScenario(t)
+	checked := 0
+	s.Generate(func(ev Event) {
+		if checked >= 500 {
+			return
+		}
+		checked++
+		qb, rb, err := Packets(ev)
+		if err != nil {
+			t.Fatalf("Packets(%+v): %v", ev, err)
+		}
+		q, err := dnswire.Decode(qb)
+		if err != nil {
+			t.Fatalf("decoding query: %v", err)
+		}
+		r, err := dnswire.Decode(rb)
+		if err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+		if q.Header.ID != ev.TxnID || r.Header.ID != ev.TxnID {
+			t.Fatal("txn id mismatch")
+		}
+		if q.Questions[0].Name != ev.QName {
+			t.Fatalf("qname %q != %q", q.Questions[0].Name, ev.QName)
+		}
+		if r.Header.RCode != ev.RCode || len(r.Answers) != len(ev.Answers) {
+			t.Fatalf("response mismatch: %+v", r.Header)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no events checked")
+	}
+}
+
+func TestInfectedHostsNonEmpty(t *testing.T) {
+	s := smallScenario(t)
+	inf := s.InfectedHosts()
+	if len(inf) == 0 {
+		t.Fatal("no infected hosts")
+	}
+	total := 0
+	for _, f := range s.Config.Families {
+		total += f.InfectedHosts
+	}
+	if len(inf) > total {
+		t.Fatalf("infected hosts %d exceeds configured total %d", len(inf), total)
+	}
+}
+
+func TestFlowSummaries(t *testing.T) {
+	s := smallScenario(t)
+	flows := s.FlowSummaries()
+	if len(flows) != len(s.Config.Families) {
+		t.Fatalf("got %d summaries, want %d", len(flows), len(s.Config.Families))
+	}
+	for _, f := range flows {
+		if f.HostCount == 0 || len(f.ServerIPs) == 0 || len(f.Ports) == 0 {
+			t.Errorf("degenerate flow summary: %+v", f)
+		}
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	s := smallScenario(t)
+	byHour := make([]int, 24)
+	s.Generate(func(ev Event) { byHour[ev.Time.Hour()]++ })
+	night := byHour[3] + byHour[4]
+	day := byHour[14] + byHour[15]
+	if day < night*2 {
+		t.Errorf("no diurnal pattern: day=%d night=%d", day, night)
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewScenario(SmallScenario(uint64(i)))
+		n := 0
+		s.Generate(func(Event) { n++ })
+	}
+}

@@ -1,0 +1,376 @@
+package dnssim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/mathx"
+)
+
+// Event is one DNS query together with its response, in the record schema
+// the paper's collector extracts from packet captures: query timestamp,
+// transaction id, client source IP, queried name and type; response code,
+// answer addresses and TTL.
+type Event struct {
+	Time     time.Time
+	TxnID    uint16
+	ClientIP string
+	QName    string
+	QType    dnswire.Type
+	RCode    dnswire.RCode
+	// Answers holds resolved IPv4 addresses for RCodeNoError A queries.
+	Answers []string
+	TTL     uint32
+}
+
+// Generate streams the scenario's full traffic through emit. Events are
+// time-ordered per host but interleaved arbitrarily across hosts; the
+// aggregating consumers in internal/pipeline do not require global order.
+// The stream is deterministic in the scenario's seed. Events whose
+// redirect/beacon jitter would spill past the capture window are clamped
+// to its final second, so every event satisfies Start <= Time < Start+Days.
+func (s *Scenario) Generate(emit func(Event)) {
+	root := mathx.NewRNG(s.Config.Seed).SplitLabeled("traffic")
+	end := s.Config.Start.Add(time.Duration(s.Config.Days) * 24 * time.Hour)
+	clamped := func(ev Event) {
+		if !ev.Time.Before(end) {
+			ev.Time = end.Add(-time.Second)
+		}
+		if ev.Time.Before(s.Config.Start) {
+			ev.Time = s.Config.Start
+		}
+		emit(ev)
+	}
+	for hi := range s.hosts {
+		s.generateHost(hi, root.Split(), clamped)
+	}
+}
+
+// Collect materializes the full event stream. Use only for small
+// scenarios; the default month-long campus scenario produces millions of
+// events and should be consumed via Generate.
+func (s *Scenario) Collect() []Event {
+	var out []Event
+	s.Generate(func(ev Event) { out = append(out, ev) })
+	return out
+}
+
+// generateHost emits the complete timeline of one host: benign page
+// visits shaped by the host's activity profile, plus malware beacons for
+// each infection the host carries.
+func (s *Scenario) generateHost(hi int, rng *mathx.RNG, emit func(Event)) {
+	h := s.hosts[hi]
+	cfg := s.Config
+	dayLen := 24 * time.Hour
+
+	for day := 0; day < cfg.Days; day++ {
+		dayStart := cfg.Start.Add(time.Duration(day) * dayLen)
+		weekday := dayStart.Weekday()
+		factor := activityFactor(h.profile, weekday)
+		if factor == 0 {
+			continue
+		}
+
+		// Benign page visits.
+		nVisits := rng.Poisson(h.visitRate * factor)
+		for v := 0; v < nVisits; v++ {
+			t := dayStart.Add(visitTime(h.profile, rng))
+			s.emitVisit(hi, t, rng, emit)
+		}
+
+		// Mega-domain background chatter (telemetry, search): every
+		// active host touches most mega domains daily.
+		for mi := range s.mega {
+			if rng.Float64() < 0.8*factor {
+				t := dayStart.Add(visitTime(h.profile, rng))
+				s.emitBenignQuery(hi, t, &s.mega[mi], rng, emit)
+			}
+		}
+
+		// Malware beacons for each infection carried by this host. The
+		// malware runs only while the device is on, so beacons follow the
+		// host's activity profile rather than a flat 24h clock; it also
+		// goes dormant on some days (sandbox evasion, kill-switch checks,
+		// device sleep), so family domains see partially overlapping
+		// infected-host subsets rather than identical ones.
+		for _, fi := range h.infections {
+			if rng.Float64() < s.Config.DormancyProb {
+				continue
+			}
+			f := &s.fams[fi]
+			nBeacons := rng.Poisson(f.cfg.BeaconsPerDay * factor)
+			for b := 0; b < nBeacons; b++ {
+				t := dayStart.Add(visitTime(h.profile, rng))
+				s.emitBeacon(hi, t, f, day, rng, emit)
+			}
+		}
+	}
+}
+
+// activityFactor scales a profile's visit volume for the given weekday.
+func activityFactor(p Profile, wd time.Weekday) float64 {
+	weekend := wd == time.Saturday || wd == time.Sunday
+	switch p {
+	case ProfileStudent:
+		if weekend {
+			return 0.8
+		}
+		return 1.0
+	case ProfileStaff:
+		if weekend {
+			return 0.15
+		}
+		return 1.0
+	case ProfileServer:
+		return 1.0
+	case ProfileIoT:
+		return 1.0
+	default:
+		return 0
+	}
+}
+
+// visitTime draws a time-of-day for one visit according to the profile's
+// diurnal shape.
+func visitTime(p Profile, rng *mathx.RNG) time.Duration {
+	var hour float64
+	switch p {
+	case ProfileStudent:
+		// Bimodal: afternoon and evening peaks.
+		if rng.Float64() < 0.45 {
+			hour = 10 + 5*rng.Float64()
+		} else {
+			hour = 17 + 6.5*rng.Float64()
+		}
+	case ProfileStaff:
+		hour = 8.5 + 9*rng.Float64()
+	case ProfileServer, ProfileIoT:
+		hour = 24 * rng.Float64()
+	}
+	if hour >= 24 {
+		hour -= 24
+	}
+	return time.Duration(hour * float64(time.Hour))
+}
+
+// emitVisit emits the query cascade of one page visit: the primary
+// domain, its embedded third-party domains (same minute — the temporal
+// correlation of §4.2.3), occasional typo NXDOMAINs, and the
+// cross-contamination clicks that make uninfected hosts touch malicious
+// domains.
+func (s *Scenario) emitVisit(hi int, t time.Time, rng *mathx.RNG, emit func(Event)) {
+	day := int(t.Sub(s.Config.Start) / (24 * time.Hour))
+	// A fraction of visits go to the host's interest-community niche
+	// domains; the rest draw from the global Zipf popularity curve.
+	// Resample when the chosen domain is outside its activity window
+	// (flash domains only exist on their few days).
+	primary := s.pickDomain(hi, rng)
+	for try := 0; try < 4 && !s.benign[primary].activeOn(day); try++ {
+		primary = s.pickDomain(hi, rng)
+	}
+	if !s.benign[primary].activeOn(day) {
+		return
+	}
+	s.emitBenignQuery(hi, t, &s.benign[primary], rng, emit)
+
+	if rng.Float64() < s.Config.EmbedProb {
+		for _, e := range s.benign[primary].embeds {
+			if !s.benign[e].activeOn(day) {
+				continue
+			}
+			// Embedded resources load within the same minute, with a
+			// small chance of spilling into the next.
+			dt := time.Duration(rng.Float64() * 20 * float64(time.Second))
+			if rng.Float64() < 0.1 {
+				dt += time.Minute
+			}
+			s.emitBenignQuery(hi, t.Add(dt), &s.benign[e], rng, emit)
+		}
+	}
+
+	if rng.Float64() < s.Config.BenignNXProb*s.benign[primary].nxFactor {
+		// A missing subdomain of the visited site (wpad, stale asset
+		// host): benign e2LDs carry a nonzero NX ratio in real traffic.
+		emit(Event{
+			Time:     t.Add(time.Second),
+			TxnID:    uint16(rng.Intn(1 << 16)),
+			ClientIP: s.clientIP(hi, t),
+			QName:    fmt.Sprintf("alt%d.%s", rng.Intn(4), s.benign[primary].e2ld),
+			QType:    dnswire.TypeA,
+			RCode:    dnswire.RCodeNXDomain,
+		})
+	}
+
+	if rng.Float64() < s.Config.NXDomainNoiseProb {
+		emit(Event{
+			Time:     t.Add(2 * time.Second),
+			TxnID:    uint16(rng.Intn(1 << 16)),
+			ClientIP: s.clientIP(hi, t),
+			QName:    "www." + s.benign[primary].e2ld + "x.com", // typo
+			QType:    dnswire.TypeA,
+			RCode:    dnswire.RCodeNXDomain,
+		})
+	}
+
+	if rng.Float64() < s.Config.CrossContamination && len(s.fams) > 0 {
+		f := &s.fams[rng.Intn(len(s.fams))]
+		d := f.domains[rng.Intn(len(f.domains))]
+		s.emitMalQuery(hi, t.Add(5*time.Second), f, d, rng, emit)
+	}
+}
+
+// pickDomain selects the primary domain of one visit: usually a global
+// Zipf draw, sometimes one of the host community's niche domains.
+func (s *Scenario) pickDomain(hi int, rng *mathx.RNG) int {
+	g := s.hosts[hi].group
+	if len(s.nicheOf) > 0 && g < len(s.nicheOf) && len(s.nicheOf[g]) > 0 &&
+		rng.Float64() < s.Config.NicheVisitFrac {
+		return s.nicheOf[g][rng.Intn(len(s.nicheOf[g]))]
+	}
+	return s.zipf.Sample(rng)
+}
+
+func (s *Scenario) emitBenignQuery(hi int, t time.Time, d *benignDomain, rng *mathx.RNG, emit func(Event)) {
+	name := d.names[rng.Intn(len(d.names))]
+	// CDN-backed domains rotate answers over the whole shared pool;
+	// fixed-address domains answer from their static set.
+	source := d.ips
+	if d.pool != nil {
+		source = d.pool
+	}
+	n := 1 + rng.Intn(minInt(3, len(source)))
+	answers := make([]string, 0, n)
+	start := rng.Intn(len(source))
+	for i := 0; i < n; i++ {
+		answers = append(answers, source[(start+i)%len(source)])
+	}
+	emit(Event{
+		Time:     t,
+		TxnID:    uint16(rng.Intn(1 << 16)),
+		ClientIP: s.clientIP(hi, t),
+		QName:    name,
+		QType:    dnswire.TypeA,
+		RCode:    dnswire.RCodeNoError,
+		Answers:  answers,
+		TTL:      jitterTTL(d.ttl, rng),
+	})
+}
+
+// jitterTTL varies a base TTL per response (recursive resolvers observe
+// counted-down and operator-tuned values, never one constant).
+func jitterTTL(base uint32, rng *mathx.RNG) uint32 {
+	v := uint32(float64(base) * (0.6 + 0.8*rng.Float64()))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// emitBeacon emits one malware beacon: the family queries several of its
+// domains in a burst. DGA families walk a daily window of their domain
+// sequence (like real DGAs that derive domains from the date), so the
+// active domain subset rotates day by day.
+func (s *Scenario) emitBeacon(hi int, t time.Time, f *family, day int, rng *mathx.RNG, emit func(Event)) {
+	n := f.cfg.DomainsPerBeacon
+	if n <= 0 {
+		n = 2
+	}
+	window := len(f.domains)
+	isDGA := f.cfg.Kind == KindDGAConficker || f.cfg.Kind == KindDGAWordlist || f.cfg.Kind == KindDGAHashHex
+	var base int
+	if isDGA && s.Config.Days > 0 {
+		// The daily window slides across the whole sequence over the
+		// capture; consecutive days overlap by half a window.
+		window = maxInt(n*3, len(f.domains)/maxInt(1, s.Config.Days)*2)
+		if window > len(f.domains) {
+			window = len(f.domains)
+		}
+		base = (day * window / 2) % maxInt(1, len(f.domains)-window+1)
+	}
+	for i := 0; i < n; i++ {
+		d := f.domains[base+rng.Intn(window)]
+		// Spread the beacon's queries across the jitter window so family
+		// domains rarely share exact minutes (this is what keeps the
+		// temporal view the weakest of the three, as in Figure 7).
+		dt := time.Duration(rng.Float64() * float64(s.Config.BeaconJitter))
+		s.emitMalQuery(hi, t.Add(dt), f, d, rng, emit)
+	}
+}
+
+func (s *Scenario) emitMalQuery(hi int, t time.Time, f *family, domain string, rng *mathx.RNG, emit func(Event)) {
+	ev := Event{
+		Time:     t,
+		TxnID:    uint16(rng.Intn(1 << 16)),
+		ClientIP: s.clientIP(hi, t),
+		QName:    domain,
+		QType:    dnswire.TypeA,
+	}
+	// Registered flux domains still fail to resolve occasionally —
+	// rotation churn and registration lapses — with a per-domain rate so
+	// the NX ratio carries no family-constant fingerprint.
+	if f.registered[domain] && rng.Float64() > f.domainNX[domain] {
+		ev.RCode = dnswire.RCodeNoError
+		pool := f.domainIPs[domain]
+		if len(pool) == 0 {
+			pool = f.ips
+		}
+		n := 1 + rng.Intn(minInt(3, len(pool)))
+		start := rng.Intn(len(pool))
+		for i := 0; i < n; i++ {
+			ev.Answers = append(ev.Answers, pool[(start+i)%len(pool)])
+		}
+		base := f.domainTTL[domain]
+		if base == 0 {
+			base = f.ttl
+		}
+		ev.TTL = jitterTTL(base, rng)
+	} else {
+		ev.RCode = dnswire.RCodeNXDomain
+	}
+	emit(ev)
+}
+
+// clientIP resolves the host's leased address at time t. Device timelines
+// always have a covering lease; fall back to the last known lease at the
+// window edges.
+func (s *Scenario) clientIP(hi int, t time.Time) string {
+	ls := s.leasesByDev[hi]
+	for i := len(ls) - 1; i >= 0; i-- {
+		if !ls[i].Start.After(t) {
+			return ls[i].IP
+		}
+	}
+	if len(ls) > 0 {
+		return ls[0].IP
+	}
+	return "10.255.255.254"
+}
+
+// HostMAC returns the ground-truth MAC of host index hi.
+func (s *Scenario) HostMAC(hi int) string { return s.hosts[hi].mac }
+
+// InfectedHosts returns the MACs of hosts carrying any malware family.
+func (s *Scenario) InfectedHosts() []string {
+	var out []string
+	for _, h := range s.hosts {
+		if len(h.infections) > 0 {
+			out = append(out, h.mac)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,687 @@
+package dnssim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dga"
+	"repro/internal/dhcp"
+	"repro/internal/mathx"
+)
+
+// Label is the ground-truth annotation of one e2LD.
+type Label struct {
+	Malicious bool
+	// Family is the malware family name for malicious domains ("" for
+	// benign).
+	Family string
+	// Style is the family style tag ("conficker", "wordlist", "hashhex",
+	// "phish", "cnc") or "benign".
+	Style string
+	// Registered is true for domains that actually resolve. Unregistered
+	// DGA domains only ever NXDOMAIN; threat-intel feeds rarely list
+	// them (blacklists track live infrastructure), so they mostly stay
+	// out of the labeled set, as in the paper's VirusTotal-confirmed
+	// data. Benign domains are always registered.
+	Registered bool
+}
+
+// Scenario is a fully instantiated simulation world: the host population,
+// the benign and malicious domain catalogs with their IP pools, the DHCP
+// lease log, and ground truth. Build one with NewScenario; it is
+// immutable afterwards and safe for concurrent reads.
+type Scenario struct {
+	Config Config
+
+	hosts       []hostSpec
+	benign      []benignDomain
+	mega        []benignDomain
+	zipf        *mathx.Zipf
+	fams        []family
+	cdnPools    [][]string
+	usedNames   map[string]bool
+	nicheOf     [][]int // group -> benign catalog indices
+	leases      []dhcp.Lease
+	leasesByDev [][]dhcp.Lease
+	dhcpRes     *dhcp.Resolver
+
+	truth map[string]Label // e2LD -> label
+}
+
+type hostSpec struct {
+	index   int
+	mac     string
+	profile Profile
+	// group is the host's benign interest community.
+	group int
+	// families carried by this host (indices into Scenario.fams).
+	infections []int
+	// visitRate is this host's personal mean page visits per active day.
+	visitRate float64
+}
+
+type benignDomain struct {
+	e2ld  string
+	names []string // FQDNs under the e2LD
+	ips   []string
+	ttl   uint32
+	// embeds are catalog indices of third-party domains co-loaded when a
+	// page on this domain is visited.
+	embeds []int
+	mega   bool
+	// pool, when non-nil, is the shared CDN/hosting pool the domain
+	// resolves from; responses sample the whole pool over time (address
+	// rotation), unlike fixed-address domains that always answer from
+	// ips.
+	pool []string
+	// nxFactor scales the per-visit benign-NX probability for this
+	// domain (some sites chronically reference missing subdomains,
+	// others never do).
+	nxFactor float64
+	// activeFrom/activeTo bound the days (inclusive) on which the domain
+	// receives traffic; flash domains (event pages, campaign sites) have
+	// short windows, everything else spans the whole capture.
+	activeFrom, activeTo int
+}
+
+// activeOn reports whether the domain receives traffic on day index d.
+func (b *benignDomain) activeOn(d int) bool {
+	return d >= b.activeFrom && d <= b.activeTo
+}
+
+// codeName generates a short random alphanumeric label like the names of
+// URL shorteners and tracking hosts.
+func codeName(rng *mathx.RNG) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	n := 6 + rng.Intn(9)
+	b := make([]byte, n)
+	// First character alphabetic to stay a plausible hostname label.
+	b[0] = alphabet[rng.Intn(26)]
+	for i := 1; i < n; i++ {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// romanizedName generates a pronounceable-but-non-dictionary name from
+// random syllables, optionally with a numeric suffix — the lexical
+// profile of romanized non-English domains (§8.2's observation that
+// lexical features lose power outside English naming conventions).
+func romanizedName(rng *mathx.RNG) string {
+	const consonants = "bcdfghjklmnpqrstwxyz"
+	const vowels = "aeiou"
+	n := 3 + rng.Intn(3)
+	b := make([]byte, 0, 2*n+2)
+	for i := 0; i < n; i++ {
+		b = append(b, consonants[rng.Intn(len(consonants))], vowels[rng.Intn(len(vowels))])
+	}
+	if rng.Float64() < 0.4 {
+		b = append(b, byte('0'+rng.Intn(10)), byte('0'+rng.Intn(10)))
+	}
+	return string(b)
+}
+
+type family struct {
+	cfg        FamilyConfig
+	domains    []string
+	registered map[string]bool
+	ips        []string
+	ttl        uint32
+	// domainTTL jitters the family base TTL per domain so families do
+	// not carry a single constant-TTL fingerprint.
+	domainTTL map[string]uint32
+	// domainIPs is each domain's flux subset of the family pool.
+	domainIPs map[string][]string
+	// domainNX is the per-domain probability that a query for a
+	// registered domain still fails (rotation churn); varied per domain
+	// so no family carries a constant NX-ratio fingerprint.
+	domainNX map[string]float64
+	infected []int // host indices
+}
+
+// NewScenario instantiates the world described by cfg.
+func NewScenario(cfg Config) *Scenario {
+	cfg = cfg.withDefaults()
+	s := &Scenario{Config: cfg, truth: make(map[string]Label)}
+	root := mathx.NewRNG(cfg.Seed)
+	s.buildHosts(root.SplitLabeled("hosts"))
+	s.buildBenign(root.SplitLabeled("benign"))
+	s.buildGroups(root.SplitLabeled("groups"))
+	famRoot := root
+	if cfg.FamilySeed != 0 {
+		famRoot = mathx.NewRNG(cfg.FamilySeed)
+	}
+	s.buildFamilies(famRoot.SplitLabeled("families"))
+	s.buildDHCP(root.SplitLabeled("dhcp"))
+	s.zipf = mathx.NewZipf(len(s.benign), cfg.ZipfExponent)
+	return s
+}
+
+// buildGroups partitions hosts into benign interest communities and
+// assigns each community a set of niche tail domains. These communities
+// are the main source of benign small-host-set clusters in the query
+// view; without them every dense cluster would be a malware family and
+// classification would be artificially easy.
+func (s *Scenario) buildGroups(rng *mathx.RNG) {
+	size := s.Config.InterestGroupSize
+	if size <= 0 || len(s.benign) == 0 {
+		return
+	}
+	groups := (len(s.hosts) + size - 1) / size
+	perm := rng.Perm(len(s.hosts))
+	for i, hi := range perm {
+		s.hosts[hi].group = i % groups
+	}
+	s.nicheOf = make([][]int, groups)
+	tailStart := len(s.benign) / 3 // niche domains come from the unpopular tail
+	for g := 0; g < groups; g++ {
+		n := 1 + rng.Poisson(float64(s.Config.NicheDomainsPerGroup))
+		for k := 0; k < n; k++ {
+			s.nicheOf[g] = append(s.nicheOf[g], tailStart+rng.Intn(len(s.benign)-tailStart))
+		}
+	}
+}
+
+func (s *Scenario) buildHosts(rng *mathx.RNG) {
+	mix := s.Config.ProfileMix
+	total := mix[0] + mix[1] + mix[2] + mix[3]
+	s.hosts = make([]hostSpec, s.Config.Hosts)
+	for i := range s.hosts {
+		u := rng.Float64() * total
+		var p Profile
+		switch {
+		case u < mix[0]:
+			p = ProfileStudent
+		case u < mix[0]+mix[1]:
+			p = ProfileStaff
+		case u < mix[0]+mix[1]+mix[2]:
+			p = ProfileServer
+		default:
+			p = ProfileIoT
+		}
+		rate := s.Config.VisitsPerDay * (0.4 + 1.2*rng.Float64())
+		if p == ProfileIoT {
+			rate = 4 + 8*rng.Float64()
+		}
+		s.hosts[i] = hostSpec{
+			index:     i,
+			mac:       dhcp.MACForDevice(i),
+			profile:   p,
+			visitRate: rate,
+		}
+	}
+}
+
+// benignTLDs weights the TLD mix of the benign catalog.
+var benignTLDs = []string{
+	"com", "com", "com", "com", "net", "org", "io", "co", "edu",
+	"cn", "com.cn", "co.uk", "de", "info", "me", "tv", "app", "dev",
+}
+
+var benignWords = []string{
+	"news", "cloud", "shop", "tech", "data", "media", "game", "photo",
+	"book", "mail", "video", "music", "blog", "forum", "wiki", "soft",
+	"web", "net", "app", "dev", "lab", "hub", "zone", "box", "kit",
+	"pro", "max", "plus", "go", "my", "top", "best", "smart", "fast",
+	"open", "free", "easy", "true", "blue", "red", "star", "sun",
+	"moon", "sky", "sea", "rock", "tree", "bird", "fox", "wolf",
+}
+
+var hostPrefixes = []string{"www", "mail", "api", "cdn", "static", "img", "m", "app", "login", "shop"}
+
+func (s *Scenario) buildBenign(rng *mathx.RNG) {
+	// Shared CDN/hosting pools: each pool is a set of addresses reused by
+	// many domains (and abused by some malware families).
+	pools := make([][]string, s.Config.CDNPools)
+	for p := range pools {
+		n := 4 + rng.Intn(24)
+		pools[p] = make([]string, n)
+		for i := range pools[p] {
+			pools[p][i] = publicIP(rng)
+		}
+	}
+	s.cdnPools = pools
+
+	seen := s.usedNames
+	if seen == nil {
+		seen = make(map[string]bool)
+		s.usedNames = seen
+	}
+	makeName := func(tag string, i int) string {
+		for {
+			var base string
+			u := rng.Float64()
+			switch {
+			case tag == "benign" && u < 0.08:
+				// Short-code services (URL shorteners, tracking and
+				// cloud-storage hosts) have random alphanumeric names
+				// with DGA-like character statistics.
+				base = codeName(rng)
+			case tag == "benign" && u < 0.08+s.Config.ForeignNameFrac:
+				base = romanizedName(rng)
+			default:
+				base = benignWords[rng.Intn(len(benignWords))] +
+					benignWords[rng.Intn(len(benignWords))] +
+					suffixFor(tag, i, rng)
+			}
+			tld := benignTLDs[rng.Intn(len(benignTLDs))]
+			name := fmt.Sprintf("%s.%s", base, tld)
+			if !seen[name] {
+				seen[name] = true
+				return name
+			}
+		}
+	}
+
+	// Mega domains: queried by nearly every host, later removed by the
+	// >50%-fan-out pruning rule.
+	s.mega = make([]benignDomain, s.Config.MegaDomains)
+	for i := range s.mega {
+		d := benignDomain{
+			e2ld: makeName("mega", i),
+			ttl:  uint32(300 + rng.Intn(3600)),
+			mega: true,
+		}
+		d.names = fqdnsFor(d.e2ld, 3+rng.Intn(4))
+		for j := 0; j < 8+rng.Intn(8); j++ {
+			d.ips = append(d.ips, publicIP(rng))
+		}
+		d.activeTo = s.Config.Days - 1
+		s.mega[i] = d
+		s.truth[d.e2ld] = Label{Style: "benign", Registered: true}
+	}
+
+	s.benign = make([]benignDomain, s.Config.BenignDomains)
+	for i := range s.benign {
+		d := benignDomain{
+			e2ld: makeName("benign", i),
+			ttl:  uint32(300 + rng.Intn(86400-300)),
+		}
+		d.names = fqdnsFor(d.e2ld, 1+rng.Intn(4))
+		d.nxFactor = 2 * rng.Float64()
+		if rng.Float64() < s.Config.SharedHostingFrac {
+			// Shared hosting/CDN: the domain answers from the whole pool
+			// over the month (address rotation), so its distinct-IP count
+			// grows like a fast-flux domain's.
+			d.pool = pools[rng.Intn(len(pools))]
+			d.ips = d.pool[:1+rng.Intn(minInt(4, len(d.pool)))]
+			d.ttl = uint32(60 + rng.Intn(600)) // CDNs use short TTLs
+		} else {
+			// Round-robin multi-datacenter services have many addresses
+			// with arbitrary TTLs; most sites keep 1-3 addresses. Both
+			// exist so "many distinct IPs" alone is not a malicious tell.
+			n := 1 + rng.Intn(3)
+			if rng.Float64() < 0.2 {
+				n = 4 + rng.Intn(7)
+			}
+			for j := 0; j < n; j++ {
+				d.ips = append(d.ips, publicIP(rng))
+			}
+			// Dynamic-DNS/load-balanced benign services also use short
+			// TTLs, so a low TTL alone is not a malicious tell.
+			if rng.Float64() < 0.15 {
+				d.ttl = uint32(30 + rng.Intn(570))
+			}
+		}
+		// Flash domains live only a few days; the rest span the capture.
+		d.activeTo = s.Config.Days - 1
+		if rng.Float64() < s.Config.FlashFrac && s.Config.Days > 2 {
+			span := 1 + rng.Intn(4)
+			d.activeFrom = rng.Intn(maxInt(1, s.Config.Days-span))
+			d.activeTo = d.activeFrom + span - 1
+		}
+		s.benign[i] = d
+		s.truth[d.e2ld] = Label{Style: "benign", Registered: true}
+	}
+
+	// Wire up page-embedding structure: each domain embeds a few
+	// popular third-party domains (ads/analytics live in the popular
+	// head, which is what yields minute-level co-occurrence).
+	popular := mathx.NewZipf(len(s.benign), 1.2)
+	for i := range s.benign {
+		n := rng.Intn(4)
+		for j := 0; j < n; j++ {
+			e := popular.Sample(rng)
+			if e != i {
+				s.benign[i].embeds = append(s.benign[i].embeds, e)
+			}
+		}
+	}
+}
+
+func suffixFor(tag string, i int, rng *mathx.RNG) string {
+	switch {
+	case tag == "mega":
+		return ""
+	case rng.Float64() < 0.3:
+		return fmt.Sprintf("%d", rng.Intn(100))
+	default:
+		return ""
+	}
+}
+
+func fqdnsFor(e2ld string, n int) []string {
+	names := make([]string, 0, n)
+	for i := 0; i < n && i < len(hostPrefixes); i++ {
+		names = append(names, hostPrefixes[i]+"."+e2ld)
+	}
+	if len(names) == 0 {
+		names = []string{"www." + e2ld}
+	}
+	return names
+}
+
+var phishWords = []string{
+	"paypa1", "secure-login", "appleid-verify", "bank-update", "account-check",
+	"netf1ix", "micros0ft", "amaz0n-pay", "gmai1-auth", "faceb00k-help",
+	"dropb0x-share", "off1ce365", "icloud-locked", "wellsfarg0", "chase-alert",
+}
+
+var cncWords = []string{
+	"update-node", "sync-relay", "cdn-edge", "stat-collect", "api-bridge",
+	"telemetry-core", "proxy-gate", "mirror-hub", "cache-link", "beacon-srv",
+}
+
+func (s *Scenario) buildFamilies(rng *mathx.RNG) {
+	s.fams = make([]family, len(s.Config.Families))
+	for fi, fc := range s.Config.Families {
+		f := family{cfg: fc}
+		seed := rng.Uint64()
+		switch fc.Kind {
+		case KindDGAConficker:
+			f.domains = dga.Sequence(dga.Conficker{TLDs: fc.TLDs}, seed, fc.Domains)
+		case KindDGAWordlist:
+			f.domains = dga.Sequence(dga.Wordlist{}, seed, fc.Domains)
+		case KindDGAHashHex:
+			f.domains = dga.Sequence(dga.HashHex{}, seed, fc.Domains)
+		case KindPhish:
+			f.domains = fixedDomains(phishWords, fc.Domains, "com", rng)
+		case KindCnC:
+			f.domains = fixedDomains(cncWords, fc.Domains, "net", rng)
+		case KindCompromised:
+			f.domains = s.compromisedDomains(fc.Domains, rng)
+		default:
+			panic(fmt.Sprintf("dnssim: unknown family kind %d", fc.Kind))
+		}
+
+		regFrac := fc.RegisteredFrac
+		if fc.Kind == KindPhish || fc.Kind == KindCnC || fc.Kind == KindCompromised {
+			regFrac = 1.0
+		}
+		f.registered = make(map[string]bool, len(f.domains))
+		for _, d := range f.domains {
+			f.registered[d] = rng.Float64() < regFrac
+		}
+
+		nIPs := fc.FluxIPs
+		if nIPs <= 0 {
+			nIPs = 4
+		}
+		f.ips = make([]string, nIPs)
+		if fc.SharesHostingWithBenign && len(s.cdnPools) > 0 {
+			// Abused cloud/CDN infrastructure: the family's addresses come
+			// from a pool that legitimate domains also resolve to, so the
+			// IP view cannot cleanly separate these families.
+			pool := s.cdnPools[rng.Intn(len(s.cdnPools))]
+			for i := range f.ips {
+				f.ips[i] = pool[rng.Intn(len(pool))]
+			}
+		} else {
+			for i := range f.ips {
+				f.ips[i] = publicIP(rng)
+			}
+		}
+		if fc.HighTTL {
+			f.ttl = uint32(21600 + rng.Intn(64800)) // TTL-evading family
+		} else {
+			// Drifted fast-flux TTLs: the paper's §8.2 cites the upward
+			// trend in malicious TTLs, which overlaps the CDN range and
+			// degrades Exposure's TTL feature group.
+			f.ttl = uint32(120 + rng.Intn(3480))
+		}
+		// Per-domain TTL base: ×[0.5, 2.0) around the family base so the
+		// family carries no single constant-TTL fingerprint. Compromised
+		// sites keep their original (benign-distributed) TTLs — the
+		// attacker never touches the DNS zone.
+		f.domainTTL = make(map[string]uint32, len(f.domains))
+		for _, d := range f.domains {
+			if fc.Kind == KindCompromised {
+				// Mirror the benign TTL mixture (CDN/dynamic lows plus a
+				// uniform bulk): the zone is still the victim's.
+				if rng.Float64() < 0.4 {
+					f.domainTTL[d] = uint32(30 + rng.Intn(570))
+				} else {
+					f.domainTTL[d] = uint32(300 + rng.Intn(86400-300))
+				}
+			} else {
+				f.domainTTL[d] = uint32(float64(f.ttl) * (0.5 + 1.5*rng.Float64()))
+			}
+		}
+
+		// Infect a random host subset, excluding IoT devices (they query
+		// fixed firmware domains only).
+		candidates := make([]int, 0, len(s.hosts))
+		for _, h := range s.hosts {
+			if h.profile != ProfileIoT {
+				candidates = append(candidates, h.index)
+			}
+		}
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		n := fc.InfectedHosts
+		if n > len(candidates) {
+			n = len(candidates)
+		}
+		f.infected = append([]int(nil), candidates[:n]...)
+		sort.Ints(f.infected)
+		for _, hi := range f.infected {
+			s.hosts[hi].infections = append(s.hosts[hi].infections, fi)
+		}
+
+		// Each domain resolves to its own small subset of the family flux
+		// pool (real flux rotates a handful of addresses per name), so
+		// per-domain distinct-IP counts stay in the benign range while
+		// the family still shares infrastructure pairwise. Compromised
+		// sites are the exception: every hacked server has its own
+		// unrelated hosting, so the IP view cannot link them at all —
+		// only the querying-host view can.
+		f.domainIPs = make(map[string][]string, len(f.domains))
+		for _, d := range f.domains {
+			if fc.Kind == KindCompromised {
+				// A hacked site keeps its own hosting, mirroring the
+				// benign address-count mixture (most sites 1-3 addresses,
+				// some on multi-datacenter round robins).
+				n := 1 + rng.Intn(3)
+				if rng.Float64() < 0.2 {
+					n = 4 + rng.Intn(7)
+				}
+				own := make([]string, n)
+				for k := range own {
+					own[k] = publicIP(rng)
+				}
+				f.domainIPs[d] = own
+				continue
+			}
+			n := 2 + rng.Intn(minInt(4, len(f.ips)))
+			start := rng.Intn(len(f.ips))
+			sub := make([]string, 0, n)
+			for k := 0; k < n; k++ {
+				sub = append(sub, f.ips[(start+k)%len(f.ips)])
+			}
+			f.domainIPs[d] = sub
+		}
+
+		f.domainNX = make(map[string]float64, len(f.domains))
+		for _, d := range f.domains {
+			f.domainNX[d] = 0.12 * rng.Float64()
+		}
+
+		style := styleFor(fc.Kind)
+		for _, d := range f.domains {
+			s.truth[d] = Label{
+				Malicious:  true,
+				Family:     fc.Name,
+				Style:      style,
+				Registered: f.registered[d],
+			}
+		}
+		s.fams[fi] = f
+	}
+
+	// Bulletproof shared hosting: families flagged SharesHostingWithBenign
+	// lend a couple of their addresses to random benign tail domains.
+	for fi := range s.fams {
+		if !s.fams[fi].cfg.SharesHostingWithBenign || len(s.benign) == 0 {
+			continue
+		}
+		for k := 0; k < 6; k++ {
+			bi := len(s.benign)/2 + rng.Intn(len(s.benign)/2) // tail half
+			ip := s.fams[fi].ips[rng.Intn(len(s.fams[fi].ips))]
+			s.benign[bi].ips = append(s.benign[bi].ips, ip)
+		}
+	}
+}
+
+func styleFor(k FamilyKind) string {
+	switch k {
+	case KindDGAConficker:
+		return "conficker"
+	case KindDGAWordlist:
+		return "wordlist"
+	case KindDGAHashHex:
+		return "hashhex"
+	case KindPhish:
+		return "phish"
+	case KindCnC:
+		return "cnc"
+	case KindCompromised:
+		return "compromised"
+	default:
+		return "unknown"
+	}
+}
+
+// compromisedDomains generates names for hacked legitimate sites: the
+// same dictionary-word pattern as the benign catalog, deduplicated
+// against it so no planted name is both benign and malicious.
+func (s *Scenario) compromisedDomains(n int, rng *mathx.RNG) []string {
+	if s.usedNames == nil {
+		s.usedNames = make(map[string]bool)
+	}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		base := benignWords[rng.Intn(len(benignWords))] +
+			benignWords[rng.Intn(len(benignWords))]
+		if rng.Float64() < 0.3 {
+			base = fmt.Sprintf("%s%d", base, rng.Intn(100))
+		}
+		name := fmt.Sprintf("%s.%s", base, benignTLDs[rng.Intn(len(benignTLDs))])
+		if s.usedNames[name] {
+			continue
+		}
+		s.usedNames[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+func fixedDomains(words []string, n int, tld string, rng *mathx.RNG) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]bool)
+	for len(out) < n {
+		w := words[rng.Intn(len(words))]
+		name := fmt.Sprintf("%s%d.%s", w, rng.Intn(1000), tld)
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func (s *Scenario) buildDHCP(rng *mathx.RNG) {
+	cfg := s.Config
+	s.leases = dhcp.Generate(dhcp.GenConfig{
+		Devices:   cfg.Hosts,
+		Start:     cfg.Start,
+		Duration:  time.Duration(cfg.Days) * 24 * time.Hour,
+		LeaseTime: cfg.DHCPLeaseTime,
+		MoveProb:  cfg.DHCPMoveProb,
+	}, rng)
+	s.dhcpRes = dhcp.NewResolver(s.leases)
+	// Index leases per device for fast IP-at-time lookup during
+	// generation.
+	s.leasesByDev = make([][]dhcp.Lease, cfg.Hosts)
+	for _, l := range s.leases {
+		// MACForDevice is bijective over the device range; recover index.
+		var b [4]byte
+		fmt.Sscanf(l.MAC, "02:00:%02x:%02x:%02x:%02x", &b[0], &b[1], &b[2], &b[3])
+		dev := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+		s.leasesByDev[dev] = append(s.leasesByDev[dev], l)
+	}
+}
+
+// publicIP draws a synthetic routable IPv4 address.
+func publicIP(rng *mathx.RNG) string {
+	return fmt.Sprintf("%d.%d.%d.%d",
+		20+rng.Intn(200), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+}
+
+// Leases exposes the generated DHCP log (sorted by start time).
+func (s *Scenario) Leases() []dhcp.Lease { return s.leases }
+
+// DHCP exposes the lease resolver used to pin client IPs to devices.
+func (s *Scenario) DHCP() *dhcp.Resolver { return s.dhcpRes }
+
+// Truth returns the ground-truth label for an e2LD; ok is false for
+// domains the scenario never planted (e.g. NX noise names).
+func (s *Scenario) Truth(e2ld string) (Label, bool) {
+	l, ok := s.truth[e2ld]
+	return l, ok
+}
+
+// TruthTable returns a copy of the complete ground-truth map.
+func (s *Scenario) TruthTable() map[string]Label {
+	out := make(map[string]Label, len(s.truth))
+	for k, v := range s.truth {
+		out[k] = v
+	}
+	return out
+}
+
+// Families lists the planted family names with their domains, for
+// cluster-purity evaluation.
+func (s *Scenario) Families() map[string][]string {
+	out := make(map[string][]string, len(s.fams))
+	for _, f := range s.fams {
+		out[f.cfg.Name] = append([]string(nil), f.domains...)
+	}
+	return out
+}
+
+// MaliciousDomains returns all planted malicious e2LDs, sorted.
+func (s *Scenario) MaliciousDomains() []string {
+	var out []string
+	for d, l := range s.truth {
+		if l.Malicious {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BenignDomains returns all planted benign e2LDs (including mega
+// domains), sorted.
+func (s *Scenario) BenignDomains() []string {
+	var out []string
+	for d, l := range s.truth {
+		if !l.Malicious {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

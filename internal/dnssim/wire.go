@@ -1,0 +1,64 @@
+package dnssim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dnswire"
+)
+
+// Packets converts an event into the query and response wire-format
+// packets a capture at the campus edge routers would record, exercising
+// the real RFC 1035 encoder. NXDOMAIN responses carry no answer records.
+func Packets(ev Event) (query, response []byte, err error) {
+	q := &dnswire.Message{
+		Header: dnswire.Header{ID: ev.TxnID, RecursionDesired: true},
+		Questions: []dnswire.Question{
+			{Name: ev.QName, Type: ev.QType, Class: dnswire.ClassIN},
+		},
+	}
+	query, err = dnswire.Encode(q)
+	if err != nil {
+		return nil, nil, fmt.Errorf("encoding query for %q: %w", ev.QName, err)
+	}
+
+	r := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:                 ev.TxnID,
+			Response:           true,
+			RecursionDesired:   true,
+			RecursionAvailable: true,
+			RCode:              ev.RCode,
+		},
+		Questions: q.Questions,
+	}
+	for _, a := range ev.Answers {
+		ip, perr := parseIPv4(a)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("event for %q: %w", ev.QName, perr)
+		}
+		r.Answers = append(r.Answers, dnswire.ARecord(ev.QName, ev.TTL, ip))
+	}
+	response, err = dnswire.Encode(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("encoding response for %q: %w", ev.QName, err)
+	}
+	return query, response, nil
+}
+
+func parseIPv4(s string) ([4]byte, error) {
+	var ip [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("dnssim: bad IPv4 %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return ip, fmt.Errorf("dnssim: bad IPv4 %q", s)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}

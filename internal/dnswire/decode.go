@@ -1,0 +1,170 @@
+package dnswire
+
+import "fmt"
+
+// maxSectionRecords bounds per-section record counts so a hostile or
+// corrupt header cannot force huge allocations before parsing fails.
+const maxSectionRecords = 4096
+
+// Decode parses a wire-format DNS message.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrShortMessage
+	}
+	var m Message
+	m.Header.ID = uint16(b[0])<<8 | uint16(b[1])
+	flags := uint16(b[2])<<8 | uint16(b[3])
+	m.Header.Response = flags&(1<<15) != 0
+	m.Header.Opcode = uint8(flags >> 11 & 0xf)
+	m.Header.Authoritative = flags&(1<<10) != 0
+	m.Header.Truncated = flags&(1<<9) != 0
+	m.Header.RecursionDesired = flags&(1<<8) != 0
+	m.Header.RecursionAvailable = flags&(1<<7) != 0
+	m.Header.RCode = RCode(flags & 0xf)
+
+	qd := int(uint16(b[4])<<8 | uint16(b[5]))
+	an := int(uint16(b[6])<<8 | uint16(b[7]))
+	ns := int(uint16(b[8])<<8 | uint16(b[9]))
+	ar := int(uint16(b[10])<<8 | uint16(b[11]))
+	if qd > maxSectionRecords || an > maxSectionRecords ||
+		ns > maxSectionRecords || ar > maxSectionRecords {
+		return nil, ErrTooManyRecords
+	}
+
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := readName(b, off, 0)
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		off = n
+		if off+4 > len(b) {
+			return nil, ErrShortMessage
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  Type(uint16(b[off])<<8 | uint16(b[off+1])),
+			Class: Class(uint16(b[off+2])<<8 | uint16(b[off+3])),
+		})
+		off += 4
+	}
+	var err error
+	if m.Answers, off, err = readSection(b, off, an); err != nil {
+		return nil, fmt.Errorf("answer section: %w", err)
+	}
+	if m.Authority, off, err = readSection(b, off, ns); err != nil {
+		return nil, fmt.Errorf("authority section: %w", err)
+	}
+	if m.Additional, _, err = readSection(b, off, ar); err != nil {
+		return nil, fmt.Errorf("additional section: %w", err)
+	}
+	return &m, nil
+}
+
+func readSection(b []byte, off, count int) ([]Record, int, error) {
+	if count == 0 {
+		return nil, off, nil
+	}
+	records := make([]Record, 0, count)
+	for i := 0; i < count; i++ {
+		name, n, err := readName(b, off, 0)
+		if err != nil {
+			return nil, 0, fmt.Errorf("record %d: %w", i, err)
+		}
+		off = n
+		if off+10 > len(b) {
+			return nil, 0, ErrShortMessage
+		}
+		r := Record{
+			Name:  name,
+			Type:  Type(uint16(b[off])<<8 | uint16(b[off+1])),
+			Class: Class(uint16(b[off+2])<<8 | uint16(b[off+3])),
+			TTL: uint32(b[off+4])<<24 | uint32(b[off+5])<<16 |
+				uint32(b[off+6])<<8 | uint32(b[off+7]),
+		}
+		rdlen := int(uint16(b[off+8])<<8 | uint16(b[off+9]))
+		off += 10
+		if off+rdlen > len(b) {
+			return nil, 0, ErrShortMessage
+		}
+		// Name-bearing rdata may contain compression pointers into the
+		// full message; re-encode it as a standalone uncompressed name so
+		// Record.Data is self-contained.
+		switch r.Type {
+		case TypeCNAME, TypeNS:
+			target, _, err := readName(b, off, 0)
+			if err != nil {
+				return nil, 0, fmt.Errorf("record %d rdata: %w", i, err)
+			}
+			if r.Data, err = appendName(nil, target, nil, -1); err != nil {
+				return nil, 0, fmt.Errorf("record %d rdata: %w", i, err)
+			}
+		default:
+			r.Data = append([]byte(nil), b[off:off+rdlen]...)
+		}
+		off += rdlen
+		records = append(records, r)
+	}
+	return records, off, nil
+}
+
+// maxPointerHops bounds compression-pointer chains; RFC-compliant
+// messages never need more than a handful.
+const maxPointerHops = 32
+
+// readName decodes a possibly compressed domain name starting at off.
+// It returns the dotted name and the offset of the first byte after the
+// name's in-place encoding (pointers do not advance past their two bytes).
+func readName(b []byte, off, depth int) (string, int, error) {
+	if depth > maxPointerHops {
+		return "", 0, ErrBadPointer
+	}
+	var name []byte
+	end := -1 // offset after the name at the original position
+	totalLen := 0
+	for {
+		if off >= len(b) {
+			return "", 0, ErrShortMessage
+		}
+		c := int(b[off])
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if len(name) == 0 {
+				return ".", end, nil
+			}
+			return string(name[:len(name)-1]), end, nil
+		case c&0xc0 == 0xc0:
+			if off+1 >= len(b) {
+				return "", 0, ErrShortMessage
+			}
+			ptr := (c&0x3f)<<8 | int(b[off+1])
+			if ptr >= off {
+				return "", 0, ErrBadPointer // pointers must point backward
+			}
+			if end < 0 {
+				end = off + 2
+			}
+			off = ptr
+			depth++
+			if depth > maxPointerHops {
+				return "", 0, ErrBadPointer
+			}
+		case c&0xc0 != 0:
+			return "", 0, ErrBadName
+		default:
+			if off+1+c > len(b) {
+				return "", 0, ErrShortMessage
+			}
+			totalLen += c + 1
+			if totalLen > 255 {
+				return "", 0, ErrNameTooLong
+			}
+			name = append(name, b[off+1:off+1+c]...)
+			name = append(name, '.')
+			off += 1 + c
+		}
+	}
+}

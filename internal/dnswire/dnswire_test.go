@@ -1,0 +1,339 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func query(id uint16, name string, typ Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: typ, Class: ClassIN}},
+	}
+}
+
+func TestEncodeDecodeQuery(t *testing.T) {
+	m := query(0x1234, "maps.google.com", TypeA)
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 0x1234 || got.Header.Response {
+		t.Errorf("header mismatch: %+v", got.Header)
+	}
+	if !got.Header.RecursionDesired {
+		t.Error("RD flag lost")
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("got %d questions", len(got.Questions))
+	}
+	q := got.Questions[0]
+	if q.Name != "maps.google.com" || q.Type != TypeA || q.Class != ClassIN {
+		t.Errorf("question mismatch: %+v", q)
+	}
+}
+
+func TestEncodeDecodeResponseWithAnswers(t *testing.T) {
+	cname, err := CNAMERecord("www.example.com", "edge.cdn.example.com", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{
+		Header: Header{ID: 7, Response: true, RecursionAvailable: true, RCode: RCodeNoError},
+		Questions: []Question{
+			{Name: "www.example.com", Type: TypeA, Class: ClassIN},
+		},
+		Answers: []Record{
+			cname,
+			ARecord("edge.cdn.example.com", 60, [4]byte{192, 0, 2, 10}),
+			ARecord("edge.cdn.example.com", 60, [4]byte{192, 0, 2, 11}),
+		},
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Header.Response || got.Header.RCode != RCodeNoError {
+		t.Errorf("header: %+v", got.Header)
+	}
+	if len(got.Answers) != 3 {
+		t.Fatalf("got %d answers, want 3", len(got.Answers))
+	}
+	target, err := got.Answers[0].TargetName()
+	if err != nil || target != "edge.cdn.example.com" {
+		t.Errorf("CNAME target = %q, %v", target, err)
+	}
+	ip, ok := got.Answers[1].IPv4()
+	if !ok || ip != [4]byte{192, 0, 2, 10} {
+		t.Errorf("A record ip = %v ok=%v", ip, ok)
+	}
+	if got.Answers[2].TTL != 60 {
+		t.Errorf("TTL = %d, want 60", got.Answers[2].TTL)
+	}
+}
+
+func TestCompressionShrinksMessage(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: "a.very.long.domain.example.com", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			ARecord("a.very.long.domain.example.com", 30, [4]byte{1, 2, 3, 4}),
+			ARecord("b.very.long.domain.example.com", 30, [4]byte{1, 2, 3, 5}),
+		},
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncompressedGuess := 12 + 3*(len("a.very.long.domain.example.com")+2+4) + 2*10 + 8
+	if len(b) >= uncompressedGuess {
+		t.Errorf("compressed message %d bytes, expected < %d", len(b), uncompressedGuess)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != "a.very.long.domain.example.com" ||
+		got.Answers[1].Name != "b.very.long.domain.example.com" {
+		t.Errorf("names lost in compression: %q, %q", got.Answers[0].Name, got.Answers[1].Name)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrShortMessage},
+		{"short header", make([]byte, 11), ErrShortMessage},
+		{"huge counts", []byte{0, 1, 0, 0, 0xff, 0xff, 0, 0, 0, 0, 0, 0}, ErrTooManyRecords},
+	}
+	for _, tt := range tests {
+		if _, err := Decode(tt.b); !errors.Is(err, tt.want) {
+			t.Errorf("%s: err = %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestDecodeForwardPointerRejected(t *testing.T) {
+	// Header with 1 question whose name is a pointer to itself.
+	b := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xc0, 12, // pointer to offset 12 (itself)
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(b); !errors.Is(err, ErrBadPointer) {
+		t.Errorf("self-pointer err = %v, want ErrBadPointer", err)
+	}
+}
+
+func TestEncodeRejectsBadNames(t *testing.T) {
+	longLabel := strings.Repeat("a", 64) + ".com"
+	if _, err := Encode(query(1, longLabel, TypeA)); !errors.Is(err, ErrLabelTooLong) {
+		t.Errorf("long label err = %v", err)
+	}
+	longName := strings.Repeat("abcdefgh.", 32) + "com"
+	if _, err := Encode(query(1, longName, TypeA)); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("long name err = %v", err)
+	}
+	if _, err := Encode(query(1, "a..b.com", TypeA)); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty label err = %v", err)
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for _, typ := range []Type{TypeA, TypeNS, TypeCNAME, TypeMX, TypeTXT, TypeAAAA, Type(99)} {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", typ.String(), err)
+			continue
+		}
+		if got != typ {
+			t.Errorf("round trip %v -> %q -> %v", typ, typ.String(), got)
+		}
+	}
+	if _, err := ParseType("BOGUS"); err == nil {
+		t.Error("ParseType accepted garbage")
+	}
+}
+
+func TestDecodeNeverPanicsOnFuzzedInput(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b) // must not panic; error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every well-formed query round-trips bit-exactly through
+// Encode → Decode → Encode.
+func TestEncodeDecodeEncodeStable(t *testing.T) {
+	names := []string{
+		"google.com", "a.b.c.example.org", "oorfapjflmp.ws",
+		"x.brvegnholster.bid", "host.campus.edu",
+	}
+	for _, name := range names {
+		for _, typ := range []Type{TypeA, TypeNS, TypeMX} {
+			m := query(999, name, typ)
+			b1, err := Encode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Decode(b1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := Encode(decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("unstable encoding for %q/%v", name, typ)
+			}
+		}
+	}
+}
+
+func TestRootNameRoundTrip(t *testing.T) {
+	b, err := Encode(query(5, ".", TypeNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "." {
+		t.Errorf("root name decoded as %q", got.Questions[0].Name)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			ARecord("www.example.com", 300, [4]byte{192, 0, 2, 1}),
+			ARecord("www.example.com", 300, [4]byte{192, 0, 2, 2}),
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			ARecord("www.example.com", 300, [4]byte{192, 0, 2, 1}),
+		},
+	}
+	buf, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMXRecordRoundTrip(t *testing.T) {
+	mx, err := MXRecord("example.com", 3600, 10, "mail.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{
+		Header:    Header{ID: 3, Response: true},
+		Questions: []Question{{Name: "example.com", Type: TypeMX, Class: ClassIN}},
+		Answers:   []Record{mx},
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, exch, err := got.Answers[0].MX()
+	if err != nil || pref != 10 || exch != "mail.example.com" {
+		t.Fatalf("MX = %d %q %v", pref, exch, err)
+	}
+	if _, err := got.Answers[0].TXT(); err == nil {
+		t.Fatal("TXT accessor accepted an MX record")
+	}
+}
+
+func TestTXTRecordRoundTrip(t *testing.T) {
+	txt, err := TXTRecord("example.com", 300, "v=spf1 -all", "second string")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{
+		Header:    Header{ID: 4, Response: true},
+		Questions: []Question{{Name: "example.com", Type: TypeTXT, Class: ClassIN}},
+		Answers:   []Record{txt},
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts, err := got.Answers[0].TXT()
+	if err != nil || len(texts) != 2 || texts[0] != "v=spf1 -all" || texts[1] != "second string" {
+		t.Fatalf("TXT = %v %v", texts, err)
+	}
+	if _, err := TXTRecord("x.com", 1, strings.Repeat("a", 256)); err == nil {
+		t.Fatal("oversized TXT string accepted")
+	}
+}
+
+func TestAAAARecordRoundTrip(t *testing.T) {
+	var ip6 [16]byte
+	ip6[0], ip6[15] = 0x20, 0x01
+	m := &Message{
+		Header:    Header{ID: 5, Response: true},
+		Questions: []Question{{Name: "v6.example.com", Type: TypeAAAA, Class: ClassIN}},
+		Answers:   []Record{AAAARecord("v6.example.com", 60, ip6)},
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := got.Answers[0].IPv6()
+	if !ok || back != ip6 {
+		t.Fatalf("IPv6 = %v ok=%v", back, ok)
+	}
+	if _, ok := got.Answers[0].IPv4(); ok {
+		t.Fatal("IPv4 accessor accepted an AAAA record")
+	}
+}

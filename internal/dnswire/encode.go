@@ -1,0 +1,117 @@
+package dnswire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Encode serializes m into wire format. Domain names in the question and
+// record-owner positions are compressed against previously written names,
+// as real resolvers do.
+func Encode(m *Message) ([]byte, error) {
+	buf := make([]byte, 0, 128)
+	offsets := make(map[string]int)
+
+	flags := uint16(0)
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xf) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode) & 0xf
+
+	buf = appendUint16(buf, m.Header.ID)
+	buf = appendUint16(buf, flags)
+	buf = appendUint16(buf, uint16(len(m.Questions)))
+	buf = appendUint16(buf, uint16(len(m.Answers)))
+	buf = appendUint16(buf, uint16(len(m.Authority)))
+	buf = appendUint16(buf, uint16(len(m.Additional)))
+
+	var err error
+	for _, q := range m.Questions {
+		buf, err = appendName(buf, q.Name, offsets, len(buf))
+		if err != nil {
+			return nil, fmt.Errorf("encoding question %q: %w", q.Name, err)
+		}
+		buf = appendUint16(buf, uint16(q.Type))
+		buf = appendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, r := range section {
+			buf, err = appendRecord(buf, r, offsets)
+			if err != nil {
+				return nil, fmt.Errorf("encoding record %q: %w", r.Name, err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRecord(buf []byte, r Record, offsets map[string]int) ([]byte, error) {
+	buf, err := appendName(buf, r.Name, offsets, len(buf))
+	if err != nil {
+		return nil, err
+	}
+	buf = appendUint16(buf, uint16(r.Type))
+	buf = appendUint16(buf, uint16(r.Class))
+	buf = append(buf,
+		byte(r.TTL>>24), byte(r.TTL>>16), byte(r.TTL>>8), byte(r.TTL))
+	if len(r.Data) > 0xffff {
+		return nil, fmt.Errorf("dnswire: rdata length %d exceeds 65535", len(r.Data))
+	}
+	buf = appendUint16(buf, uint16(len(r.Data)))
+	buf = append(buf, r.Data...)
+	return buf, nil
+}
+
+func appendUint16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+// appendName writes name in wire format. When offsets is non-nil, buf must
+// be the whole message so far: suffixes already written are replaced with
+// compression pointers and new suffixes at pointer-encodable offsets are
+// recorded. Pass offsets == nil (and any base) to encode a standalone
+// uncompressed name, e.g. inside rdata.
+func appendName(buf []byte, name string, offsets map[string]int, base int) ([]byte, error) {
+	_ = base // retained for call-site symmetry; offsets are taken from len(buf)
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		if labels[i] == "" {
+			return nil, ErrBadName
+		}
+		if len(labels[i]) > 63 {
+			return nil, ErrLabelTooLong
+		}
+		if offsets != nil {
+			suffix := strings.Join(labels[i:], ".")
+			if off, ok := offsets[suffix]; ok {
+				return append(buf, byte(0xc0|off>>8), byte(off)), nil
+			}
+			if len(buf) <= 0x3fff {
+				offsets[suffix] = len(buf)
+			}
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+	}
+	return append(buf, 0), nil
+}

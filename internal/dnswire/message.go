@@ -1,0 +1,248 @@
+// Package dnswire implements a subset of the DNS wire format (RFC 1035)
+// sufficient to encode and decode the query and response packets the
+// paper's collection pipeline captures at campus edge routers: the
+// 12-byte header, question section, and answer records of types A, AAAA,
+// NS, CNAME, MX and TXT, including name compression pointers.
+//
+// The traffic generator (internal/dnssim) can emit real packets through
+// this package and the preprocessing pipeline (internal/pipeline) parses
+// them back, so the capture path of the paper's Figure 2 architecture is
+// exercised end to end rather than mocked.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is a DNS resource record type.
+type Type uint16
+
+// Record types implemented by this package. The paper's collector records
+// the query type of every packet (A, NS, CNAME, MX, ...).
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+)
+
+// String returns the conventional mnemonic for t.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// ParseType converts a mnemonic produced by Type.String back to a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return TypeA, nil
+	case "NS":
+		return TypeNS, nil
+	case "CNAME":
+		return TypeCNAME, nil
+	case "MX":
+		return TypeMX, nil
+	case "TXT":
+		return TypeTXT, nil
+	case "AAAA":
+		return TypeAAAA, nil
+	}
+	var n uint16
+	if _, err := fmt.Sscanf(strings.ToUpper(s), "TYPE%d", &n); err == nil {
+		return Type(n), nil
+	}
+	return 0, fmt.Errorf("dnswire: unknown record type %q", s)
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes observed in the traffic model.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+)
+
+// Header is the fixed 12-byte DNS message header.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a single entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// Record is a resource record from the answer, authority, or additional
+// sections. Data holds the type-specific payload:
+//
+//	A:     4-byte IPv4 address
+//	AAAA:  16-byte IPv6 address
+//	CNAME, NS: encoded target name (use TargetName)
+//	MX:    2-byte preference followed by encoded exchange name
+//	TXT:   length-prefixed character strings
+type Record struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  []byte
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []Record
+	Authority  []Record
+	Additional []Record
+}
+
+// Errors returned by the decoder.
+var (
+	ErrShortMessage   = errors.New("dnswire: message truncated")
+	ErrBadName        = errors.New("dnswire: malformed domain name")
+	ErrBadPointer     = errors.New("dnswire: bad compression pointer")
+	ErrNameTooLong    = errors.New("dnswire: domain name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrTooManyRecords = errors.New("dnswire: implausible record count")
+)
+
+// ARecord builds an answer Record of type A for the dotted-quad address.
+func ARecord(name string, ttl uint32, ip4 [4]byte) Record {
+	return Record{Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, Data: ip4[:]}
+}
+
+// IPv4 extracts the address from an A record. ok is false for other types
+// or malformed data.
+func (r Record) IPv4() (ip [4]byte, ok bool) {
+	if r.Type != TypeA || len(r.Data) != 4 {
+		return ip, false
+	}
+	copy(ip[:], r.Data)
+	return ip, true
+}
+
+// CNAMERecord builds a CNAME answer pointing name at target.
+func CNAMERecord(name, target string, ttl uint32) (Record, error) {
+	data, err := appendName(nil, target, nil, -1)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Name: name, Type: TypeCNAME, Class: ClassIN, TTL: ttl, Data: data}, nil
+}
+
+// TargetName decodes the domain name payload of a CNAME or NS record.
+func (r Record) TargetName() (string, error) {
+	if r.Type != TypeCNAME && r.Type != TypeNS {
+		return "", fmt.Errorf("dnswire: TargetName on %v record", r.Type)
+	}
+	name, _, err := readName(r.Data, 0, 0)
+	return name, err
+}
+
+// MXRecord builds an MX answer with the given preference and exchange
+// host.
+func MXRecord(name string, ttl uint32, preference uint16, exchange string) (Record, error) {
+	data := []byte{byte(preference >> 8), byte(preference)}
+	data, err := appendName(data, exchange, nil, -1)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Name: name, Type: TypeMX, Class: ClassIN, TTL: ttl, Data: data}, nil
+}
+
+// MX decodes an MX record's payload.
+func (r Record) MX() (preference uint16, exchange string, err error) {
+	if r.Type != TypeMX {
+		return 0, "", fmt.Errorf("dnswire: MX on %v record", r.Type)
+	}
+	if len(r.Data) < 3 {
+		return 0, "", ErrShortMessage
+	}
+	preference = uint16(r.Data[0])<<8 | uint16(r.Data[1])
+	exchange, _, err = readName(r.Data, 2, 0)
+	return preference, exchange, err
+}
+
+// TXTRecord builds a TXT answer from one or more character strings; each
+// must be at most 255 bytes.
+func TXTRecord(name string, ttl uint32, texts ...string) (Record, error) {
+	var data []byte
+	for _, t := range texts {
+		if len(t) > 255 {
+			return Record{}, fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+		}
+		data = append(data, byte(len(t)))
+		data = append(data, t...)
+	}
+	return Record{Name: name, Type: TypeTXT, Class: ClassIN, TTL: ttl, Data: data}, nil
+}
+
+// TXT decodes a TXT record's character strings.
+func (r Record) TXT() ([]string, error) {
+	if r.Type != TypeTXT {
+		return nil, fmt.Errorf("dnswire: TXT on %v record", r.Type)
+	}
+	var out []string
+	for i := 0; i < len(r.Data); {
+		n := int(r.Data[i])
+		i++
+		if i+n > len(r.Data) {
+			return nil, ErrShortMessage
+		}
+		out = append(out, string(r.Data[i:i+n]))
+		i += n
+	}
+	return out, nil
+}
+
+// AAAARecord builds an answer Record of type AAAA.
+func AAAARecord(name string, ttl uint32, ip6 [16]byte) Record {
+	return Record{Name: name, Type: TypeAAAA, Class: ClassIN, TTL: ttl, Data: ip6[:]}
+}
+
+// IPv6 extracts the address from an AAAA record.
+func (r Record) IPv6() (ip [16]byte, ok bool) {
+	if r.Type != TypeAAAA || len(r.Data) != 16 {
+		return ip, false
+	}
+	copy(ip[:], r.Data)
+	return ip, true
+}

@@ -1,0 +1,187 @@
+package etld
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestE2LD(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		// Paper's own examples (§4.1).
+		{"maps.google.com", "google.com"},
+		{"www.bbc.uk.co", "bbc.uk.co"},
+		{"google.com", "google.com"},
+		{"a.b.c.d.example.org", "example.org"},
+		{"www.example.co.uk", "example.co.uk"},
+		{"example.co.uk", "example.co.uk"},
+		// Trailing root dot and mixed case.
+		{"WWW.Example.COM.", "example.com"},
+		// Paper cluster TLDs.
+		{"oorfapjflmp.ws", "oorfapjflmp.ws"},
+		{"cdn.brvegnholster.bid", "brvegnholster.bid"},
+		// Wildcard rule *.ck: public suffix is <label>.ck.
+		{"www.foo.ck", "www.foo.ck"},
+		{"a.b.foo.ck", "b.foo.ck"},
+		// Exception rule !www.ck: suffix is ck, e2LD is www.ck.
+		{"www.ck", "www.ck"},
+		{"sub.www.ck", "www.ck"},
+		// Unknown TLD falls back to last label as suffix.
+		{"host.weirdtld", "host.weirdtld"},
+		{"a.b.weirdtld", "b.weirdtld"},
+	}
+	for _, tt := range tests {
+		got, err := E2LD(tt.in)
+		if err != nil {
+			t.Errorf("E2LD(%q) error: %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("E2LD(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestE2LDNoEligible(t *testing.T) {
+	for _, in := range []string{"", "com", "co.uk", "ck", "foo.ck", ".", "..", "a..b"} {
+		if _, err := E2LD(in); !errors.Is(err, ErrNoEligibleDomain) {
+			t.Errorf("E2LD(%q) error = %v, want ErrNoEligibleDomain", in, err)
+		}
+	}
+}
+
+func TestPublicSuffix(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"www.google.com", "com"},
+		{"www.bbc.co.uk", "co.uk"},
+		{"bbc.uk.co", "uk.co"},
+		{"x.y.z.ck", "z.ck"}, // wildcard *.ck matches exactly one label
+		{"www.ck", "ck"},     // exception
+		{"plain", "plain"},
+		{"foo.unknowntld", "unknowntld"},
+	}
+	for _, tt := range tests {
+		if got := PublicSuffix(tt.in); got != tt.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNewTableIgnoresCommentsAndBlanks(t *testing.T) {
+	tbl := NewTable([]string{"// comment", "", "  com  ", "!www.ck", "*.ck"})
+	if got := tbl.PublicSuffix("a.com"); got != "com" {
+		t.Errorf("PublicSuffix(a.com) = %q", got)
+	}
+	if got, err := tbl.E2LD("sub.www.ck"); err != nil || got != "www.ck" {
+		t.Errorf("E2LD(sub.www.ck) = %q, %v", got, err)
+	}
+}
+
+// Property: the e2LD is always a suffix of the normalized input and has
+// exactly one more label than its public suffix.
+func TestE2LDProperties(t *testing.T) {
+	labels := []string{"www", "mail", "a", "b3", "x-y", "cdn", "static"}
+	tlds := []string{"com", "co.uk", "ws", "bid", "weird", "ck"}
+	f := func(pick uint8, tldPick uint8, depth uint8) bool {
+		n := int(depth%4) + 1
+		parts := make([]string, 0, n+2)
+		for i := 0; i < n; i++ {
+			parts = append(parts, labels[(int(pick)+i)%len(labels)])
+		}
+		parts = append(parts, "owner")
+		name := strings.Join(parts, ".") + "." + tlds[int(tldPick)%len(tlds)]
+		got, err := E2LD(name)
+		if err != nil {
+			return false
+		}
+		if !strings.HasSuffix(strings.ToLower(name), got) {
+			return false
+		}
+		ps := PublicSuffix(name)
+		return len(strings.Split(got, ".")) == len(strings.Split(ps, "."))+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: E2LD is idempotent — extracting the e2LD of an e2LD returns it.
+func TestE2LDIdempotent(t *testing.T) {
+	names := []string{
+		"maps.google.com", "a.b.example.co.uk", "x.oorfapjflmp.ws",
+		"deep.cdn.brvegnholster.bid", "sub.www.ck", "a.b.foo.ck",
+	}
+	for _, name := range names {
+		first, err := E2LD(name)
+		if err != nil {
+			t.Fatalf("E2LD(%q): %v", name, err)
+		}
+		second, err := E2LD(first)
+		if err != nil {
+			t.Fatalf("E2LD(%q): %v", first, err)
+		}
+		if first != second {
+			t.Errorf("E2LD not idempotent: %q -> %q -> %q", name, first, second)
+		}
+	}
+}
+
+func BenchmarkE2LD(b *testing.B) {
+	names := []string{
+		"maps.google.com", "www.bbc.co.uk", "a.b.c.d.example.org",
+		"oorfapjflmp.ws", "cdn.static.brvegnholster.bid",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := E2LD(names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLoadTable(t *testing.T) {
+	psl := `// ===BEGIN ICANN DOMAINS===
+com
+// United Kingdom
+co.uk
+*.ck
+!www.ck
+
+// ===END ICANN DOMAINS===
+uk.co
+`
+	tbl, err := LoadTable(strings.NewReader(psl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ in, want string }{
+		{"maps.google.com", "google.com"},
+		{"www.bbc.co.uk", "bbc.co.uk"},
+		{"www.bbc.uk.co", "bbc.uk.co"},
+		{"sub.www.ck", "www.ck"},
+	}
+	for _, c := range cases {
+		got, err := tbl.E2LD(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("E2LD(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestLoadTableRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{".leading.dot", "trailing.dot.", "em..pty", "bad^char"} {
+		if _, err := LoadTable(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("rule %q accepted", bad)
+		}
+	}
+	// But IDN labels and underscores pass.
+	if _, err := LoadTable(strings.NewReader("xn--p1ai\n_dmarc.example\n")); err != nil {
+		t.Errorf("valid rules rejected: %v", err)
+	}
+}

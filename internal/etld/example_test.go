@@ -1,0 +1,30 @@
+package etld_test
+
+import (
+	"fmt"
+
+	"repro/internal/etld"
+)
+
+func ExampleE2LD() {
+	for _, name := range []string{"maps.google.com", "www.bbc.co.uk", "oorfapjflmp.ws"} {
+		e2ld, err := etld.E2LD(name)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%s -> %s\n", name, e2ld)
+	}
+	// Output:
+	// maps.google.com -> google.com
+	// www.bbc.co.uk -> bbc.co.uk
+	// oorfapjflmp.ws -> oorfapjflmp.ws
+}
+
+func ExampleTable_PublicSuffix() {
+	fmt.Println(etld.PublicSuffix("www.example.co.uk"))
+	fmt.Println(etld.PublicSuffix("a.b.foo.ck")) // wildcard rule *.ck
+	// Output:
+	// co.uk
+	// foo.ck
+}

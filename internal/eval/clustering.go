@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clustering-quality metrics for the §7 cluster analysis: purity for the
+// Table 1-2 style reports, and information-theoretic agreement measures
+// for quantitative comparison of clusterings against ground-truth
+// families.
+
+// Purity returns the weighted fraction of points whose cluster's
+// majority class matches their own class.
+func Purity(assign []int, truth []int) (float64, error) {
+	if len(assign) != len(truth) || len(assign) == 0 {
+		return 0, fmt.Errorf("eval: purity needs equal non-empty slices")
+	}
+	counts := map[int]map[int]int{}
+	for i, c := range assign {
+		if counts[c] == nil {
+			counts[c] = map[int]int{}
+		}
+		counts[c][truth[i]]++
+	}
+	right := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		right += best
+	}
+	return float64(right) / float64(len(assign)), nil
+}
+
+// NMI returns the normalized mutual information between two labelings,
+// normalized by the arithmetic mean of the entropies (in [0, 1]; 1 means
+// identical partitions up to renaming, 0 means independence).
+func NMI(a, b []int) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("eval: NMI needs equal non-empty slices")
+	}
+	n := float64(len(a))
+	ca, cb := map[int]int{}, map[int]int{}
+	joint := map[[2]int]int{}
+	for i := range a {
+		ca[a[i]]++
+		cb[b[i]]++
+		joint[[2]int{a[i], b[i]}]++
+	}
+	mi := 0.0
+	for key, nij := range joint {
+		pij := float64(nij) / n
+		pi := float64(ca[key[0]]) / n
+		pj := float64(cb[key[1]]) / n
+		mi += pij * math.Log(pij/(pi*pj))
+	}
+	ha, hb := entropyOf(ca, n), entropyOf(cb, n)
+	if ha == 0 && hb == 0 {
+		return 1, nil // both labelings are constant: identical partitions
+	}
+	denom := (ha + hb) / 2
+	if denom == 0 {
+		return 0, nil
+	}
+	v := mi / denom
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+func entropyOf(counts map[int]int, n float64) float64 {
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / n
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// AdjustedRand returns the adjusted Rand index between two labelings
+// (1 = identical partitions, ≈0 = chance agreement; can be negative).
+func AdjustedRand(a, b []int) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("eval: ARI needs equal non-empty slices")
+	}
+	n := len(a)
+	ca, cb := map[int]int{}, map[int]int{}
+	joint := map[[2]int]int{}
+	for i := range a {
+		ca[a[i]]++
+		cb[b[i]]++
+		joint[[2]int{a[i], b[i]}]++
+	}
+	var sumJoint, sumA, sumB float64
+	for _, nij := range joint {
+		sumJoint += choose2(nij)
+	}
+	for _, ni := range ca {
+		sumA += choose2(ni)
+	}
+	for _, nj := range cb {
+		sumB += choose2(nj)
+	}
+	total := choose2(n)
+	if total == 0 {
+		return 1, nil
+	}
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1, nil // both partitions trivial in the same way
+	}
+	return (sumJoint - expected) / (maxIdx - expected), nil
+}
+
+func choose2(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestPurity(t *testing.T) {
+	assign := []int{0, 0, 0, 1, 1, 1}
+	truth := []int{7, 7, 8, 9, 9, 9}
+	p, err := Purity(assign, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5.0 / 6; math.Abs(p-want) > 1e-12 {
+		t.Errorf("purity = %v, want %v", p, want)
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Purity([]int{1}, []int{1, 2}); err == nil {
+		t.Error("mismatched input accepted")
+	}
+}
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 7, 7} // same partition, renamed
+	v, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-12 {
+		t.Errorf("NMI of identical partitions = %v, want 1", v)
+	}
+	ari, err := AdjustedRand(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari-1) > 1e-12 {
+		t.Errorf("ARI of identical partitions = %v, want 1", ari)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// Large random independent labelings: NMI ≈ 0, ARI ≈ 0.
+	rng := mathx.NewRNG(3)
+	n := 20000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(4)
+		b[i] = rng.Intn(4)
+	}
+	v, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.01 {
+		t.Errorf("NMI of independent labelings = %v, want ≈0", v)
+	}
+	ari, err := AdjustedRand(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari) > 0.01 {
+		t.Errorf("ARI of independent labelings = %v, want ≈0", ari)
+	}
+}
+
+func TestNMIRefinement(t *testing.T) {
+	// Splitting a true class into two clusters keeps purity at 1 but
+	// lowers NMI below 1 — the metric penalizes over-segmentation.
+	truth := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	split := []int{0, 0, 2, 2, 1, 1, 1, 1}
+	p, err := Purity(split, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("purity = %v, want 1", p)
+	}
+	v, err := NMI(split, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 1 {
+		t.Errorf("NMI = %v, want < 1 for refinement", v)
+	}
+	if v < 0.5 {
+		t.Errorf("NMI = %v, unreasonably low for a refinement", v)
+	}
+}
+
+func TestClusteringMetricsDegenerate(t *testing.T) {
+	constant := []int{1, 1, 1}
+	v, err := NMI(constant, constant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("NMI of constant labelings = %v, want 1", v)
+	}
+	if _, err := NMI([]int{1}, []int{1, 2}); err == nil {
+		t.Error("mismatched NMI input accepted")
+	}
+	if _, err := AdjustedRand(nil, nil); err == nil {
+		t.Error("empty ARI input accepted")
+	}
+}

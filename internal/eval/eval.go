@@ -1,0 +1,207 @@
+// Package eval implements the paper's evaluation methodology (§8):
+// stratified k-fold cross-validation over the labeled domain set, ROC
+// curves from classifier decision values, and the area under the curve
+// (AUC) summary metric.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// ROCPoint is one point of a receiver operating characteristic curve.
+type ROCPoint struct {
+	FPR       float64
+	TPR       float64
+	Threshold float64
+}
+
+// ErrDegenerate is returned when a metric is undefined because only one
+// class is present.
+var ErrDegenerate = errors.New("eval: need both classes present")
+
+// ROC computes the ROC curve from decision scores and binary labels
+// (1 = positive). Points are ordered from threshold +inf (0,0) to
+// threshold -inf (1,1), with ties on score collapsed into single steps.
+func ROC(scores []float64, labels []int) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores vs %d labels", len(scores), len(labels))
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrDegenerate
+	}
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+
+	curve := []ROCPoint{{FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	i := 0
+	for i < len(order) {
+		j := i
+		// Consume all samples tied at this score together.
+		for j < len(order) && scores[order[j]] == scores[order[i]] {
+			if labels[order[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+			Threshold: scores[order[i]],
+		})
+		i = j
+	}
+	return curve, nil
+}
+
+// AUC computes the area under the ROC curve by trapezoidal integration.
+func AUC(scores []float64, labels []int) (float64, error) {
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area, nil
+}
+
+// Confusion summarizes threshold-at-zero classification quality.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confusions computes the confusion matrix at decision threshold 0.
+func Confusions(scores []float64, labels []int) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		switch {
+		case s > 0 && labels[i] == 1:
+			c.TP++
+		case s > 0:
+			c.FP++
+		case labels[i] == 1:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Folds partitions indices [0, n) into k stratified folds: each fold
+// receives a proportional share of each class, after a seeded shuffle.
+// Every index appears in exactly one fold.
+func Folds(labels []int, k int, seed uint64) ([][]int, error) {
+	n := len(labels)
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("eval: k = %d invalid for %d samples", k, n)
+	}
+	rng := mathx.NewRNG(seed)
+	byClass := make(map[int][]int)
+	for i, l := range labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	folds := make([][]int, k)
+	// Deterministic class order.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for i, v := range idx {
+			folds[i%k] = append(folds[i%k], v)
+		}
+	}
+	for f := range folds {
+		sort.Ints(folds[f])
+	}
+	return folds, nil
+}
+
+// CrossValidate runs k-fold CV: for each fold, train is called with the
+// remaining folds' indices and returns a scoring function, which is then
+// evaluated on the held-out fold. It returns the pooled out-of-fold
+// scores aligned with labels (every sample scored exactly once by a model
+// that never saw it).
+func CrossValidate(labels []int, k int, seed uint64,
+	train func(trainIdx []int) (score func(i int) float64, err error)) ([]float64, error) {
+
+	folds, err := Folds(labels, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(labels))
+	for fi, hold := range folds {
+		var trainIdx []int
+		for fj, f := range folds {
+			if fj != fi {
+				trainIdx = append(trainIdx, f...)
+			}
+		}
+		score, err := train(trainIdx)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d: %w", fi, err)
+		}
+		for _, i := range hold {
+			scores[i] = score(i)
+		}
+	}
+	return scores, nil
+}

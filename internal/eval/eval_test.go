@@ -1,0 +1,263 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestPerfectSeparationAUC(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.1}
+	labels := []int{1, 1, 1, 0, 0}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1.0 {
+		t.Errorf("AUC = %v, want 1.0", auc)
+	}
+}
+
+func TestInvertedSeparationAUC(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.9, 0.8}
+	labels := []int{1, 1, 0, 0}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.0 {
+		t.Errorf("AUC = %v, want 0.0", auc)
+	}
+}
+
+func TestRandomScoresAUCNearHalf(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("AUC on random scores = %v, want ≈0.5", auc)
+	}
+}
+
+func TestTiedScoresHandled(t *testing.T) {
+	// All scores equal: the curve is the diagonal, AUC 0.5 exactly.
+	scores := []float64{1, 1, 1, 1}
+	labels := []int{1, 0, 1, 0}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Errorf("AUC with all ties = %v, want exactly 0.5", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	scores := []float64{0.3, -0.2, 0.8, -0.9, 0.1}
+	labels := []int{1, 0, 1, 0, 1}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("curve start = %+v, want origin", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve end = %+v, want (1,1)", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("curve not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := AUC([]float64{1, 2}, []int{1, 1}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("single class err = %v", err)
+	}
+	if _, err := ROC([]float64{1}, []int{1, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// Property: AUC equals the Wilcoxon-Mann-Whitney probability that a
+// random positive outscores a random negative (ties count half).
+func TestAUCEqualsWMW(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 30 + rng.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		hasPos, hasNeg := false, false
+		for i := range scores {
+			scores[i] = float64(rng.Intn(10)) // coarse scores force ties
+			labels[i] = rng.Intn(2)
+			if labels[i] == 1 {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		auc, err := AUC(scores, labels)
+		if err != nil {
+			return false
+		}
+		wins, ties, pairs := 0, 0, 0
+		for i := range scores {
+			if labels[i] != 1 {
+				continue
+			}
+			for j := range scores {
+				if labels[j] != 0 {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					ties++
+				}
+			}
+		}
+		wmw := (float64(wins) + 0.5*float64(ties)) / float64(pairs)
+		return math.Abs(auc-wmw) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	scores := []float64{1, 1, -1, -1, 1, -1}
+	labels := []int{1, 1, 0, 0, 0, 1}
+	c := Confusions(scores, labels)
+	if c.TP != 2 || c.TN != 2 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if math.Abs(c.Accuracy()-4.0/6) > 1e-12 {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Precision()-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", c.Recall())
+	}
+	if math.Abs(c.F1()-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", c.F1())
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should give all zeros")
+	}
+}
+
+func TestFoldsAreStratifiedPartition(t *testing.T) {
+	labels := make([]int, 100)
+	for i := 0; i < 30; i++ {
+		labels[i] = 1
+	}
+	folds, err := Folds(labels, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 10 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := make([]bool, 100)
+	for _, f := range folds {
+		pos := 0
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d appears in two folds", i)
+			}
+			seen[i] = true
+			if labels[i] == 1 {
+				pos++
+			}
+		}
+		if pos != 3 {
+			t.Errorf("fold has %d positives, want 3 (stratified)", pos)
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d missing from all folds", i)
+		}
+	}
+}
+
+func TestFoldsInvalidK(t *testing.T) {
+	if _, err := Folds([]int{0, 1}, 1, 0); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Folds([]int{0, 1}, 3, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestCrossValidateScoresEverySampleOnce(t *testing.T) {
+	labels := make([]int, 60)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	calls := 0
+	scores, err := CrossValidate(labels, 6, 3, func(trainIdx []int) (func(int) float64, error) {
+		calls++
+		inTrain := make(map[int]bool, len(trainIdx))
+		for _, i := range trainIdx {
+			inTrain[i] = true
+		}
+		return func(i int) float64 {
+			if inTrain[i] {
+				t.Fatalf("scoring a training sample %d", i)
+			}
+			return float64(labels[i]) // oracle
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Fatalf("train called %d times, want 6", calls)
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1.0 {
+		t.Errorf("oracle CV AUC = %v, want 1.0", auc)
+	}
+}
+
+func TestCrossValidatePropagatesTrainError(t *testing.T) {
+	labels := []int{0, 1, 0, 1}
+	wantErr := errors.New("boom")
+	_, err := CrossValidate(labels, 2, 0, func([]int) (func(int) float64, error) {
+		return nil, wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}

@@ -1,0 +1,29 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+)
+
+func ExampleAUC() {
+	scores := []float64{0.9, 0.7, 0.4, 0.2} // classifier decision values
+	labels := []int{1, 1, 0, 0}             // ground truth
+	auc, err := eval.AUC(scores, labels)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("AUC = %.2f\n", auc)
+	// Output:
+	// AUC = 1.00
+}
+
+func ExampleConfusions() {
+	scores := []float64{1.2, -0.3, 0.8, -1.1}
+	labels := []int{1, 1, 0, 0}
+	c := eval.Confusions(scores, labels)
+	fmt.Printf("precision=%.2f recall=%.2f\n", c.Precision(), c.Recall())
+	// Output:
+	// precision=0.50 recall=0.50
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/beliefprop"
+	"repro/internal/eval"
+)
+
+// BeliefPropBaseline evaluates the graph-inference baseline (belief
+// propagation over the host-domain graph, Manadhata et al., §9's
+// representative graph-based solution) under the same k-fold protocol as
+// the other classifiers: each fold's training labels anchor the priors
+// and the held-out domains are ranked by their converged beliefs.
+//
+// This comparison goes beyond the paper's own evaluation (which compares
+// only against Exposure); it quantifies how much the embedding+SVM
+// pipeline adds over direct label propagation on the same graph.
+func (e *Env) BeliefPropBaseline() (ClassificationResult, error) {
+	// Build the host-domain association graph once from the pipeline
+	// aggregates (post-pruning domain set).
+	g := beliefprop.NewGraph()
+	stats := e.Detector.Processor().Stats()
+	retained, err := e.Detector.Domains()
+	if err != nil {
+		return ClassificationResult{}, err
+	}
+	for _, d := range retained {
+		st := stats[d]
+		if st == nil {
+			continue
+		}
+		for h := range st.Hosts {
+			g.AddEdge(h, d)
+		}
+	}
+
+	scores, err := eval.CrossValidate(e.Labels, e.Opts.KFolds, e.Opts.Seed^0xb9,
+		func(trainIdx []int) (func(int) float64, error) {
+			seeds := make(map[string]int, len(trainIdx))
+			for _, idx := range trainIdx {
+				seeds[e.Domains[idx]] = e.Labels[idx]
+			}
+			res, err := beliefprop.Run(g, seeds, beliefprop.Config{})
+			if err != nil {
+				return nil, fmt.Errorf("belief propagation: %w", err)
+			}
+			return func(i int) float64 {
+				return res.DomainBelief[e.Domains[i]] - 0.5
+			}, nil
+		})
+	if err != nil {
+		return ClassificationResult{}, err
+	}
+	return summarize("beliefprop", scores, e.Labels)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// Fig1 returns the traffic series of Figure 1: per-bucket DNS query
+// volume and the unique FQDN and e2LD counts over the measurement month.
+func (e *Env) Fig1() []pipeline.BucketStat {
+	return e.Detector.Processor().Series()
+}
+
+// RenderFig1 formats the series as the aligned text table cmd/experiments
+// prints and EXPERIMENTS.md embeds.
+func RenderFig1(series []pipeline.BucketStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "day", "queries", "uniq_fqdn", "uniq_e2ld")
+	for _, pt := range series {
+		fmt.Fprintf(&b, "%-12s %12d %12d %12d\n",
+			pt.Start.Format("2006-01-02"), pt.Queries, pt.UniqueFQDN, pt.UniqueE2LD)
+	}
+	return b.String()
+}
+
+// FlowPatterns returns the §7.2.2 per-family traffic summaries derived
+// from the scenario's flow view.
+func (e *Env) FlowPatterns() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-10s %8s %8s %6s  %s\n",
+		"family", "style", "domains", "hosts", "ips", "ports")
+	for _, f := range e.Scenario.FlowSummaries() {
+		ports := make([]string, len(f.Ports))
+		for i, p := range f.Ports {
+			ports[i] = fmt.Sprint(p)
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %8d %8d %6d  %s\n",
+			f.Family, f.Style, f.Domains, f.HostCount, len(f.ServerIPs),
+			strings.Join(ports, ","))
+	}
+	return b.String()
+}

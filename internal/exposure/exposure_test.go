@@ -1,0 +1,179 @@
+package exposure
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+var t0 = time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func statsFor(e2ld string, days int) *pipeline.DomainStats {
+	return &pipeline.DomainStats{
+		E2LD:    e2ld,
+		Hosts:   make(map[string]struct{}),
+		IPs:     make(map[string]struct{}),
+		Minutes: make(map[int]struct{}),
+		FQDNs:   make(map[string]struct{}),
+		TTLVals: make(map[uint32]struct{}),
+		PerDay:  make([]int, days),
+	}
+}
+
+func TestExtractLength(t *testing.T) {
+	st := statsFor("example.com", 31)
+	v := Extract(st, 31)
+	if len(v) != NumFeatures {
+		t.Fatalf("vector length %d, want %d", len(v), NumFeatures)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %d (%s) = %v on empty stats", i, FeatureNames[i], x)
+		}
+	}
+}
+
+func TestShortLifeFeature(t *testing.T) {
+	shortLived := statsFor("dga1.ws", 31)
+	shortLived.QueryCount = 10
+	shortLived.FirstSeen = t0
+	shortLived.LastSeen = t0.Add(12 * time.Hour)
+
+	longLived := statsFor("benign.com", 31)
+	longLived.QueryCount = 10
+	longLived.FirstSeen = t0
+	longLived.LastSeen = t0.Add(30 * 24 * time.Hour)
+
+	vs := Extract(shortLived, 31)
+	vl := Extract(longLived, 31)
+	if vs[0] >= vl[0] {
+		t.Errorf("short-life feature: short %.3f >= long %.3f", vs[0], vl[0])
+	}
+}
+
+func TestTTLFeaturesSeparateFluxFromCDN(t *testing.T) {
+	flux := statsFor("flux.ws", 31)
+	flux.QueryCount = 20
+	flux.TTLSum = 20 * 60 // mean 60s
+	flux.TTLMin, flux.TTLMax = 30, 120
+	flux.TTLVals[30] = struct{}{}
+	flux.TTLVals[120] = struct{}{}
+
+	stable := statsFor("corp.com", 31)
+	stable.QueryCount = 20
+	stable.TTLSum = 20 * 86400
+	stable.TTLMin, stable.TTLMax = 86400, 86400
+	stable.TTLVals[86400] = struct{}{}
+
+	vf := Extract(flux, 31)
+	vs := Extract(stable, 31)
+	if vf[9] >= vs[9] {
+		t.Errorf("ttl_mean: flux %.3f >= stable %.3f", vf[9], vs[9])
+	}
+	if vf[12] != 1 || vs[12] != 0 {
+		t.Errorf("ttl_low_share: flux %.0f stable %.0f, want 1/0", vf[12], vs[12])
+	}
+}
+
+func TestLexicalFeatures(t *testing.T) {
+	if got := LongestMeaningfulSubstring("fattylivercur"); got != "fatty" && got != "liver" {
+		t.Errorf("LMS(fattylivercur) = %q, want fatty or liver", got)
+	}
+	if got := LongestMeaningfulSubstring("oorfapjflmp"); got != "" {
+		t.Errorf("LMS(random letters) = %q, want empty", got)
+	}
+	if got := numericRatio("abc123"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("numericRatio(abc123) = %v", got)
+	}
+	if got := numericRatio(""); got != 0 {
+		t.Errorf("numericRatio(empty) = %v", got)
+	}
+	// Random strings carry more character entropy than repetitive ones.
+	if charEntropy("aaaaaaaa") >= charEntropy("qxzjvkwp") {
+		t.Error("entropy ordering wrong")
+	}
+}
+
+func TestLexicalDiscriminatesDGA(t *testing.T) {
+	dga := statsFor("qxzjvkwpmrt.ws", 31)
+	benign := statsFor("cloudmusicbox.com", 31)
+	vd := Extract(dga, 31)
+	vb := Extract(benign, 31)
+	if vd[14] >= vb[14] {
+		t.Errorf("lms_ratio: dga %.3f >= benign %.3f", vd[14], vb[14])
+	}
+	if vd[15] <= vb[15]-1 {
+		t.Errorf("entropy: dga %.3f much below benign %.3f", vd[15], vb[15])
+	}
+}
+
+func TestNXRatio(t *testing.T) {
+	st := statsFor("nx.ws", 31)
+	st.QueryCount = 10
+	st.NXCount = 8
+	v := Extract(st, 31)
+	if math.Abs(v[8]-0.8) > 1e-12 {
+		t.Errorf("nx_ratio = %v, want 0.8", v[8])
+	}
+}
+
+func TestPrefixDiversity(t *testing.T) {
+	st := statsFor("spread.com", 31)
+	st.IPs["10.0.0.1"] = struct{}{}
+	st.IPs["10.9.9.9"] = struct{}{}
+	st.IPs["20.0.0.1"] = struct{}{}
+	st.IPs["30.0.0.1"] = struct{}{}
+	v := Extract(st, 31)
+	if math.Abs(v[6]-0.75) > 1e-12 {
+		t.Errorf("prefix_diversity = %v, want 0.75 (3 prefixes / 4 ips)", v[6])
+	}
+}
+
+func TestChangePoints(t *testing.T) {
+	steady := []int{10, 11, 10, 12, 10}
+	bursty := []int{0, 50, 0, 60, 1}
+	if changePoints(steady) >= changePoints(bursty) {
+		t.Errorf("change points: steady %.3f >= bursty %.3f",
+			changePoints(steady), changePoints(bursty))
+	}
+	if changePoints(nil) != 0 || changePoints([]int{5}) != 0 {
+		t.Error("degenerate series should give 0")
+	}
+}
+
+func TestExtractAllAlignsWithDomains(t *testing.T) {
+	stats := map[string]*pipeline.DomainStats{
+		"a.com": statsFor("a.com", 3),
+	}
+	stats["a.com"].QueryCount = 5
+	vs := ExtractAll(stats, []string{"a.com", "missing.com"}, 3)
+	if len(vs) != 2 {
+		t.Fatalf("got %d vectors", len(vs))
+	}
+	if len(vs[1]) != NumFeatures {
+		t.Fatal("missing domain did not get a zero vector")
+	}
+	for _, x := range vs[1] {
+		if x != 0 {
+			t.Fatal("missing domain vector not zero")
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	st := statsFor("cloudmusicbox47.com", 31)
+	st.QueryCount = 500
+	st.TTLSum = 500 * 300
+	for i := 0; i < 31; i++ {
+		st.PerDay[i] = 10 + i
+	}
+	for i := 0; i < 10; i++ {
+		st.IPs[string(rune('a'+i))] = struct{}{}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Extract(st, 31)
+	}
+}

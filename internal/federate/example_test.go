@@ -1,0 +1,34 @@
+package federate_test
+
+import (
+	"fmt"
+
+	"repro/internal/federate"
+)
+
+func ExampleCorrelate() {
+	reports := []federate.CampusReport{
+		{
+			Campus:    "campus-a",
+			Flagged:   map[string]float64{"relay1.bad": 0.9, "relay2.bad": 0.7},
+			DomainIPs: map[string][]string{"relay1.bad": {"203.0.113.9"}},
+		},
+		{
+			Campus:    "campus-b",
+			Flagged:   map[string]float64{"relay3.bad": 0.8},
+			DomainIPs: map[string][]string{"relay3.bad": {"203.0.113.9"}},
+			Clusters:  [][]string{{"relay3.bad"}},
+		},
+		{
+			Campus:  "campus-a",
+			Flagged: map[string]float64{"relay2.bad": 0.6},
+		},
+	}
+	campaigns := federate.Correlate(reports, federate.Config{MinCampuses: 2, MinDomains: 2})
+	for _, c := range campaigns {
+		fmt.Printf("%d domains across %d campuses via %v\n",
+			len(c.Domains), len(c.Campuses), c.SharedIPs)
+	}
+	// Output:
+	// 2 domains across 2 campuses via [203.0.113.9]
+}

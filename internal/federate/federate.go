@@ -1,0 +1,227 @@
+// Package federate implements the paper's stated future work (§10):
+// deploying the detection system across several distributed campus or
+// enterprise networks and correlating their findings to mine large-scale
+// attack campaigns spanning networks.
+//
+// Each participating network ("campus") contributes a CampusReport — the
+// domains its local detector flagged, the resolution infrastructure it
+// observed, and its local cluster structure. Correlate links findings
+// across reports into Campaigns: connected components of the evidence
+// graph whose vertices are flagged domains and whose edges are
+//
+//   - identity: the same e2LD flagged on two networks,
+//   - infrastructure: two flagged domains resolving to a shared address,
+//   - locality: two domains in one campus's same behavioral cluster.
+//
+// A campaign is reported when the component spans at least MinCampuses
+// networks — isolated single-network findings stay local, exactly the
+// triage split a federated deployment needs.
+package federate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CampusReport is one network's contribution to the federation.
+type CampusReport struct {
+	// Campus names the contributing network.
+	Campus string
+	// Flagged maps each locally detected suspicious e2LD to its local
+	// detection score (higher = more suspicious).
+	Flagged map[string]float64
+	// DomainIPs lists the addresses each flagged domain resolved to
+	// locally.
+	DomainIPs map[string][]string
+	// Clusters groups flagged domains by the campus's local behavioral
+	// clustering; domains outside any cluster may be omitted.
+	Clusters [][]string
+}
+
+// Config tunes correlation.
+type Config struct {
+	// MinCampuses is the minimum number of distinct networks a campaign
+	// must span (default 2).
+	MinCampuses int
+	// MinDomains is the minimum campaign size in domains (default 3).
+	MinDomains int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCampuses <= 0 {
+		c.MinCampuses = 2
+	}
+	if c.MinDomains <= 0 {
+		c.MinDomains = 3
+	}
+	return c
+}
+
+// Campaign is one cross-network attack campaign.
+type Campaign struct {
+	// Domains are the campaign's e2LDs, sorted.
+	Domains []string
+	// Campuses are the networks that observed it, sorted.
+	Campuses []string
+	// SharedIPs are addresses linking campaign domains, sorted.
+	SharedIPs []string
+	// MaxScore is the highest local detection score across members.
+	MaxScore float64
+}
+
+// Correlate merges campus reports into cross-network campaigns.
+func Correlate(reports []CampusReport, cfg Config) []Campaign {
+	cfg = cfg.withDefaults()
+
+	// Assign ids to (domain) vertices; remember per-domain campuses,
+	// scores and IPs across reports.
+	id := make(map[string]int)
+	var names []string
+	vertex := func(d string) int {
+		if i, ok := id[d]; ok {
+			return i
+		}
+		i := len(names)
+		id[d] = i
+		names = append(names, d)
+		return i
+	}
+	campusesOf := make(map[string]map[string]bool)
+	scoreOf := make(map[string]float64)
+	ipsOf := make(map[string]map[string]bool)
+
+	uf := newUnionFind()
+	ipOwners := make(map[string][]int) // address -> domain vertices
+
+	for _, r := range reports {
+		for d, score := range r.Flagged {
+			v := vertex(d)
+			uf.ensure(v)
+			if campusesOf[d] == nil {
+				campusesOf[d] = make(map[string]bool)
+			}
+			campusesOf[d][r.Campus] = true
+			if score > scoreOf[d] {
+				scoreOf[d] = score
+			}
+			for _, ip := range r.DomainIPs[d] {
+				if ipsOf[d] == nil {
+					ipsOf[d] = make(map[string]bool)
+				}
+				ipsOf[d][ip] = true
+				ipOwners[ip] = append(ipOwners[ip], v)
+			}
+		}
+		// Locality edges: a campus's cluster members belong together.
+		for _, cluster := range r.Clusters {
+			var prev = -1
+			for _, d := range cluster {
+				if _, flagged := r.Flagged[d]; !flagged {
+					continue
+				}
+				v := vertex(d)
+				uf.ensure(v)
+				if prev >= 0 {
+					uf.union(prev, v)
+				}
+				prev = v
+			}
+		}
+	}
+	// Infrastructure edges: domains sharing a resolved address.
+	for _, owners := range ipOwners {
+		for i := 1; i < len(owners); i++ {
+			uf.union(owners[0], owners[i])
+		}
+	}
+
+	// Collect components.
+	comp := make(map[int][]string)
+	for d, v := range id {
+		comp[uf.find(v)] = append(comp[uf.find(v)], d)
+	}
+	var out []Campaign
+	for _, domains := range comp {
+		campusSet := make(map[string]bool)
+		ipCount := make(map[string]int)
+		maxScore := 0.0
+		for _, d := range domains {
+			for c := range campusesOf[d] {
+				campusSet[c] = true
+			}
+			for ip := range ipsOf[d] {
+				ipCount[ip]++
+			}
+			if scoreOf[d] > maxScore {
+				maxScore = scoreOf[d]
+			}
+		}
+		if len(domains) < cfg.MinDomains || len(campusSet) < cfg.MinCampuses {
+			continue
+		}
+		c := Campaign{MaxScore: maxScore}
+		c.Domains = append(c.Domains, domains...)
+		sort.Strings(c.Domains)
+		for campus := range campusSet {
+			c.Campuses = append(c.Campuses, campus)
+		}
+		sort.Strings(c.Campuses)
+		for ip, n := range ipCount {
+			if n >= 2 { // shared by at least two campaign domains
+				c.SharedIPs = append(c.SharedIPs, ip)
+			}
+		}
+		sort.Strings(c.SharedIPs)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Domains) != len(out[j].Domains) {
+			return len(out[i].Domains) > len(out[j].Domains)
+		}
+		return out[i].Domains[0] < out[j].Domains[0]
+	})
+	return out
+}
+
+// Summary renders campaigns as an aligned text table.
+func Summary(campaigns []Campaign) string {
+	out := fmt.Sprintf("%-8s %-9s %-10s %-9s %s\n", "domains", "campuses", "shared_ips", "score", "sample")
+	for _, c := range campaigns {
+		sample := ""
+		if len(c.Domains) > 0 {
+			sample = c.Domains[0]
+		}
+		out += fmt.Sprintf("%-8d %-9d %-10d %-9.3f %s\n",
+			len(c.Domains), len(c.Campuses), len(c.SharedIPs), c.MaxScore, sample)
+	}
+	return out
+}
+
+// unionFind is a small path-compressing disjoint-set forest.
+type unionFind struct {
+	parent map[int]int
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[int]int)} }
+
+func (u *unionFind) ensure(v int) {
+	if _, ok := u.parent[v]; !ok {
+		u.parent[v] = v
+	}
+}
+
+func (u *unionFind) find(v int) int {
+	u.ensure(v)
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

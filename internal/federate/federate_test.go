@@ -1,0 +1,168 @@
+package federate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnssim"
+)
+
+func report(campus string, flags map[string]float64, ips map[string][]string, clusters [][]string) CampusReport {
+	return CampusReport{Campus: campus, Flagged: flags, DomainIPs: ips, Clusters: clusters}
+}
+
+func TestIdentityLinking(t *testing.T) {
+	// The same three domains flagged on two campuses form one campaign.
+	a := report("campus-a",
+		map[string]float64{"x1.bad": 0.9, "x2.bad": 0.8, "x3.bad": 0.7},
+		nil, [][]string{{"x1.bad", "x2.bad", "x3.bad"}})
+	b := report("campus-b",
+		map[string]float64{"x1.bad": 0.6, "x2.bad": 0.5, "x3.bad": 0.9},
+		nil, [][]string{{"x1.bad", "x2.bad", "x3.bad"}})
+	campaigns := Correlate([]CampusReport{a, b}, Config{})
+	if len(campaigns) != 1 {
+		t.Fatalf("got %d campaigns, want 1", len(campaigns))
+	}
+	c := campaigns[0]
+	if len(c.Domains) != 3 || len(c.Campuses) != 2 {
+		t.Fatalf("campaign = %+v", c)
+	}
+	if c.MaxScore != 0.9 {
+		t.Errorf("MaxScore = %v", c.MaxScore)
+	}
+}
+
+func TestInfrastructureLinking(t *testing.T) {
+	// Different domains per campus, linked only by a shared C&C address.
+	a := report("campus-a",
+		map[string]float64{"a1.bad": 0.9, "a2.bad": 0.8},
+		map[string][]string{"a1.bad": {"203.0.113.5"}, "a2.bad": {"203.0.113.5"}},
+		nil)
+	b := report("campus-b",
+		map[string]float64{"b1.bad": 0.7},
+		map[string][]string{"b1.bad": {"203.0.113.5"}},
+		nil)
+	campaigns := Correlate([]CampusReport{a, b}, Config{})
+	if len(campaigns) != 1 {
+		t.Fatalf("got %d campaigns, want 1", len(campaigns))
+	}
+	c := campaigns[0]
+	if len(c.Domains) != 3 {
+		t.Fatalf("domains = %v", c.Domains)
+	}
+	if len(c.SharedIPs) != 1 || c.SharedIPs[0] != "203.0.113.5" {
+		t.Fatalf("shared ips = %v", c.SharedIPs)
+	}
+}
+
+func TestSingleCampusFindingsStayLocal(t *testing.T) {
+	a := report("campus-a",
+		map[string]float64{"only1.bad": 0.9, "only2.bad": 0.9, "only3.bad": 0.9},
+		map[string][]string{"only1.bad": {"1.1.1.1"}, "only2.bad": {"1.1.1.1"}, "only3.bad": {"1.1.1.1"}},
+		nil)
+	b := report("campus-b", map[string]float64{"other.bad": 0.5, "more.bad": 0.4, "third.bad": 0.3}, nil, nil)
+	campaigns := Correlate([]CampusReport{a, b}, Config{})
+	if len(campaigns) != 0 {
+		t.Fatalf("single-network findings escalated: %+v", campaigns)
+	}
+}
+
+func TestMinDomainsFilter(t *testing.T) {
+	a := report("campus-a", map[string]float64{"x.bad": 0.9}, nil, nil)
+	b := report("campus-b", map[string]float64{"x.bad": 0.9}, nil, nil)
+	if got := Correlate([]CampusReport{a, b}, Config{MinDomains: 2}); len(got) != 0 {
+		t.Fatalf("undersized campaign reported: %+v", got)
+	}
+	if got := Correlate([]CampusReport{a, b}, Config{MinDomains: 1}); len(got) != 1 {
+		t.Fatalf("campaign missing at MinDomains=1: %+v", got)
+	}
+}
+
+func TestClusterBridging(t *testing.T) {
+	// x.bad appears on both campuses; campus-a's cluster ties it to
+	// y.bad, so y.bad joins the cross-campus campaign transitively.
+	a := report("campus-a",
+		map[string]float64{"x.bad": 0.9, "y.bad": 0.8},
+		nil, [][]string{{"x.bad", "y.bad"}})
+	b := report("campus-b", map[string]float64{"x.bad": 0.7}, nil, nil)
+	campaigns := Correlate([]CampusReport{a, b}, Config{MinDomains: 2})
+	if len(campaigns) != 1 || len(campaigns[0].Domains) != 2 {
+		t.Fatalf("campaign = %+v", campaigns)
+	}
+}
+
+func TestClusterSkipsUnflaggedMembers(t *testing.T) {
+	// Cluster lists a domain that was not flagged; it must not enter the
+	// evidence graph.
+	a := report("campus-a",
+		map[string]float64{"x.bad": 0.9},
+		nil, [][]string{{"x.bad", "innocent.com"}})
+	b := report("campus-b", map[string]float64{"x.bad": 0.9}, nil, nil)
+	campaigns := Correlate([]CampusReport{a, b}, Config{MinDomains: 1})
+	for _, c := range campaigns {
+		for _, d := range c.Domains {
+			if d == "innocent.com" {
+				t.Fatal("unflagged domain entered a campaign")
+			}
+		}
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	a := report("campus-a", map[string]float64{"x.bad": 0.9, "y.bad": 0.4, "z.bad": 0.2},
+		nil, [][]string{{"x.bad", "y.bad", "z.bad"}})
+	b := report("campus-b", map[string]float64{"x.bad": 0.8}, nil, nil)
+	out := Summary(Correlate([]CampusReport{a, b}, Config{}))
+	if !strings.Contains(out, "campuses") || !strings.Contains(out, "x.bad") {
+		t.Errorf("summary malformed:\n%s", out)
+	}
+}
+
+// TestSharedFamilySeedAcrossCampuses pins the dnssim knob the federation
+// relies on: distinct campus seeds with one FamilySeed must observe the
+// same malware campaign domains.
+func TestSharedFamilySeedAcrossCampuses(t *testing.T) {
+	cfgA := dnssim.SmallScenario(101)
+	cfgA.FamilySeed = 777
+	cfgB := dnssim.SmallScenario(202)
+	cfgB.FamilySeed = 777
+	a := dnssim.NewScenario(cfgA)
+	b := dnssim.NewScenario(cfgB)
+
+	famA := a.Families()
+	famB := b.Families()
+	if len(famA) != len(famB) {
+		t.Fatalf("family counts differ: %d vs %d", len(famA), len(famB))
+	}
+	shared, total := 0, 0
+	for name, domainsA := range famA {
+		setB := make(map[string]bool)
+		for _, d := range famB[name] {
+			setB[d] = true
+		}
+		for _, d := range domainsA {
+			total++
+			if setB[d] {
+				shared++
+			}
+		}
+	}
+	if total == 0 || shared < total*9/10 {
+		t.Fatalf("campuses share only %d/%d family domains", shared, total)
+	}
+	// And the benign worlds must differ.
+	benA := a.BenignDomains()
+	setB := make(map[string]bool)
+	for _, d := range b.BenignDomains() {
+		setB[d] = true
+	}
+	overlap := 0
+	for _, d := range benA {
+		if setB[d] {
+			overlap++
+		}
+	}
+	if overlap > len(benA)/2 {
+		t.Fatalf("benign catalogs overlap on %d/%d domains; campuses too similar", overlap, len(benA))
+	}
+}

@@ -1,0 +1,344 @@
+// Package j48 implements a C4.5-style decision tree classifier over
+// numeric features — the "J48" learner (Weka's C4.5 implementation) the
+// Exposure baseline trains in the paper's comparison (§8.2).
+//
+// Splits are binary thresholds on single features chosen by gain ratio;
+// growth stops at purity, minimum leaf size, or depth; pruning uses the
+// C4.5 pessimistic-error estimate (upper confidence bound on the leaf
+// error) with subtree replacement. Leaves predict the Laplace-smoothed
+// positive-class probability so downstream ROC sweeps have graded scores.
+package j48
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config parameterizes tree induction.
+type Config struct {
+	// MinLeaf is the minimum number of samples per leaf (default 2,
+	// matching Weka's -M 2).
+	MinLeaf int
+	// MaxDepth bounds tree height (default 25).
+	MaxDepth int
+	// CF is the pruning confidence factor (default 0.25, Weka's -C).
+	// Larger values prune less; 1 disables pruning.
+	CF float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 25
+	}
+	if c.CF <= 0 {
+		c.CF = 0.25
+	}
+	return c
+}
+
+// Tree is a trained classifier.
+type Tree struct {
+	root *node
+	dim  int
+}
+
+type node struct {
+	// Leaf fields.
+	leaf bool
+	prob float64 // Laplace-smoothed P(class 1)
+	n    int     // training samples reaching the node
+	pos  int     // positives among them
+	// Split fields.
+	feature   int
+	threshold float64
+	left      *node // feature <= threshold
+	right     *node
+}
+
+// Errors returned by Train.
+var (
+	ErrNoData    = errors.New("j48: empty training set")
+	ErrDimension = errors.New("j48: inconsistent feature dimensions")
+	ErrBadLabel  = errors.New("j48: labels must be 0 or 1")
+)
+
+// Train grows and prunes a tree on X with binary labels y.
+func Train(X [][]float64, y []int, cfg Config) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrNoData
+	}
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return nil, ErrDimension
+		}
+		if y[i] != 0 && y[i] != 1 {
+			return nil, ErrBadLabel
+		}
+	}
+	cfg = cfg.withDefaults()
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{cfg: cfg, x: X, y: y}
+	root := b.grow(idx, 0)
+	if cfg.CF < 1 {
+		prune(root, cfg.CF)
+	}
+	return &Tree{root: root, dim: dim}, nil
+}
+
+type builder struct {
+	cfg Config
+	x   [][]float64
+	y   []int
+}
+
+func (b *builder) grow(idx []int, depth int) *node {
+	pos := 0
+	for _, i := range idx {
+		pos += b.y[i]
+	}
+	nd := &node{
+		n:    len(idx),
+		pos:  pos,
+		prob: (float64(pos) + 1) / (float64(len(idx)) + 2),
+	}
+	if pos == 0 || pos == len(idx) ||
+		len(idx) < 2*b.cfg.MinLeaf || depth >= b.cfg.MaxDepth {
+		nd.leaf = true
+		return nd
+	}
+
+	feature, threshold, ok := b.bestSplit(idx)
+	if !ok {
+		nd.leaf = true
+		return nd
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		nd.leaf = true
+		return nd
+	}
+	nd.feature = feature
+	nd.threshold = threshold
+	nd.left = b.grow(left, depth+1)
+	nd.right = b.grow(right, depth+1)
+	return nd
+}
+
+// bestSplit scans every feature for the threshold maximizing gain ratio.
+func (b *builder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+	dim := len(b.x[idx[0]])
+	n := float64(len(idx))
+	pos := 0
+	for _, i := range idx {
+		pos += b.y[i]
+	}
+	baseEntropy := entropy(float64(pos), n)
+
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, len(idx))
+	bestRatio := 1e-9
+	for f := 0; f < dim; f++ {
+		for k, i := range idx {
+			vals[k] = fv{v: b.x[i][f], y: b.y[i]}
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		leftPos, leftN := 0.0, 0.0
+		for k := 0; k < len(vals)-1; k++ {
+			leftN++
+			leftPos += float64(vals[k].y)
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			if int(leftN) < b.cfg.MinLeaf || len(vals)-int(leftN) < b.cfg.MinLeaf {
+				continue
+			}
+			rightN := n - leftN
+			rightPos := float64(pos) - leftPos
+			cond := (leftN/n)*entropy(leftPos, leftN) + (rightN/n)*entropy(rightPos, rightN)
+			gain := baseEntropy - cond
+			if gain <= 1e-12 {
+				continue
+			}
+			splitInfo := entropy(leftN, n) // entropy of the {left,right} partition
+			if splitInfo < 1e-9 {
+				continue
+			}
+			ratio := gain / splitInfo
+			if ratio > bestRatio {
+				bestRatio = ratio
+				feature = f
+				threshold = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// entropy returns the binary entropy of a subset with pos positives out
+// of n samples, in bits.
+func entropy(pos, n float64) float64 {
+	if n <= 0 || pos <= 0 || pos >= n {
+		return 0
+	}
+	p := pos / n
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// prune applies C4.5 subtree replacement bottom-up: a split is replaced
+// by a leaf when the leaf's pessimistic error bound does not exceed the
+// weighted bound of its children.
+func prune(nd *node, cf float64) {
+	if nd.leaf {
+		return
+	}
+	prune(nd.left, cf)
+	prune(nd.right, cf)
+
+	subtreeErr := pessimisticSubtree(nd, cf)
+	miscl := nd.pos
+	if nd.pos*2 > nd.n {
+		miscl = nd.n - nd.pos
+	}
+	leafErr := float64(nd.n) * pessimistic(float64(miscl), float64(nd.n), cf)
+	if leafErr <= subtreeErr+0.1 {
+		nd.leaf = true
+		nd.left, nd.right = nil, nil
+	}
+}
+
+func pessimisticSubtree(nd *node, cf float64) float64 {
+	if nd.leaf {
+		miscl := nd.pos
+		if nd.pos*2 > nd.n {
+			miscl = nd.n - nd.pos
+		}
+		return float64(nd.n) * pessimistic(float64(miscl), float64(nd.n), cf)
+	}
+	return pessimisticSubtree(nd.left, cf) + pessimisticSubtree(nd.right, cf)
+}
+
+// pessimistic returns the C4.5 upper confidence bound on the true error
+// rate given e observed errors out of n, using the normal approximation
+// to the binomial (Weka's errorEstimate).
+func pessimistic(e, n, cf float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	z := zScore(cf)
+	f := e / n
+	num := f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))
+	den := 1 + z*z/n
+	return num / den
+}
+
+// zScore approximates the standard normal quantile for upper-tail
+// probability cf (cf=0.25 -> z≈0.674).
+func zScore(cf float64) float64 {
+	// Rational approximation (Abramowitz & Stegun 26.2.23).
+	p := cf
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	t := math.Sqrt(-2 * math.Log(p))
+	return t - (2.30753+0.27061*t)/(1+0.99229*t+0.04481*t*t)
+}
+
+// Score returns the tree's positive-class probability for x.
+func (t *Tree) Score(x []float64) float64 {
+	if len(x) != t.dim {
+		panic(fmt.Sprintf("j48: feature dim %d, trained with %d", len(x), t.dim))
+	}
+	nd := t.root
+	for !nd.leaf {
+		if x[nd.feature] <= nd.threshold {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.prob
+}
+
+// Predict returns the class (0 or 1) for x.
+func (t *Tree) Predict(x []float64) int {
+	if t.Score(x) > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Depth returns the height of the tree (a lone leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(nd *node) int {
+	if nd.leaf {
+		return 0
+	}
+	l, r := depth(nd.left), depth(nd.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leaves(t.root) }
+
+func leaves(nd *node) int {
+	if nd.leaf {
+		return 1
+	}
+	return leaves(nd.left) + leaves(nd.right)
+}
+
+// Dump renders the tree structure with feature names for inspection, one
+// node per line, children indented.
+func (t *Tree) Dump(featureNames []string) string {
+	var b []byte
+	var walk func(nd *node, depth int)
+	walk = func(nd *node, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		if nd.leaf {
+			b = appendf(b, "leaf n=%d p=%.3f\n", nd.n, nd.prob)
+			return
+		}
+		name := "?"
+		if nd.feature < len(featureNames) {
+			name = featureNames[nd.feature]
+		}
+		b = appendf(b, "%s <= %.4f (n=%d)\n", name, nd.threshold, nd.n)
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(t.root, 0)
+	return string(b)
+}
+
+func appendf(b []byte, format string, args ...interface{}) []byte {
+	return append(b, fmt.Sprintf(format, args...)...)
+}

@@ -1,0 +1,264 @@
+package j48
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func axisData(n int, seed uint64) (X [][]float64, y []int) {
+	rng := mathx.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		X = append(X, x)
+		if x[0] > 5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	return X, y
+}
+
+func accuracy(t *Tree, X [][]float64, y []int) float64 {
+	right := 0
+	for i, x := range X {
+		if t.Predict(x) == y[i] {
+			right++
+		}
+	}
+	return float64(right) / float64(len(X))
+}
+
+func TestAxisAlignedSplit(t *testing.T) {
+	X, y := axisData(300, 1)
+	tree, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(tree, X, y); acc < 0.98 {
+		t.Errorf("training accuracy %.3f on axis-separable data", acc)
+	}
+	Xt, yt := axisData(300, 2)
+	if acc := accuracy(tree, Xt, yt); acc < 0.95 {
+		t.Errorf("test accuracy %.3f", acc)
+	}
+	// The first split should essentially be x0 <= ~5.
+	if tree.root.leaf || tree.root.feature != 0 {
+		t.Errorf("root split on feature %d, want 0", tree.root.feature)
+	}
+	if tree.root.threshold < 4 || tree.root.threshold > 6 {
+		t.Errorf("root threshold %.3f, want ≈5", tree.root.threshold)
+	}
+}
+
+func TestConjunctionNeedsDepth(t *testing.T) {
+	// Label 1 iff x0 > 5 AND x1 > 5: a single split cannot express this,
+	// so a correct tree needs depth >= 2.
+	rng := mathx.NewRNG(3)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 600; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		X = append(X, []float64{a, b})
+		if a > 5 && b > 5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tree, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(tree, X, y); acc < 0.95 {
+		t.Errorf("conjunction accuracy %.3f", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("conjunction solved with depth %d, want >= 2", tree.Depth())
+	}
+}
+
+func TestPureNodeBecomesLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []int{1, 1, 1, 1}
+	if _, err := Train(X, y, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.root.leaf {
+		t.Error("pure training set did not yield a single leaf")
+	}
+	if tree.Leaves() != 1 || tree.Depth() != 0 {
+		t.Errorf("leaves=%d depth=%d", tree.Leaves(), tree.Depth())
+	}
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	X, y := axisData(200, 9)
+	tree, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		s := tree.Score(x)
+		if s <= 0 || s >= 1 {
+			t.Fatalf("score %v outside (0,1)", s)
+		}
+	}
+}
+
+func TestPruningReducesLeaves(t *testing.T) {
+	// Noisy labels: an unpruned tree overfits into many leaves.
+	rng := mathx.NewRNG(13)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64() * 10}
+		label := 0
+		if x[0] > 5 {
+			label = 1
+		}
+		if rng.Float64() < 0.25 { // 25% label noise
+			label = 1 - label
+		}
+		X = append(X, x)
+		y = append(y, label)
+	}
+	unpruned, err := Train(X, y, Config{CF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Train(X, y, Config{CF: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Leaves() >= unpruned.Leaves() {
+		t.Errorf("pruned leaves %d not below unpruned %d", pruned.Leaves(), unpruned.Leaves())
+	}
+	// Pruning must not destroy the real signal (clean 1-d test set).
+	rngT := mathx.NewRNG(14)
+	var Xt [][]float64
+	var yt []int
+	for i := 0; i < 300; i++ {
+		x := []float64{rngT.Float64() * 10}
+		Xt = append(Xt, x)
+		if x[0] > 5 {
+			yt = append(yt, 1)
+		} else {
+			yt = append(yt, 0)
+		}
+	}
+	if acc := accuracy(pruned, Xt, yt); acc < 0.85 {
+		t.Errorf("pruned tree clean-test accuracy %.3f", acc)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	X, y := axisData(100, 5)
+	tree, err := Train(X, y, Config{MinLeaf: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func(nd *node)
+	check = func(nd *node) {
+		if nd.leaf {
+			if nd.n < 40 && nd.n != 100 {
+				t.Errorf("leaf with %d samples under MinLeaf 40", nd.n)
+			}
+			return
+		}
+		check(nd.left)
+		check(nd.right)
+	}
+	check(tree.root)
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []int{0, 1}, Config{}); !errors.Is(err, ErrDimension) {
+		t.Errorf("dim: %v", err)
+	}
+	if _, err := Train([][]float64{{1}}, []int{7}, Config{}); !errors.Is(err, ErrBadLabel) {
+		t.Errorf("label: %v", err)
+	}
+}
+
+func TestScorePanicsOnWrongDim(t *testing.T) {
+	X, y := axisData(50, 6)
+	tree, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dimension Score did not panic")
+		}
+	}()
+	tree.Score([]float64{1, 2, 3})
+}
+
+func TestConstantFeaturesGiveLeaf(t *testing.T) {
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 1, 0, 1}
+	tree, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.root.leaf {
+		t.Error("unsplittable data did not produce a leaf")
+	}
+	if s := tree.Score([]float64{1, 1}); s < 0.3 || s > 0.7 {
+		t.Errorf("ambiguous leaf score %v, want ≈0.5", s)
+	}
+}
+
+func BenchmarkTrain1000x15(b *testing.B) {
+	rng := mathx.NewRNG(7)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 1000; i++ {
+		v := make([]float64, 15)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		X = append(X, v)
+		if v[3]+v[7] > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	X, y := axisData(100, 8)
+	tree, err := Train(X, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Dump([]string{"width", "height"})
+	if !strings.Contains(out, "width <=") {
+		t.Errorf("dump missing named split:\n%s", out)
+	}
+	if !strings.Contains(out, "leaf n=") {
+		t.Errorf("dump missing leaves:\n%s", out)
+	}
+	// Unknown feature index renders a placeholder rather than panicking.
+	if got := tree.Dump(nil); !strings.Contains(got, "?") {
+		t.Errorf("dump without names should use placeholders:\n%s", got)
+	}
+}

@@ -1,0 +1,305 @@
+// Package line implements the LINE graph-embedding algorithm (Tang et
+// al., WWW 2015) the paper uses to learn latent feature representations
+// of domains from the similarity projection graphs (§5).
+//
+// LINE learns low-dimensional vertex vectors that preserve first-order
+// proximity (directly connected vertices embed closely, weighted by edge
+// weight) and second-order proximity (vertices with similar neighborhoods
+// embed closely). Training follows the reference implementation:
+// stochastic gradient descent where each step samples one edge with
+// probability proportional to its weight (alias sampling), treats it as a
+// positive example, and draws K negative vertices from the noise
+// distribution P(v) ∝ deg(v)^0.75 (§5.2, Eqs. 4-6).
+//
+// Optimization is asynchronous (hogwild-style): workers update the shared
+// embedding matrices without locking. Races only perturb individual
+// float64 updates, which SGD tolerates; with Workers=1 training is fully
+// deterministic in the seed.
+package line
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// Order selects which proximity objective(s) to train.
+type Order int
+
+// Proximity orders.
+const (
+	// OrderFirst trains only the first-order objective.
+	OrderFirst Order = 1
+	// OrderSecond trains only the second-order objective.
+	OrderSecond Order = 2
+	// OrderBoth trains both and concatenates the two embeddings, as the
+	// LINE paper recommends; each half has Dim/2 dimensions.
+	OrderBoth Order = 3
+)
+
+// Config parameterizes training.
+type Config struct {
+	// Dim is the output embedding dimension (per vertex). For OrderBoth
+	// it must be even; each objective contributes Dim/2 dimensions.
+	Dim int
+	// Order selects the proximity objective (default OrderBoth).
+	Order Order
+	// Samples is the total number of SGD edge samples across all
+	// workers. Default 200 × edge count, clamped to [200k, 30M] so
+	// month-scale projection graphs stay tractable.
+	Samples int
+	// Negatives is the number of negative samples per positive edge
+	// (default 5).
+	Negatives int
+	// InitialLR is the starting learning rate, decayed linearly to 1% of
+	// itself over training (default 0.025).
+	InitialLR float64
+	// Workers bounds parallelism (default GOMAXPROCS). Training is
+	// deterministic only when Workers is 1.
+	Workers int
+	// Seed drives initialization and sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults(edgeCount int) (Config, error) {
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.Order == 0 {
+		c.Order = OrderBoth
+	}
+	if c.Order == OrderBoth && c.Dim%2 != 0 {
+		return c, fmt.Errorf("line: Dim must be even for OrderBoth, got %d", c.Dim)
+	}
+	if c.Samples <= 0 {
+		c.Samples = 200 * edgeCount
+		if c.Samples < 200_000 {
+			c.Samples = 200_000
+		}
+		if c.Samples > 30_000_000 {
+			c.Samples = 30_000_000
+		}
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.InitialLR <= 0 {
+		c.InitialLR = 0.025
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c, nil
+}
+
+// Embedding holds the learned vertex representations: Vectors[v] is the
+// L2-normalized embedding of vertex v.
+type Embedding struct {
+	Dim     int
+	Vectors [][]float64
+}
+
+// Train learns embeddings for all vertices of g. Isolated vertices keep
+// their (small, random) initialization, normalized; they carry no
+// structural information and embed near-orthogonally to everything.
+func Train(g *graph.Weighted, cfg Config) (*Embedding, error) {
+	cfg, err := cfg.withDefaults(g.EdgeCount())
+	if err != nil {
+		return nil, err
+	}
+	if g.N == 0 {
+		return &Embedding{Dim: cfg.Dim}, nil
+	}
+
+	var parts [][][]float64
+	switch cfg.Order {
+	case OrderFirst:
+		p, err := trainOrder(g, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		parts = [][][]float64{p}
+	case OrderSecond:
+		p, err := trainOrder(g, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		parts = [][][]float64{p}
+	case OrderBoth:
+		half := cfg
+		half.Dim = cfg.Dim / 2
+		p1, err := trainOrder(g, half, false)
+		if err != nil {
+			return nil, err
+		}
+		half.Seed = cfg.Seed ^ 0x5bd1e995
+		p2, err := trainOrder(g, half, true)
+		if err != nil {
+			return nil, err
+		}
+		parts = [][][]float64{p1, p2}
+	default:
+		return nil, fmt.Errorf("line: unknown order %d", cfg.Order)
+	}
+
+	emb := &Embedding{Dim: cfg.Dim, Vectors: make([][]float64, g.N)}
+	for v := 0; v < g.N; v++ {
+		var vec []float64
+		for _, p := range parts {
+			mathx.Normalize(p[v])
+			vec = append(vec, p[v]...)
+		}
+		emb.Vectors[v] = vec
+	}
+	return emb, nil
+}
+
+// trainOrder runs SGD for one objective. When secondOrder is true, a
+// separate context matrix is used and positives/negatives score against
+// contexts; otherwise vertices score against each other directly.
+func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, error) {
+	if g.EdgeCount() == 0 {
+		// No structure to train on; return the random init so callers
+		// still get valid (meaningless) vectors.
+		rng := mathx.NewRNG(cfg.Seed)
+		return randomInit(g.N, cfg.Dim, rng), nil
+	}
+
+	edgeSampler, err := graph.NewAliasTable(g.EdgesW)
+	if err != nil {
+		return nil, fmt.Errorf("line: building edge sampler: %w", err)
+	}
+	noise := make([]float64, g.N)
+	for v := 0; v < g.N; v++ {
+		noise[v] = math.Pow(g.Degree[v], 0.75)
+	}
+	noiseSampler, err := graph.NewAliasTable(noise)
+	if err != nil {
+		return nil, fmt.Errorf("line: building noise sampler: %w", err)
+	}
+
+	root := mathx.NewRNG(cfg.Seed)
+	emb := randomInit(g.N, cfg.Dim, root)
+	var ctx [][]float64
+	if secondOrder {
+		ctx = zeroInit(g.N, cfg.Dim)
+	}
+
+	var wg sync.WaitGroup
+	perWorker := cfg.Samples / cfg.Workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	total := float64(cfg.Samples)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(rng *mathx.RNG, workerID int) {
+			defer wg.Done()
+			grad := make([]float64, cfg.Dim)
+			for s := 0; s < perWorker; s++ {
+				// Linear LR decay on local progress; workers advance in
+				// lockstep on average.
+				progress := float64(workerID*perWorker+s) / total
+				lr := cfg.InitialLR * (1 - progress)
+				if lr < cfg.InitialLR*0.0001 {
+					lr = cfg.InitialLR * 0.0001
+				}
+
+				ei := edgeSampler.Sample(rng)
+				u, v := g.EdgesU[ei], g.EdgesV[ei]
+				// Undirected edge: train in a random direction each step.
+				if rng.Float64() < 0.5 {
+					u, v = v, u
+				}
+				src := emb[u]
+				for i := range grad {
+					grad[i] = 0
+				}
+				// Positive example.
+				dst := target(emb, ctx, v, secondOrder)
+				g1 := (1 - mathx.Sigmoid(mathx.Dot(src, dst))) * lr
+				mathx.AddScaled(grad, g1, dst)
+				mathx.AddScaled(dst, g1, src)
+				// Negative samples.
+				for k := 0; k < cfg.Negatives; k++ {
+					nv := int32(noiseSampler.Sample(rng))
+					if nv == v || nv == u {
+						continue
+					}
+					neg := target(emb, ctx, nv, secondOrder)
+					gn := -mathx.Sigmoid(mathx.Dot(src, neg)) * lr
+					mathx.AddScaled(grad, gn, neg)
+					mathx.AddScaled(neg, gn, src)
+				}
+				for i := range src {
+					src[i] += grad[i]
+				}
+			}
+		}(root.Split(), w)
+	}
+	wg.Wait()
+	return emb, nil
+}
+
+func target(emb, ctx [][]float64, v int32, secondOrder bool) []float64 {
+	if secondOrder {
+		return ctx[v]
+	}
+	return emb[v]
+}
+
+func randomInit(n, dim int, rng *mathx.RNG) [][]float64 {
+	out := make([][]float64, n)
+	for v := range out {
+		vec := make([]float64, dim)
+		for i := range vec {
+			vec[i] = (rng.Float64() - 0.5) / float64(dim)
+		}
+		out[v] = vec
+	}
+	return out
+}
+
+func zeroInit(n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for v := range out {
+		out[v] = make([]float64, dim)
+	}
+	return out
+}
+
+// Save writes the embedding to w (gob encoding), so the expensive SGD
+// training runs once and deployments load the vectors.
+func (e *Embedding) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(embeddingWire{Dim: e.Dim, Vectors: e.Vectors}); err != nil {
+		return fmt.Errorf("line: encoding embedding: %w", err)
+	}
+	return nil
+}
+
+// LoadEmbedding reads an embedding written by Save.
+func LoadEmbedding(r io.Reader) (*Embedding, error) {
+	var wire embeddingWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("line: decoding embedding: %w", err)
+	}
+	for i, v := range wire.Vectors {
+		if len(v) != wire.Dim {
+			return nil, fmt.Errorf("line: corrupt embedding: vector %d has dim %d, want %d",
+				i, len(v), wire.Dim)
+		}
+	}
+	return &Embedding{Dim: wire.Dim, Vectors: wire.Vectors}, nil
+}
+
+// embeddingWire is the serialized form of Embedding.
+type embeddingWire struct {
+	Dim     int
+	Vectors [][]float64
+}

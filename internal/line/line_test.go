@@ -1,0 +1,247 @@
+package line
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// twoCliques builds two dense cliques of size k joined by one weak
+// bridge edge — the canonical embedding sanity case: within-clique
+// similarity must exceed cross-clique similarity.
+func twoCliques(k int) *graph.Weighted {
+	var edges []graph.Edge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j), W: 1})
+			edges = append(edges, graph.Edge{U: int32(k + i), V: int32(k + j), W: 1})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: int32(k), W: 0.05})
+	g, err := graph.Build(2*k, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func cosine(a, b []float64) float64 {
+	na, nb := mathx.Norm(a), mathx.Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return mathx.Dot(a, b) / (na * nb)
+}
+
+func cliqueSeparation(t *testing.T, order Order) float64 {
+	t.Helper()
+	// Negatives is kept below the default: on a 40-vertex toy graph the
+	// noise distribution constantly collides with true neighbors, an
+	// artifact that vanishes at the 10k-domain scale the pipeline runs at.
+	const k = 20
+	g := twoCliques(k)
+	emb, err := Train(g, Config{Dim: 16, Order: order, Samples: 400_000, Seed: 7, Workers: 2, Negatives: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, cross := 0.0, 0.0
+	nw, nc := 0, 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			within += cosine(emb.Vectors[i], emb.Vectors[j])
+			within += cosine(emb.Vectors[k+i], emb.Vectors[k+j])
+			nw += 2
+		}
+		for j := 0; j < k; j++ {
+			cross += cosine(emb.Vectors[i], emb.Vectors[k+j])
+			nc++
+		}
+	}
+	return within/float64(nw) - cross/float64(nc)
+}
+
+func TestCliqueSeparationFirstOrder(t *testing.T) {
+	if sep := cliqueSeparation(t, OrderFirst); sep < 0.3 {
+		t.Errorf("first-order within-cross separation = %.3f, want >= 0.3", sep)
+	}
+}
+
+func TestCliqueSeparationSecondOrder(t *testing.T) {
+	if sep := cliqueSeparation(t, OrderSecond); sep < 0.3 {
+		t.Errorf("second-order within-cross separation = %.3f, want >= 0.3", sep)
+	}
+}
+
+func TestCliqueSeparationBoth(t *testing.T) {
+	if sep := cliqueSeparation(t, OrderBoth); sep < 0.3 {
+		t.Errorf("combined within-cross separation = %.3f, want >= 0.3", sep)
+	}
+}
+
+func TestSecondOrderCapturesSharedNeighborhoods(t *testing.T) {
+	// Star-of-stars: vertices 1 and 2 share all their neighbors (hubs 3,
+	// 4, 5) but have no edge between them. Second-order proximity must
+	// embed them closely; vertex 0 attaches to different hubs (6, 7, 8).
+	edges := []graph.Edge{
+		{U: 1, V: 3, W: 1}, {U: 1, V: 4, W: 1}, {U: 1, V: 5, W: 1},
+		{U: 2, V: 3, W: 1}, {U: 2, V: 4, W: 1}, {U: 2, V: 5, W: 1},
+		{U: 0, V: 6, W: 1}, {U: 0, V: 7, W: 1}, {U: 0, V: 8, W: 1},
+		// Weak connectivity so the graph is one component.
+		{U: 3, V: 6, W: 0.05},
+	}
+	g, err := graph.Build(9, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := Train(g, Config{Dim: 8, Order: OrderSecond, Samples: 300_000, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := cosine(emb.Vectors[1], emb.Vectors[2])
+	diff := cosine(emb.Vectors[1], emb.Vectors[0])
+	if same <= diff+0.2 {
+		t.Errorf("second order: shared-neighborhood cos %.3f not above different-neighborhood cos %.3f", same, diff)
+	}
+}
+
+func TestVectorsAreUnitNormPerPart(t *testing.T) {
+	g := twoCliques(4)
+	emb, err := Train(g, Config{Dim: 8, Order: OrderFirst, Samples: 50_000, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, vec := range emb.Vectors {
+		if len(vec) != 8 {
+			t.Fatalf("vector %d has dim %d", v, len(vec))
+		}
+		if n := mathx.Norm(vec); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("vector %d norm %v, want 1", v, n)
+		}
+	}
+}
+
+func TestOrderBothConcatenates(t *testing.T) {
+	g := twoCliques(4)
+	emb, err := Train(g, Config{Dim: 16, Order: OrderBoth, Samples: 50_000, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vec := range emb.Vectors {
+		if len(vec) != 16 {
+			t.Fatalf("combined vector has dim %d, want 16", len(vec))
+		}
+		// Each half is unit norm -> total norm sqrt(2).
+		if n := mathx.Norm(vec); math.Abs(n-math.Sqrt2) > 1e-9 {
+			t.Fatalf("combined norm %v, want sqrt(2)", n)
+		}
+	}
+}
+
+func TestOddDimRejectedForBoth(t *testing.T) {
+	g := twoCliques(3)
+	if _, err := Train(g, Config{Dim: 15, Order: OrderBoth, Samples: 1000}); err == nil {
+		t.Fatal("odd Dim accepted for OrderBoth")
+	}
+}
+
+func TestDeterministicSingleWorker(t *testing.T) {
+	g := twoCliques(5)
+	cfg := Config{Dim: 8, Order: OrderFirst, Samples: 20_000, Seed: 11, Workers: 1}
+	a, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Vectors {
+		for i := range a.Vectors[v] {
+			if a.Vectors[v][i] != b.Vectors[v][i] {
+				t.Fatalf("vertex %d dim %d differs across identical runs", v, i)
+			}
+		}
+	}
+}
+
+func TestIsolatedVerticesGetFiniteVectors(t *testing.T) {
+	// Vertices 4 and 5 are isolated.
+	edges := []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}}
+	g, err := graph.Build(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := Train(g, Config{Dim: 8, Order: OrderBoth, Samples: 10_000, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, vec := range emb.Vectors {
+		for i, x := range vec {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("vertex %d dim %d is %v", v, i, x)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := graph.Build(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := Train(g, Config{Dim: 8, Samples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Vectors) != 0 {
+		t.Fatal("empty graph produced vectors")
+	}
+}
+
+func TestEdgelessGraphStillEmbeds(t *testing.T) {
+	g, err := graph.Build(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := Train(g, Config{Dim: 8, Order: OrderFirst, Samples: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Vectors) != 5 {
+		t.Fatalf("got %d vectors, want 5", len(emb.Vectors))
+	}
+}
+
+func TestWeightsInfluenceEmbedding(t *testing.T) {
+	// Triangle where 0-1 has weight 100 and the other edges 0.01: vertex
+	// 0 should embed much closer to 1 than to 2.
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 100},
+		{U: 0, V: 2, W: 0.01},
+		{U: 1, V: 2, W: 0.01},
+	}
+	g, err := graph.Build(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := Train(g, Config{Dim: 8, Order: OrderFirst, Samples: 100_000, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := cosine(emb.Vectors[0], emb.Vectors[1])
+	weak := cosine(emb.Vectors[0], emb.Vectors[2])
+	if strong <= weak {
+		t.Errorf("heavy edge cos %.3f not above light edge cos %.3f", strong, weak)
+	}
+}
+
+func BenchmarkTrainFirstOrder(b *testing.B) {
+	g := twoCliques(20)
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(g, Config{Dim: 32, Order: OrderFirst, Samples: 200_000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

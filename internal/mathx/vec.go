@@ -1,0 +1,122 @@
+package mathx
+
+import "math"
+
+// Dot returns the inner product of a and b. It panics if the lengths
+// differ, because a length mismatch is always a programming error in
+// this codebase (feature vectors are fixed-width).
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: SquaredDistance length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between a and b.
+func Distance(a, b []float64) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit Euclidean norm. A zero vector is
+// left unchanged.
+func Normalize(v []float64) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// AddScaled performs dst += scale * src in place.
+func AddScaled(dst []float64, scale float64, src []float64) {
+	if len(dst) != len(src) {
+		panic("mathx: AddScaled length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += scale * v
+	}
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than
+// two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Sigmoid returns 1/(1+e^-x) with clamping to avoid overflow.
+func Sigmoid(x float64) float64 {
+	switch {
+	case x > 30:
+		return 1
+	case x < -30:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Concat returns the concatenation of the given vectors as one new slice.
+func Concat(vs ...[]float64) []float64 {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make([]float64, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		a, b []float64
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{-1, 1}, []float64{1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := Dot(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Dot(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestDistance(t *testing.T) {
+	if got := Distance([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+}
+
+// bound maps arbitrary quick-generated floats into a finite range so that
+// intermediate squares cannot overflow.
+func bound(v [4]float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = math.Mod(x, 1e6)
+		if math.IsNaN(out[i]) {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := bound(a), bound(b)
+		d1 := Distance(x, y)
+		d2 := Distance(y, x)
+		return d1 >= 0 && almostEqual(d1, d2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		x, y, z := bound(a), bound(b), bound(c)
+		ab := Distance(x, y)
+		bc := Distance(y, z)
+		ac := Distance(x, z)
+		return ac <= ab+bc+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	Normalize(v)
+	if !almostEqual(Norm(v), 1, 1e-12) {
+		t.Errorf("norm after Normalize = %v, want 1", Norm(v))
+	}
+	zero := []float64{0, 0}
+	Normalize(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("Normalize modified the zero vector")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	dst := []float64{1, 2}
+	AddScaled(dst, 2, []float64{10, 20})
+	if dst[0] != 21 || dst[1] != 42 {
+		t.Errorf("AddScaled result %v, want [21 42]", dst)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Sigmoid(0) = %v, want 0.5", got)
+	}
+	if Sigmoid(100) != 1 {
+		t.Error("Sigmoid should saturate to 1")
+	}
+	if Sigmoid(-100) != 0 {
+		t.Error("Sigmoid should saturate to 0")
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Sigmoid(a) <= Sigmoid(b)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat([]float64{1}, nil, []float64{2, 3})
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Concat = %v", got)
+	}
+	// Mutating the result must not alias the inputs.
+	a := []float64{9}
+	out := Concat(a)
+	out[0] = 1
+	if a[0] != 9 {
+		t.Error("Concat aliased its input")
+	}
+}

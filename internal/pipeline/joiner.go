@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Joiner matches DNS response packets back to their queries by
+// (client address, transaction id), reconstructing joined observations
+// from a raw packet capture the way the paper's collector does. Queries
+// that never see a response are evicted after Timeout and reported
+// through Unmatched.
+type Joiner struct {
+	// Timeout is how long a pending query waits for its response
+	// (default 5s of capture time).
+	Timeout time.Duration
+
+	pending   map[joinKey]pendingQuery
+	unmatched int
+	emitted   int
+}
+
+type joinKey struct {
+	client string
+	id     uint16
+}
+
+type pendingQuery struct {
+	at    time.Time
+	qname string
+	qtype dnswire.Type
+}
+
+// NewJoiner returns a Joiner with the default timeout.
+func NewJoiner() *Joiner {
+	return &Joiner{Timeout: 5 * time.Second, pending: make(map[joinKey]pendingQuery)}
+}
+
+// PacketDirection says whether a captured packet travels from a client to
+// the resolver (a query) or back (a response).
+type PacketDirection int
+
+// Packet directions.
+const (
+	DirQuery PacketDirection = iota + 1
+	DirResponse
+)
+
+// Offer feeds one captured packet. clientAddr is the campus-side address
+// (source of queries, destination of responses). When the packet
+// completes a pair, the joined Input is returned with ok true.
+//
+// Out-of-order and duplicate packets are tolerated: a response with no
+// pending query is dropped, and a retransmitted query overwrites its
+// predecessor.
+func (j *Joiner) Offer(at time.Time, clientAddr string, dir PacketDirection, pkt []byte) (Input, bool, error) {
+	msg, err := dnswire.Decode(pkt)
+	if err != nil {
+		return Input{}, false, fmt.Errorf("pipeline: undecodable packet: %w", err)
+	}
+	if len(msg.Questions) == 0 {
+		return Input{}, false, nil
+	}
+	key := joinKey{client: clientAddr, id: msg.Header.ID}
+	j.expire(at)
+
+	switch dir {
+	case DirQuery:
+		if msg.Header.Response {
+			return Input{}, false, nil
+		}
+		// A pending entry under the same (client, id) is displaced: either
+		// a retransmission or an id collision. Count it as unmatched so
+		// dropped responses are fully accounted for.
+		if _, exists := j.pending[key]; exists {
+			j.unmatched++
+		}
+		j.pending[key] = pendingQuery{
+			at:    at,
+			qname: msg.Questions[0].Name,
+			qtype: msg.Questions[0].Type,
+		}
+		return Input{}, false, nil
+	case DirResponse:
+		if !msg.Header.Response {
+			return Input{}, false, nil
+		}
+		q, ok := j.pending[key]
+		if !ok {
+			return Input{}, false, nil
+		}
+		delete(j.pending, key)
+		in := Input{
+			Time:     q.at,
+			TxnID:    msg.Header.ID,
+			ClientIP: clientAddr,
+			QName:    q.qname,
+			QType:    q.qtype,
+			RCode:    msg.Header.RCode,
+		}
+		for _, a := range msg.Answers {
+			if ip, ok := a.IPv4(); ok {
+				in.Answers = append(in.Answers,
+					fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3]))
+				in.TTL = a.TTL
+			}
+		}
+		j.emitted++
+		return in, true, nil
+	default:
+		return Input{}, false, fmt.Errorf("pipeline: unknown packet direction %d", dir)
+	}
+}
+
+// expire drops pending queries older than Timeout relative to now.
+func (j *Joiner) expire(now time.Time) {
+	if len(j.pending) < 4096 {
+		return // amortize: only sweep when the table grows
+	}
+	for k, q := range j.pending {
+		if now.Sub(q.at) > j.Timeout {
+			delete(j.pending, k)
+			j.unmatched++
+		}
+	}
+}
+
+// Flush evicts all still-pending queries, counting them as unmatched.
+func (j *Joiner) Flush() {
+	j.unmatched += len(j.pending)
+	j.pending = make(map[joinKey]pendingQuery)
+}
+
+// Unmatched reports queries evicted without a response.
+func (j *Joiner) Unmatched() int { return j.unmatched }
+
+// Joined reports the number of successfully joined pairs.
+func (j *Joiner) Joined() int { return j.emitted }

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnssim"
+	"repro/internal/mathx"
+)
+
+// Fault-injection tests: real captures lose, duplicate, and reorder
+// packets; the joiner must degrade gracefully, never panic, and never
+// fabricate records.
+
+func joinerTraffic(t *testing.T, seed uint64, limit int) []dnssim.Event {
+	t.Helper()
+	var events []dnssim.Event
+	s := dnssim.NewScenario(dnssim.SmallScenario(seed))
+	s.Generate(func(ev dnssim.Event) {
+		if len(events) < limit {
+			events = append(events, ev)
+		}
+	})
+	return events
+}
+
+func TestJoinerSurvivesResponseLoss(t *testing.T) {
+	events := joinerTraffic(t, 91, 3000)
+	j := NewJoiner()
+	rng := mathx.NewRNG(1)
+	joined, dropped := 0, 0
+	for _, ev := range events {
+		qb, rb, err := dnssim.Packets(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := j.Offer(ev.Time, ev.ClientIP, DirQuery, qb); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Float64() < 0.3 { // 30% response loss
+			dropped++
+			continue
+		}
+		if _, ok, err := j.Offer(ev.Time.Add(time.Millisecond), ev.ClientIP, DirResponse, rb); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			joined++
+		}
+	}
+	j.Flush()
+	if joined == 0 || dropped == 0 {
+		t.Fatalf("degenerate run: joined=%d dropped=%d", joined, dropped)
+	}
+	// Every lost response leaves an unmatched query behind.
+	if j.Unmatched() < dropped {
+		t.Errorf("unmatched %d < dropped %d", j.Unmatched(), dropped)
+	}
+	if j.Joined() != joined {
+		t.Errorf("Joined() = %d, want %d", j.Joined(), joined)
+	}
+}
+
+func TestJoinerSurvivesDuplicateResponses(t *testing.T) {
+	events := joinerTraffic(t, 92, 1000)
+	j := NewJoiner()
+	joined, extra := 0, 0
+	for _, ev := range events {
+		qb, rb, err := dnssim.Packets(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := j.Offer(ev.Time, ev.ClientIP, DirQuery, qb); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := j.Offer(ev.Time, ev.ClientIP, DirResponse, rb); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			joined++
+		}
+		// Retransmitted response: must not produce a second record.
+		if _, ok, err := j.Offer(ev.Time, ev.ClientIP, DirResponse, rb); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			extra++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("nothing joined")
+	}
+	if extra != 0 {
+		t.Fatalf("duplicate responses produced %d extra records", extra)
+	}
+}
+
+func TestJoinerToleratesMisdirectedPackets(t *testing.T) {
+	events := joinerTraffic(t, 93, 500)
+	j := NewJoiner()
+	for _, ev := range events {
+		qb, rb, err := dnssim.Packets(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Response offered as a query and vice versa: both are ignored,
+		// not errors.
+		if _, ok, err := j.Offer(ev.Time, ev.ClientIP, DirQuery, rb); err != nil || ok {
+			t.Fatalf("response-as-query: ok=%v err=%v", ok, err)
+		}
+		if _, ok, err := j.Offer(ev.Time, ev.ClientIP, DirResponse, qb); err != nil || ok {
+			t.Fatalf("query-as-response: ok=%v err=%v", ok, err)
+		}
+	}
+	if j.Joined() != 0 {
+		t.Fatalf("misdirected packets joined %d records", j.Joined())
+	}
+}
+
+func TestJoinerExpiresStalePending(t *testing.T) {
+	j := NewJoiner()
+	base := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	events := joinerTraffic(t, 94, 6000)
+	// Offer only queries so the pending table grows past the sweep
+	// threshold, with capture time advancing well past the timeout.
+	for i, ev := range events {
+		qb, _, err := dnssim.Packets(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := base.Add(time.Duration(i) * time.Second)
+		if _, _, err := j.Offer(at, ev.ClientIP, DirQuery, qb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Unmatched() == 0 {
+		t.Error("stale pending queries were never expired")
+	}
+}

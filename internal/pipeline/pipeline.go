@@ -1,0 +1,303 @@
+// Package pipeline implements the data collection and pre-processing
+// component of the paper's architecture (Figure 2, first stage): joining
+// DNS query and response packets, pinning dynamic client addresses to
+// physical devices via DHCP logs, aggregating hostnames to effective
+// second-level domains, and accumulating the per-domain observations that
+// the behavioral-modeling and baseline stages consume.
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/dhcp"
+	"repro/internal/dnswire"
+	"repro/internal/etld"
+)
+
+// Input is one joined DNS observation: a query and its response. It
+// mirrors the record schema the paper's collector extracts (§2).
+type Input struct {
+	Time     time.Time
+	TxnID    uint16
+	ClientIP string
+	QName    string
+	QType    dnswire.Type
+	RCode    dnswire.RCode
+	Answers  []string
+	TTL      uint32
+}
+
+// DomainStats accumulates every per-e2LD observation downstream stages
+// need: the host, IP, and minute sets that define the three bipartite
+// graphs (§4.1), plus the volume/TTL/timing aggregates the Exposure
+// baseline's feature extractor uses (§8.2).
+type DomainStats struct {
+	E2LD       string
+	FirstSeen  time.Time
+	LastSeen   time.Time
+	QueryCount int
+	NXCount    int
+
+	// Hosts is the set of device identities (MACs, or raw client IPs
+	// when no DHCP lease covers the query) that queried the domain.
+	Hosts map[string]struct{}
+	// IPs is the set of resolved addresses.
+	IPs map[string]struct{}
+	// Minutes is the set of minute indices (since the processor start)
+	// in which the domain was queried.
+	Minutes map[int]struct{}
+	// FQDNs is the set of distinct queried hostnames under the e2LD.
+	FQDNs map[string]struct{}
+
+	// TTL aggregates over NOERROR responses.
+	TTLSum  float64
+	TTLMin  uint32
+	TTLMax  uint32
+	TTLVals map[uint32]struct{}
+	// PerDay holds query counts per day index.
+	PerDay []int
+	// Hours histograms queries by hour of day.
+	Hours [24]int
+	// AnswerCountSum accumulates answers-per-response for the mean.
+	AnswerCountSum int
+}
+
+// BucketStat is one point of the Figure 1 traffic series.
+type BucketStat struct {
+	Start      time.Time
+	Queries    int
+	UniqueFQDN int
+	UniqueE2LD int
+}
+
+// Config parameterizes a Processor.
+type Config struct {
+	// Start anchors minute and day indices; observations before Start are
+	// clamped to index 0.
+	Start time.Time
+	// Days bounds the PerDay histograms.
+	Days int
+	// Bucket is the Figure 1 series resolution (default 24h).
+	Bucket time.Duration
+	// DHCP, when non-nil, pins client IPs to device MACs.
+	DHCP *dhcp.Resolver
+	// Suffixes is the public-suffix table (default etld.Default).
+	Suffixes *etld.Table
+}
+
+// Processor consumes joined DNS observations and maintains the aggregates.
+// It is not safe for concurrent use; feed it from a single goroutine (the
+// generator's stream is single-threaded too).
+type Processor struct {
+	cfg     Config
+	stats   map[string]*DomainStats
+	devices map[string]struct{}
+
+	buckets      map[int]*bucketAccum
+	totalQueries int
+	skipped      int
+}
+
+type bucketAccum struct {
+	queries int
+	fqdns   map[string]struct{}
+	e2lds   map[string]struct{}
+}
+
+// NewProcessor returns a Processor for cfg.
+func NewProcessor(cfg Config) *Processor {
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = 24 * time.Hour
+	}
+	if cfg.Suffixes == nil {
+		cfg.Suffixes = etld.Default
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 31
+	}
+	return &Processor{
+		cfg:     cfg,
+		stats:   make(map[string]*DomainStats),
+		devices: make(map[string]struct{}),
+		buckets: make(map[int]*bucketAccum),
+	}
+}
+
+// Consume folds one observation into the aggregates. Observations whose
+// query name yields no e2LD (bare TLDs, empty names) are counted as
+// skipped and otherwise ignored.
+func (p *Processor) Consume(in Input) {
+	e2, err := p.cfg.Suffixes.E2LD(in.QName)
+	if err != nil {
+		p.skipped++
+		return
+	}
+	p.totalQueries++
+
+	device := in.ClientIP
+	if p.cfg.DHCP != nil {
+		if mac, ok := p.cfg.DHCP.MACAt(in.ClientIP, in.Time); ok {
+			device = mac
+		}
+	}
+	p.devices[device] = struct{}{}
+
+	st := p.stats[e2]
+	if st == nil {
+		st = &DomainStats{
+			E2LD:      e2,
+			FirstSeen: in.Time,
+			LastSeen:  in.Time,
+			Hosts:     make(map[string]struct{}),
+			IPs:       make(map[string]struct{}),
+			Minutes:   make(map[int]struct{}),
+			FQDNs:     make(map[string]struct{}),
+			TTLVals:   make(map[uint32]struct{}),
+			PerDay:    make([]int, p.cfg.Days),
+		}
+		p.stats[e2] = st
+	}
+	if in.Time.Before(st.FirstSeen) {
+		st.FirstSeen = in.Time
+	}
+	if in.Time.After(st.LastSeen) {
+		st.LastSeen = in.Time
+	}
+	st.QueryCount++
+	st.Hosts[device] = struct{}{}
+	st.FQDNs[in.QName] = struct{}{}
+	st.Minutes[p.minuteIndex(in.Time)] = struct{}{}
+	st.Hours[in.Time.Hour()]++
+	if day := p.dayIndex(in.Time); day >= 0 && day < len(st.PerDay) {
+		st.PerDay[day]++
+	}
+
+	if in.RCode == dnswire.RCodeNXDomain {
+		st.NXCount++
+	} else {
+		for _, ip := range in.Answers {
+			st.IPs[ip] = struct{}{}
+		}
+		st.AnswerCountSum += len(in.Answers)
+		if len(in.Answers) > 0 {
+			ttl := in.TTL
+			st.TTLSum += float64(ttl)
+			st.TTLVals[ttl] = struct{}{}
+			if len(st.TTLVals) == 1 {
+				st.TTLMin, st.TTLMax = ttl, ttl
+			} else {
+				if ttl < st.TTLMin {
+					st.TTLMin = ttl
+				}
+				if ttl > st.TTLMax {
+					st.TTLMax = ttl
+				}
+			}
+		}
+	}
+
+	bi := p.bucketIndex(in.Time)
+	b := p.buckets[bi]
+	if b == nil {
+		b = &bucketAccum{fqdns: make(map[string]struct{}), e2lds: make(map[string]struct{})}
+		p.buckets[bi] = b
+	}
+	b.queries++
+	b.fqdns[in.QName] = struct{}{}
+	b.e2lds[e2] = struct{}{}
+}
+
+func (p *Processor) minuteIndex(t time.Time) int {
+	m := int(t.Sub(p.cfg.Start) / time.Minute)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+func (p *Processor) dayIndex(t time.Time) int {
+	return int(t.Sub(p.cfg.Start) / (24 * time.Hour))
+}
+
+func (p *Processor) bucketIndex(t time.Time) int {
+	i := int(t.Sub(p.cfg.Start) / p.cfg.Bucket)
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Stats returns the per-domain aggregates, keyed by e2LD. The returned
+// map is the processor's live state; treat it as read-only.
+func (p *Processor) Stats() map[string]*DomainStats { return p.stats }
+
+// DeviceCount returns the number of distinct device identities observed.
+func (p *Processor) DeviceCount() int { return len(p.devices) }
+
+// TotalQueries returns the number of observations successfully consumed.
+func (p *Processor) TotalQueries() int { return p.totalQueries }
+
+// Skipped returns the number of observations dropped for lacking an e2LD.
+func (p *Processor) Skipped() int { return p.skipped }
+
+// Series returns the Figure 1 traffic series: one point per bucket from
+// the first to the last non-empty bucket, inclusive; empty buckets in
+// between appear with zero counts.
+func (p *Processor) Series() []BucketStat {
+	if len(p.buckets) == 0 {
+		return nil
+	}
+	lo, hi := -1, -1
+	for i := range p.buckets {
+		if lo < 0 || i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	out := make([]BucketStat, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		pt := BucketStat{Start: p.cfg.Start.Add(time.Duration(i) * p.cfg.Bucket)}
+		if b := p.buckets[i]; b != nil {
+			pt.Queries = b.queries
+			pt.UniqueFQDN = len(b.fqdns)
+			pt.UniqueE2LD = len(b.e2lds)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// MeanTTL returns the mean TTL over NOERROR responses, or 0 when none.
+func (s *DomainStats) MeanTTL() float64 {
+	n := s.QueryCount - s.NXCount
+	if n <= 0 {
+		return 0
+	}
+	return s.TTLSum / float64(n)
+}
+
+// ActiveDays returns how many distinct days the domain was queried.
+func (s *DomainStats) ActiveDays() int {
+	n := 0
+	for _, c := range s.PerDay {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// LifetimeDays returns the span in days between first and last sighting,
+// minimum 1 when the domain was seen at all.
+func (s *DomainStats) LifetimeDays() float64 {
+	if s.QueryCount == 0 {
+		return 0
+	}
+	d := s.LastSeen.Sub(s.FirstSeen).Hours() / 24
+	if d < 1 {
+		return 1
+	}
+	return d
+}

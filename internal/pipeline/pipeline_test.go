@@ -1,0 +1,272 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/dnswire"
+	"repro/internal/mathx"
+)
+
+var t0 = time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func in(t time.Time, client, qname string, answers []string, ttl uint32) Input {
+	rcode := dnswire.RCodeNoError
+	if answers == nil {
+		rcode = dnswire.RCodeNXDomain
+	}
+	return Input{
+		Time: t, TxnID: 1, ClientIP: client, QName: qname,
+		QType: dnswire.TypeA, RCode: rcode, Answers: answers, TTL: ttl,
+	}
+}
+
+func TestProcessorAggregatesByE2LD(t *testing.T) {
+	p := NewProcessor(Config{Start: t0, Days: 3})
+	p.Consume(in(t0, "10.0.0.1", "www.example.com", []string{"1.2.3.4"}, 300))
+	p.Consume(in(t0.Add(time.Minute), "10.0.0.2", "mail.example.com", []string{"1.2.3.5"}, 600))
+	p.Consume(in(t0.Add(2*time.Minute), "10.0.0.1", "api.example.com", []string{"1.2.3.4"}, 300))
+
+	st := p.Stats()["example.com"]
+	if st == nil {
+		t.Fatal("no stats for example.com")
+	}
+	if st.QueryCount != 3 {
+		t.Errorf("QueryCount = %d, want 3", st.QueryCount)
+	}
+	if len(st.Hosts) != 2 {
+		t.Errorf("Hosts = %d, want 2", len(st.Hosts))
+	}
+	if len(st.IPs) != 2 {
+		t.Errorf("IPs = %d, want 2", len(st.IPs))
+	}
+	if len(st.Minutes) != 3 {
+		t.Errorf("Minutes = %d, want 3", len(st.Minutes))
+	}
+	if len(st.FQDNs) != 3 {
+		t.Errorf("FQDNs = %d, want 3", len(st.FQDNs))
+	}
+	if got := st.MeanTTL(); got != 400 {
+		t.Errorf("MeanTTL = %v, want 400", got)
+	}
+	if st.TTLMin != 300 || st.TTLMax != 600 {
+		t.Errorf("TTL range [%d,%d], want [300,600]", st.TTLMin, st.TTLMax)
+	}
+}
+
+func TestProcessorNXDomains(t *testing.T) {
+	p := NewProcessor(Config{Start: t0, Days: 1})
+	p.Consume(in(t0, "10.0.0.1", "xyz.nxdomain-example.com", nil, 0))
+	st := p.Stats()["nxdomain-example.com"]
+	if st == nil || st.NXCount != 1 || len(st.IPs) != 0 {
+		t.Fatalf("NX aggregation wrong: %+v", st)
+	}
+	if st.MeanTTL() != 0 {
+		t.Errorf("MeanTTL over only-NX domain = %v, want 0", st.MeanTTL())
+	}
+}
+
+func TestProcessorSkipsBareSuffixes(t *testing.T) {
+	p := NewProcessor(Config{Start: t0})
+	p.Consume(in(t0, "10.0.0.1", "com", []string{"1.1.1.1"}, 1))
+	if p.Skipped() != 1 || p.TotalQueries() != 0 {
+		t.Errorf("skipped=%d total=%d, want 1/0", p.Skipped(), p.TotalQueries())
+	}
+}
+
+func TestProcessorDHCPPinning(t *testing.T) {
+	leases := []dhcp.Lease{
+		{MAC: "02:00:00:00:00:01", IP: "10.0.0.9", Start: t0, End: t0.Add(12 * time.Hour)},
+		{MAC: "02:00:00:00:00:02", IP: "10.0.0.9", Start: t0.Add(12 * time.Hour), End: t0.Add(24 * time.Hour)},
+	}
+	p := NewProcessor(Config{Start: t0, DHCP: dhcp.NewResolver(leases)})
+	// Same IP at two times — two different devices.
+	p.Consume(in(t0.Add(time.Hour), "10.0.0.9", "www.pin-example.com", []string{"1.1.1.1"}, 60))
+	p.Consume(in(t0.Add(13*time.Hour), "10.0.0.9", "www.pin-example.com", []string{"1.1.1.1"}, 60))
+	st := p.Stats()["pin-example.com"]
+	if len(st.Hosts) != 2 {
+		t.Fatalf("DHCP pinning failed: hosts=%v", st.Hosts)
+	}
+	if p.DeviceCount() != 2 {
+		t.Errorf("DeviceCount = %d, want 2", p.DeviceCount())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	p := NewProcessor(Config{Start: t0, Bucket: time.Hour})
+	p.Consume(in(t0.Add(10*time.Minute), "10.0.0.1", "www.a-example.com", []string{"1.1.1.1"}, 60))
+	p.Consume(in(t0.Add(20*time.Minute), "10.0.0.1", "www.a-example.com", []string{"1.1.1.1"}, 60))
+	p.Consume(in(t0.Add(2*time.Hour), "10.0.0.1", "www.b-example.com", []string{"1.1.1.2"}, 60))
+	s := p.Series()
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3 (incl. empty middle bucket)", len(s))
+	}
+	if s[0].Queries != 2 || s[0].UniqueFQDN != 1 || s[0].UniqueE2LD != 1 {
+		t.Errorf("bucket 0 = %+v", s[0])
+	}
+	if s[1].Queries != 0 {
+		t.Errorf("bucket 1 should be empty: %+v", s[1])
+	}
+	if s[2].Queries != 1 {
+		t.Errorf("bucket 2 = %+v", s[2])
+	}
+}
+
+func TestJoinerMatchesPairs(t *testing.T) {
+	j := NewJoiner()
+	s := dnssim.NewScenario(dnssim.SmallScenario(5))
+	events := 0
+	joined := 0
+	s.Generate(func(ev dnssim.Event) {
+		if events >= 2000 {
+			return
+		}
+		events++
+		qb, rb, err := dnssim.Packets(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := j.Offer(ev.Time, ev.ClientIP, DirQuery, qb); err != nil || ok {
+			t.Fatalf("query offer: ok=%v err=%v", ok, err)
+		}
+		in, ok, err := j.Offer(ev.Time.Add(20*time.Millisecond), ev.ClientIP, DirResponse, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return // duplicate txn id for this client overwrote the entry; rare and tolerated
+		}
+		joined++
+		if in.QName != ev.QName || in.RCode != ev.RCode {
+			t.Fatalf("joined record mismatch: %+v vs %+v", in, ev)
+		}
+		if len(in.Answers) != len(ev.Answers) {
+			t.Fatalf("answers %v vs %v", in.Answers, ev.Answers)
+		}
+	})
+	if joined < events*9/10 {
+		t.Fatalf("joined only %d/%d pairs", joined, events)
+	}
+	if j.Joined() != joined {
+		t.Errorf("Joined() = %d, want %d", j.Joined(), joined)
+	}
+}
+
+func TestJoinerIgnoresOrphanResponse(t *testing.T) {
+	j := NewJoiner()
+	resp := &dnswire.Message{
+		Header:    dnswire.Header{ID: 9, Response: true},
+		Questions: []dnswire.Question{{Name: "x.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+	}
+	b, err := dnswire.Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := j.Offer(t0, "10.0.0.1", DirResponse, b); ok || err != nil {
+		t.Fatalf("orphan response: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestJoinerRejectsGarbage(t *testing.T) {
+	j := NewJoiner()
+	if _, _, err := j.Offer(t0, "10.0.0.1", DirQuery, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage packet accepted")
+	}
+}
+
+func TestTextLogRoundTrip(t *testing.T) {
+	inputs := []Input{
+		in(t0, "10.0.0.1", "www.example.com", []string{"1.2.3.4", "1.2.3.5"}, 300),
+		in(t0.Add(time.Second), "10.0.0.2", "gone.example.org", nil, 0),
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	var got []Input
+	if err := ReadLog(&buf, func(i Input) { got = append(got, i) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range inputs {
+		a, b := inputs[i], got[i]
+		if !a.Time.Equal(b.Time) || a.ClientIP != b.ClientIP || a.QName != b.QName ||
+			a.RCode != b.RCode || a.TTL != b.TTL || len(a.Answers) != len(b.Answers) {
+			t.Errorf("record %d mismatch:\n  %+v\n  %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadLogErrors(t *testing.T) {
+	for _, bad := range []string{
+		"not a log line",
+		"2018-03-01T00:00:00Z\tx\t10.0.0.1\twww.a.com\tA\t0\t60\t-",
+		"2018-03-01T00:00:00Z\t1\t10.0.0.1\twww.a.com\tBOGUS\t0\t60\t-",
+	} {
+		err := ReadLog(strings.NewReader(bad+"\n"), func(Input) {})
+		if err == nil {
+			t.Errorf("ReadLog accepted %q", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	if err := ReadLog(strings.NewReader("# header\n\n"), func(Input) {}); err != nil {
+		t.Errorf("comment/blank rejected: %v", err)
+	}
+}
+
+func TestEndToEndSmallScenario(t *testing.T) {
+	s := dnssim.NewScenario(dnssim.SmallScenario(3))
+	p := NewProcessor(Config{
+		Start: s.Config.Start,
+		Days:  s.Config.Days,
+		DHCP:  s.DHCP(),
+	})
+	s.Generate(func(ev dnssim.Event) { p.Consume(Input(ev)) })
+
+	if p.DeviceCount() == 0 || p.DeviceCount() > s.Config.Hosts {
+		t.Fatalf("DeviceCount = %d with %d hosts", p.DeviceCount(), s.Config.Hosts)
+	}
+	// Most planted domains must be visible in the aggregates.
+	seen := 0
+	for d := range s.TruthTable() {
+		if p.Stats()[d] != nil {
+			seen++
+		}
+	}
+	if total := len(s.TruthTable()); seen < total*3/5 {
+		t.Fatalf("only %d/%d planted domains observed", seen, total)
+	}
+	// DHCP pinning must beat raw client IPs: device count should be at
+	// most the host count even though clients changed addresses.
+	if p.DeviceCount() > s.Config.Hosts {
+		t.Fatalf("device identities %d exceed physical hosts %d", p.DeviceCount(), s.Config.Hosts)
+	}
+}
+
+func TestProcessorDefaultBucketIsDaily(t *testing.T) {
+	p := NewProcessor(Config{Start: t0})
+	p.Consume(in(t0.Add(time.Hour), "10.0.0.1", "www.x-example.com", []string{"1.1.1.1"}, 60))
+	p.Consume(in(t0.Add(25*time.Hour), "10.0.0.1", "www.x-example.com", []string{"1.1.1.1"}, 60))
+	if got := len(p.Series()); got != 2 {
+		t.Fatalf("daily series length = %d, want 2", got)
+	}
+}
+
+func BenchmarkProcessorConsume(b *testing.B) {
+	s := dnssim.NewScenario(dnssim.SmallScenario(9))
+	events := s.Collect()
+	rng := mathx.NewRNG(1)
+	_ = rng
+	b.ResetTimer()
+	b.ReportAllocs()
+	p := NewProcessor(Config{Start: s.Config.Start, Days: s.Config.Days})
+	for i := 0; i < b.N; i++ {
+		p.Consume(Input(events[i%len(events)]))
+	}
+}

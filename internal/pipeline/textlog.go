@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// The text log format is one tab-separated line per joined observation:
+//
+//	RFC3339Nano  txnid  client  qname  qtype  rcode  ttl  ip1,ip2,...
+//
+// An empty answer list is written as "-". This is the on-disk format of
+// cmd/dnsgen and the input of cmd/maldetect.
+
+// WriteLog serializes inputs to w in the text log format.
+func WriteLog(w io.Writer, inputs []Input) error {
+	bw := bufio.NewWriter(w)
+	for i := range inputs {
+		if err := WriteLogLine(bw, inputs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteLogLine writes a single observation line.
+func WriteLogLine(w io.Writer, in Input) error {
+	answers := "-"
+	if len(in.Answers) > 0 {
+		answers = strings.Join(in.Answers, ",")
+	}
+	_, err := fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%d\t%d\t%s\n",
+		in.Time.UTC().Format(time.RFC3339Nano), in.TxnID, in.ClientIP,
+		in.QName, in.QType, in.RCode, in.TTL, answers)
+	return err
+}
+
+// ReadLog parses the text log format from r, calling emit for every
+// observation. It fails fast on the first malformed line, reporting its
+// line number.
+func ReadLog(r io.Reader, emit func(Input)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		in, err := ParseLogLine(line)
+		if err != nil {
+			return fmt.Errorf("pipeline: line %d: %w", lineNo, err)
+		}
+		emit(in)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("pipeline: reading log: %w", err)
+	}
+	return nil
+}
+
+// ParseLogLine parses one text log line.
+func ParseLogLine(line string) (Input, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != 8 {
+		return Input{}, fmt.Errorf("want 8 fields, got %d", len(fields))
+	}
+	t, err := time.Parse(time.RFC3339Nano, fields[0])
+	if err != nil {
+		return Input{}, fmt.Errorf("bad timestamp %q: %w", fields[0], err)
+	}
+	txn, err := strconv.ParseUint(fields[1], 10, 16)
+	if err != nil {
+		return Input{}, fmt.Errorf("bad txn id %q: %w", fields[1], err)
+	}
+	qtype, err := dnswire.ParseType(fields[4])
+	if err != nil {
+		return Input{}, err
+	}
+	rcode, err := strconv.ParseUint(fields[5], 10, 8)
+	if err != nil {
+		return Input{}, fmt.Errorf("bad rcode %q: %w", fields[5], err)
+	}
+	ttl, err := strconv.ParseUint(fields[6], 10, 32)
+	if err != nil {
+		return Input{}, fmt.Errorf("bad ttl %q: %w", fields[6], err)
+	}
+	in := Input{
+		Time:     t,
+		TxnID:    uint16(txn),
+		ClientIP: fields[2],
+		QName:    fields[3],
+		QType:    qtype,
+		RCode:    dnswire.RCode(rcode),
+		TTL:      uint32(ttl),
+	}
+	if fields[7] != "-" {
+		in.Answers = strings.Split(fields[7], ",")
+	}
+	return in, nil
+}

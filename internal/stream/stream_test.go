@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/pipeline"
+	"repro/internal/threatintel"
+)
+
+func rollingFixture(t *testing.T) (*Rolling, *dnssim.Scenario, *threatintel.Service) {
+	t.Helper()
+	cfg := dnssim.SmallScenario(555)
+	cfg.Hosts = 100
+	cfg.BenignDomains = 300
+	s := dnssim.NewScenario(cfg)
+	ti := threatintel.NewService(s.TruthTable(), threatintel.Config{Seed: 555})
+
+	// Threat intel lags reality: the labeler only knows about half of the
+	// malicious population, so the rest are genuine discoveries for the
+	// alert feed.
+	known := make(map[string]bool)
+	i := 0
+	for _, d := range s.MaliciousDomains() {
+		if i%2 == 0 {
+			known[d] = true
+		}
+		i++
+	}
+	r, err := New(Config{
+		Start:      s.Config.Start,
+		WindowDays: 2,
+		Detector:   core.Config{Seed: 555, EmbedDim: 16},
+		Labeler: func(candidates []string) ([]string, []int) {
+			domains, labels := ti.LabeledSet(candidates)
+			var outD []string
+			var outL []int
+			for j, d := range domains {
+				if labels[j] == 1 && !known[d] {
+					continue // intel hasn't caught up with this domain yet
+				}
+				outD = append(outD, d)
+				outL = append(outL, labels[j])
+			}
+			return outD, outL
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s, ti
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing labeler accepted")
+	}
+}
+
+func TestRollingEmitsMostlyMaliciousAlerts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming end-to-end test")
+	}
+	r, s, _ := rollingFixture(t)
+	s.Generate(func(ev dnssim.Event) { r.Consume(pipeline.Input(ev)) })
+
+	seen := make(map[string]bool)
+	totalAlerts, truePos := 0, 0
+	for day := 0; day < s.Config.Days; day++ {
+		alerts, err := r.EndOfDay(day)
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		for _, a := range alerts {
+			if a.Day != day {
+				t.Fatalf("alert day %d emitted at day %d", a.Day, day)
+			}
+			if seen[a.Domain] {
+				t.Fatalf("domain %s alerted twice", a.Domain)
+			}
+			seen[a.Domain] = true
+			totalAlerts++
+			if l, ok := s.Truth(a.Domain); ok && l.Malicious {
+				truePos++
+			}
+		}
+	}
+	if totalAlerts == 0 {
+		t.Fatal("no alerts over the whole capture")
+	}
+	precision := float64(truePos) / float64(totalAlerts)
+	t.Logf("alerts=%d precision=%.2f", totalAlerts, precision)
+	if precision < 0.5 {
+		t.Errorf("alert precision %.2f below 0.5", precision)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming end-to-end test")
+	}
+	r, s, _ := rollingFixture(t)
+	s.Generate(func(ev dnssim.Event) { r.Consume(pipeline.Input(ev)) })
+	before := r.BufferedDays()
+	if _, err := r.EndOfDay(s.Config.Days - 1); err != nil {
+		t.Fatal(err)
+	}
+	after := r.BufferedDays()
+	if after >= before {
+		t.Errorf("no eviction: %d buckets before, %d after", before, after)
+	}
+	if after > 2 {
+		t.Errorf("window keeps %d day buckets, window is 2", after)
+	}
+}
+
+func TestEmptyWindowErrors(t *testing.T) {
+	r, _, _ := rollingFixture(t)
+	if _, err := r.EndOfDay(0); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestConsumeClampsNegativeDays(t *testing.T) {
+	r, s, _ := rollingFixture(t)
+	r.Consume(pipeline.Input{
+		Time:     s.Config.Start.Add(-48 * time.Hour),
+		ClientIP: "10.0.0.1",
+		QName:    "www.early.com",
+	})
+	if r.BufferedDays() != 1 {
+		t.Fatalf("pre-window observation not clamped into day 0")
+	}
+}

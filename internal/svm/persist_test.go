@@ -1,0 +1,42 @@
+package svm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	X, y := blobs(150, 4, 3)
+	for _, kernel := range []Kernel{RBF{Gamma: 0.4}, Linear{}} {
+		m, err := Train(X, y, Config{C: 1, Kernel: kernel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.KernelName() != m.KernelName() {
+			t.Fatalf("kernel %q != %q", back.KernelName(), m.KernelName())
+		}
+		if back.NumSV() != m.NumSV() {
+			t.Fatalf("SVs %d != %d", back.NumSV(), m.NumSV())
+		}
+		for i := 0; i < 50; i++ {
+			if got, want := back.Decision(X[i]), m.Decision(X[i]); got != want {
+				t.Fatalf("decision %v != %v after reload", got, want)
+			}
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}

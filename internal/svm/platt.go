@@ -1,0 +1,133 @@
+package svm
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// PlattScaler maps raw SVM decision values to calibrated probabilities
+// P(malicious | d) = 1/(1+exp(A·d+B)), fitted by Platt's method:
+// regularized maximum likelihood on (decision value, label) pairs with
+// Newton iterations and backtracking line search (Lin, Weng & Keerthi's
+// numerically stable formulation).
+type PlattScaler struct {
+	A, B float64
+}
+
+// ErrCalibrationData is returned when calibration receives fewer than
+// two samples or a single class.
+var ErrCalibrationData = errors.New("svm: calibration needs both classes")
+
+// FitPlatt fits a scaler on decision values and binary labels (1 =
+// positive). For unbiased probabilities, use decision values from
+// held-out data (e.g. cross-validation scores), not training scores.
+func FitPlatt(decisions []float64, labels []int) (*PlattScaler, error) {
+	n := len(decisions)
+	if n < 2 || len(labels) != n {
+		return nil, ErrCalibrationData
+	}
+	prior1, prior0 := 0, 0
+	for _, l := range labels {
+		if l == 1 {
+			prior1++
+		} else {
+			prior0++
+		}
+	}
+	if prior0 == 0 || prior1 == 0 {
+		return nil, ErrCalibrationData
+	}
+
+	// Regularized targets.
+	hiTarget := (float64(prior1) + 1) / (float64(prior1) + 2)
+	loTarget := 1 / (float64(prior0) + 2)
+	t := make([]float64, n)
+	for i, l := range labels {
+		if l == 1 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+
+	a := 0.0
+	b := math.Log((float64(prior0) + 1) / (float64(prior1) + 1))
+	fval := 0.0
+	for i := 0; i < n; i++ {
+		fApB := decisions[i]*a + b
+		if fApB >= 0 {
+			fval += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			fval += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian.
+		h11, h22 := sigma, sigma
+		h21, g1, g2 := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			fApB := decisions[i]*a + b
+			var p, q float64
+			if fApB >= 0 {
+				p = math.Exp(-fApB) / (1 + math.Exp(-fApB))
+				q = 1 / (1 + math.Exp(-fApB))
+			} else {
+				p = 1 / (1 + math.Exp(fApB))
+				q = math.Exp(fApB) / (1 + math.Exp(fApB))
+			}
+			d2 := p * q
+			h11 += decisions[i] * decisions[i] * d2
+			h22 += d2
+			h21 += decisions[i] * d2
+			d1 := t[i] - p
+			g1 += decisions[i] * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < 1e-5 && math.Abs(g2) < 1e-5 {
+			break
+		}
+		// Newton direction.
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+
+		// Backtracking line search.
+		step := 1.0
+		for step >= minStep {
+			newA := a + step*dA
+			newB := b + step*dB
+			newF := 0.0
+			for i := 0; i < n; i++ {
+				fApB := decisions[i]*newA + newB
+				if fApB >= 0 {
+					newF += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+				} else {
+					newF += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+				}
+			}
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return &PlattScaler{A: a, B: b}, nil
+}
+
+// Probability maps a decision value to P(positive).
+func (s *PlattScaler) Probability(decision float64) float64 {
+	return mathx.Sigmoid(-(s.A*decision + s.B))
+}

@@ -1,0 +1,141 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestPlattMonotoneAndBounded(t *testing.T) {
+	// Well-separated decisions: positives high, negatives low.
+	rng := mathx.NewRNG(3)
+	var dec []float64
+	var lab []int
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			dec = append(dec, 1+0.5*rng.NormFloat64())
+			lab = append(lab, 1)
+		} else {
+			dec = append(dec, -1+0.5*rng.NormFloat64())
+			lab = append(lab, 0)
+		}
+	}
+	s, err := FitPlatt(dec, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, d := range []float64{-3, -1, 0, 1, 3} {
+		p := s.Probability(d)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("P(%v) = %v outside (0,1)", d, p)
+		}
+		if p < prev {
+			t.Fatalf("probability not monotone at %v", d)
+		}
+		prev = p
+	}
+	if s.Probability(2) < 0.8 {
+		t.Errorf("P(strongly positive) = %v, want > 0.8", s.Probability(2))
+	}
+	if s.Probability(-2) > 0.2 {
+		t.Errorf("P(strongly negative) = %v, want < 0.2", s.Probability(-2))
+	}
+}
+
+func TestPlattCalibrationQuality(t *testing.T) {
+	// Decisions drawn so that P(y=1 | d) = sigmoid(2d): the fitted scaler
+	// should recover probabilities close to the truth.
+	rng := mathx.NewRNG(11)
+	var dec []float64
+	var lab []int
+	for i := 0; i < 5000; i++ {
+		d := 2 * rng.NormFloat64()
+		p := mathx.Sigmoid(2 * d)
+		dec = append(dec, d)
+		if rng.Float64() < p {
+			lab = append(lab, 1)
+		} else {
+			lab = append(lab, 0)
+		}
+	}
+	s, err := FitPlatt(dec, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{-1, -0.5, 0, 0.5, 1} {
+		want := mathx.Sigmoid(2 * d)
+		got := s.Probability(d)
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("P(%v) = %.3f, want ≈%.3f", d, got, want)
+		}
+	}
+}
+
+func TestPlattImbalancedPrior(t *testing.T) {
+	// 10:1 imbalance with uninformative decisions: probabilities should
+	// hover near the positive prior, not near 0.5.
+	rng := mathx.NewRNG(7)
+	var dec []float64
+	var lab []int
+	for i := 0; i < 1100; i++ {
+		dec = append(dec, 0.01*rng.NormFloat64())
+		if i < 100 {
+			lab = append(lab, 1)
+		} else {
+			lab = append(lab, 0)
+		}
+	}
+	s, err := FitPlatt(dec, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Probability(0)
+	if p < 0.03 || p > 0.25 {
+		t.Errorf("P at prior-only information = %.3f, want ≈0.09", p)
+	}
+}
+
+func TestPlattErrors(t *testing.T) {
+	if _, err := FitPlatt(nil, nil); !errors.Is(err, ErrCalibrationData) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []int{1, 1}); !errors.Is(err, ErrCalibrationData) {
+		t.Errorf("one class: %v", err)
+	}
+}
+
+func TestPlattEndToEndWithSVM(t *testing.T) {
+	X, y := blobs(300, 4, 5)
+	m, err := Train(X, y, Config{C: 1, Kernel: RBF{Gamma: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := make([]float64, len(X))
+	for i, x := range X {
+		dec[i] = m.Decision(x)
+	}
+	s, err := FitPlatt(dec, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated probabilities must rank the classes like the raw scores.
+	posMean, negMean := 0.0, 0.0
+	np, nn := 0, 0
+	for i := range X {
+		p := s.Probability(dec[i])
+		if y[i] == 1 {
+			posMean += p
+			np++
+		} else {
+			negMean += p
+			nn++
+		}
+	}
+	if posMean/float64(np) <= negMean/float64(nn)+0.2 {
+		t.Errorf("calibrated means too close: pos %.3f neg %.3f",
+			posMean/float64(np), negMean/float64(nn))
+	}
+}

@@ -1,0 +1,300 @@
+package svm
+
+import "repro/internal/mathx"
+
+// trainer holds the mutable SMO state. The implementation follows
+// Platt (1998): an outer loop alternating full sweeps with sweeps over
+// non-bound examples, a second-choice heuristic that maximizes |E1−E2|,
+// and an error cache updated incrementally after every successful step.
+type trainer struct {
+	cfg   Config
+	x     [][]float64
+	y     []float64 // ±1
+	alpha []float64
+	errs  []float64 // E_i = f(x_i) − y_i, maintained for all i
+	b     float64
+	diag  []float64
+	rng   *mathx.RNG
+	iters int
+
+	rowLRU *rowCache
+}
+
+func (t *trainer) run() {
+	n := len(t.x)
+	examineAll := true
+	passes := 0
+	for passes < t.cfg.MaxPasses && t.iters < t.cfg.MaxIter {
+		changed := 0
+		if examineAll {
+			for i := 0; i < n && t.iters < t.cfg.MaxIter; i++ {
+				changed += t.examine(i)
+			}
+		} else {
+			for i := 0; i < n && t.iters < t.cfg.MaxIter; i++ {
+				if t.alpha[i] > 0 && t.alpha[i] < t.cfg.C {
+					changed += t.examine(i)
+				}
+			}
+		}
+		switch {
+		case examineAll:
+			examineAll = false
+			if changed == 0 {
+				passes++ // full sweep with no progress counts toward stop
+			}
+		case changed == 0:
+			examineAll = true
+		}
+	}
+}
+
+// examine applies Platt's heuristics to pick a partner for i2 and tries
+// to optimize the pair. It returns 1 when a step was taken.
+func (t *trainer) examine(i2 int) int {
+	y2 := t.y[i2]
+	a2 := t.alpha[i2]
+	e2 := t.errs[i2]
+	r2 := e2 * y2
+	tol, c := t.cfg.Tol, t.cfg.C
+
+	if (r2 < -tol && a2 < c) || (r2 > tol && a2 > 0) {
+		// Heuristic 1: maximize |E1 − E2| over non-bound examples.
+		if i1 := t.secondChoice(e2); i1 >= 0 && i1 != i2 {
+			if t.step(i1, i2) {
+				return 1
+			}
+		}
+		// Heuristic 2: sweep non-bound examples from a random start.
+		n := len(t.x)
+		start := t.rng.Intn(n)
+		for k := 0; k < n; k++ {
+			i1 := (start + k) % n
+			if i1 == i2 || t.alpha[i1] <= 0 || t.alpha[i1] >= c {
+				continue
+			}
+			if t.step(i1, i2) {
+				return 1
+			}
+		}
+		// Heuristic 3: sweep everything.
+		start = t.rng.Intn(n)
+		for k := 0; k < n; k++ {
+			i1 := (start + k) % n
+			if i1 == i2 {
+				continue
+			}
+			if t.step(i1, i2) {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func (t *trainer) secondChoice(e2 float64) int {
+	best, bestGap := -1, -1.0
+	for i, a := range t.alpha {
+		if a <= 0 || a >= t.cfg.C {
+			continue
+		}
+		gap := t.errs[i] - e2
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > bestGap {
+			best, bestGap = i, gap
+		}
+	}
+	return best
+}
+
+// step jointly optimizes the pair (i1, i2). It returns true when the
+// multipliers moved by a meaningful amount.
+func (t *trainer) step(i1, i2 int) bool {
+	if i1 == i2 {
+		return false
+	}
+	a1, a2 := t.alpha[i1], t.alpha[i2]
+	y1, y2 := t.y[i1], t.y[i2]
+	e1, e2 := t.errs[i1], t.errs[i2]
+	s := y1 * y2
+	c := t.cfg.C
+
+	var lo, hi float64
+	if s < 0 {
+		lo = maxf(0, a2-a1)
+		hi = minf(c, c+a2-a1)
+	} else {
+		lo = maxf(0, a1+a2-c)
+		hi = minf(c, a1+a2)
+	}
+	if lo >= hi {
+		return false
+	}
+
+	row1 := t.kernelRow(i1)
+	k11 := t.diag[i1]
+	k22 := t.diag[i2]
+	k12 := row1[i2]
+	eta := k11 + k22 - 2*k12
+
+	var a2new float64
+	if eta > 0 {
+		a2new = a2 + y2*(e1-e2)/eta
+		if a2new < lo {
+			a2new = lo
+		} else if a2new > hi {
+			a2new = hi
+		}
+	} else {
+		// Degenerate curvature: evaluate the objective at both clip ends.
+		f1 := y1*(e1+t.b) - a1*k11 - s*a2*k12
+		f2 := y2*(e2+t.b) - s*a1*k12 - a2*k22
+		l1 := a1 + s*(a2-lo)
+		h1 := a1 + s*(a2-hi)
+		objLo := l1*f1 + lo*f2 + 0.5*l1*l1*k11 + 0.5*lo*lo*k22 + s*lo*l1*k12
+		objHi := h1*f1 + hi*f2 + 0.5*h1*h1*k11 + 0.5*hi*hi*k22 + s*hi*h1*k12
+		switch {
+		case objLo < objHi-1e-12:
+			a2new = lo
+		case objLo > objHi+1e-12:
+			a2new = hi
+		default:
+			return false
+		}
+	}
+	if absf(a2new-a2) < 1e-12*(a2new+a2+1e-12) {
+		return false
+	}
+	a1new := a1 + s*(a2-a2new)
+	if a1new < 0 {
+		a2new += s * a1new
+		a1new = 0
+	} else if a1new > c {
+		a2new += s * (a1new - c)
+		a1new = c
+	}
+
+	// Update threshold b (Platt's b1/b2 rule).
+	row2 := t.kernelRow(i2)
+	b1 := e1 + y1*(a1new-a1)*k11 + y2*(a2new-a2)*k12 + t.b
+	b2 := e2 + y1*(a1new-a1)*k12 + y2*(a2new-a2)*k22 + t.b
+	var bNew float64
+	switch {
+	case a1new > 0 && a1new < c:
+		bNew = b1
+	case a2new > 0 && a2new < c:
+		bNew = b2
+	default:
+		bNew = (b1 + b2) / 2
+	}
+
+	// Commit the step, then refresh the error cache incrementally.
+	d1 := y1 * (a1new - a1)
+	d2 := y2 * (a2new - a2)
+	db := t.b - bNew
+	t.alpha[i1] = a1new
+	t.alpha[i2] = a2new
+	t.b = bNew
+	for i := range t.errs {
+		t.errs[i] += d1*row1[i] + d2*row2[i] + db
+	}
+	// Platt maintains E = 0 for freshly optimized non-bound multipliers;
+	// recompute exactly for pair members that landed on a bound.
+	if a1new > 0 && a1new < c {
+		t.errs[i1] = 0
+	} else {
+		t.errs[i1] = t.errorOf(i1)
+	}
+	if a2new > 0 && a2new < c {
+		t.errs[i2] = 0
+	} else {
+		t.errs[i2] = t.errorOf(i2)
+	}
+	t.iters++
+	return true
+}
+
+// errorOf recomputes E_i = u(x_i) − y_i from scratch, with Platt's
+// convention u(x) = Σ αyK − b. It is only used for freshly bounded pair
+// members; everything else is maintained incrementally.
+func (t *trainer) errorOf(i int) float64 {
+	s := 0.0
+	row := t.kernelRow(i)
+	for j, a := range t.alpha {
+		if a > 0 {
+			s += a * t.y[j] * row[j]
+		}
+	}
+	return s - t.b - t.y[i]
+}
+
+func (t *trainer) kernelRow(i int) []float64 {
+	if row, ok := t.rowLRU.get(i); ok {
+		return row
+	}
+	row := make([]float64, len(t.x))
+	xi := t.x[i]
+	for j := range t.x {
+		row[j] = t.cfg.Kernel.Compute(xi, t.x[j])
+	}
+	t.rowLRU.put(i, row)
+	return row
+}
+
+// rowCache is a bounded FIFO cache of kernel rows.
+type rowCache struct {
+	rows  map[int][]float64
+	order []int
+	cap   int
+}
+
+func newRowCache(n, capRows int) *rowCache {
+	if capRows < 2 {
+		capRows = 2
+	}
+	if capRows > n {
+		capRows = n
+	}
+	return &rowCache{rows: make(map[int][]float64, capRows), cap: capRows}
+}
+
+func (c *rowCache) get(i int) ([]float64, bool) {
+	row, ok := c.rows[i]
+	return row, ok
+}
+
+func (c *rowCache) put(i int, row []float64) {
+	if _, exists := c.rows[i]; exists {
+		return
+	}
+	if len(c.rows) >= c.cap {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.rows, old)
+	}
+	c.rows[i] = row
+	c.order = append(c.order, i)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absf(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

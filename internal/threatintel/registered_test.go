@@ -1,0 +1,41 @@
+package threatintel
+
+import (
+	"testing"
+
+	"repro/internal/dnssim"
+)
+
+// TestUnregisteredDomainsRarelyConfirmed pins down the registration-aware
+// coverage rule: blacklists track live infrastructure, so unregistered
+// DGA names should mostly fail the 2-feed confirmation bar while
+// registered siblings pass.
+func TestUnregisteredDomainsRarelyConfirmed(t *testing.T) {
+	truth := make(map[string]dnssim.Label)
+	for i := 0; i < 400; i++ {
+		truth[domainName("reg", i)] = dnssim.Label{
+			Malicious: true, Family: "f", Style: "conficker", Registered: true,
+		}
+		truth[domainName("unreg", i)] = dnssim.Label{
+			Malicious: true, Family: "f", Style: "conficker", Registered: false,
+		}
+	}
+	svc := NewService(truth, Config{Seed: 7})
+	regOK, unregOK := 0, 0
+	for d, l := range truth {
+		if !svc.Validate(d) {
+			continue
+		}
+		if l.Registered {
+			regOK++
+		} else {
+			unregOK++
+		}
+	}
+	if regOK < 300 {
+		t.Errorf("only %d/400 registered malicious domains confirmed", regOK)
+	}
+	if unregOK > regOK/3 {
+		t.Errorf("unregistered confirmations %d not well below registered %d", unregOK, regOK)
+	}
+}

@@ -1,0 +1,170 @@
+package threatintel
+
+import (
+	"testing"
+
+	"repro/internal/dnssim"
+)
+
+func fixtureTruth() map[string]dnssim.Label {
+	truth := make(map[string]dnssim.Label)
+	for i := 0; i < 500; i++ {
+		truth[domainName("mal", i)] = dnssim.Label{
+			Malicious: true, Family: "fam-a", Style: "conficker", Registered: true,
+		}
+	}
+	for i := 0; i < 1500; i++ {
+		truth[domainName("ben", i)] = dnssim.Label{Style: "benign", Registered: true}
+	}
+	return truth
+}
+
+func domainName(prefix string, i int) string {
+	return prefix + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + ".com"
+}
+
+func TestValidationSeparatesClasses(t *testing.T) {
+	truth := fixtureTruth()
+	svc := NewService(truth, Config{Seed: 1})
+	malConfirmed, benConfirmed := 0, 0
+	for d, l := range truth {
+		if svc.Validate(d) {
+			if l.Malicious {
+				malConfirmed++
+			} else {
+				benConfirmed++
+			}
+		}
+	}
+	if malConfirmed < 400 {
+		t.Errorf("only %d/500 malicious domains confirmed", malConfirmed)
+	}
+	if benConfirmed > 15 {
+		t.Errorf("%d/1500 benign domains falsely confirmed", benConfirmed)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	truth := fixtureTruth()
+	a := NewService(truth, Config{Seed: 9})
+	b := NewService(truth, Config{Seed: 9})
+	for d := range truth {
+		if a.Validate(d) != b.Validate(d) {
+			t.Fatalf("validation for %s differs across identical services", d)
+		}
+	}
+}
+
+func TestListingsCopied(t *testing.T) {
+	svc := NewService(fixtureTruth(), Config{Seed: 2})
+	var anyListed string
+	for d := range svc.listings {
+		anyListed = d
+		break
+	}
+	if anyListed == "" {
+		t.Skip("no listings in fixture")
+	}
+	l := svc.Listings(anyListed)
+	if len(l) > 0 {
+		l[0] = -99
+		if svc.listings[anyListed][0] == -99 {
+			t.Fatal("Listings returned internal slice")
+		}
+	}
+}
+
+func TestFamilyReports(t *testing.T) {
+	truth := fixtureTruth()
+	svc := NewService(truth, Config{Seed: 3})
+	reported := 0
+	for d, l := range truth {
+		fam, style, ok := svc.Family(d)
+		if !l.Malicious {
+			if ok {
+				t.Fatalf("family report for benign domain %s", d)
+			}
+			continue
+		}
+		if ok {
+			reported++
+			if fam != "fam-a" || style != "conficker" {
+				t.Fatalf("wrong report for %s: %s/%s", d, fam, style)
+			}
+		}
+	}
+	if reported < 400 {
+		t.Errorf("only %d/500 malicious domains have family reports", reported)
+	}
+}
+
+func TestUnknownDomain(t *testing.T) {
+	svc := NewService(fixtureTruth(), Config{Seed: 4})
+	if svc.Validate("never-seen.example") {
+		t.Error("unknown domain validated")
+	}
+	if _, _, ok := svc.Family("never-seen.example"); ok {
+		t.Error("unknown domain has family report")
+	}
+	if len(svc.Listings("never-seen.example")) != 0 {
+		t.Error("unknown domain has listings")
+	}
+}
+
+func TestLabeledSet(t *testing.T) {
+	truth := fixtureTruth()
+	svc := NewService(truth, Config{Seed: 5})
+	var observed []string
+	for d := range truth {
+		observed = append(observed, d)
+	}
+	domains, labels := svc.LabeledSet(observed)
+	if len(domains) != len(labels) {
+		t.Fatal("misaligned output")
+	}
+	pos, neg := 0, 0
+	for i, d := range domains {
+		l := truth[d]
+		switch labels[i] {
+		case 1:
+			pos++
+			if !l.Malicious {
+				t.Fatalf("benign domain %s labeled malicious", d)
+			}
+			if !svc.Validate(d) {
+				t.Fatalf("unconfirmed domain %s in labeled set", d)
+			}
+		case 0:
+			neg++
+			if l.Malicious {
+				t.Fatalf("malicious domain %s labeled benign", d)
+			}
+		}
+	}
+	if pos < 400 || neg < 1400 {
+		t.Errorf("labeled set has %d positives and %d negatives", pos, neg)
+	}
+	// Observed-but-unknown domains are skipped.
+	d2, _ := svc.LabeledSet([]string{"not-planted.org"})
+	if len(d2) != 0 {
+		t.Error("unknown observed domain entered the labeled set")
+	}
+}
+
+func TestMinFeedsKnob(t *testing.T) {
+	truth := fixtureTruth()
+	loose := NewService(truth, Config{Seed: 6, MinFeeds: 1})
+	strict := NewService(truth, Config{Seed: 6, MinFeeds: 10})
+	looseCount, strictCount := 0, 0
+	for d := range truth {
+		if loose.Validate(d) {
+			looseCount++
+		}
+		if strict.Validate(d) {
+			strictCount++
+		}
+	}
+	if strictCount >= looseCount {
+		t.Errorf("stricter threshold confirmed more: %d vs %d", strictCount, looseCount)
+	}
+}

@@ -1,0 +1,341 @@
+// Package tsne implements exact t-distributed stochastic neighbor
+// embedding (van der Maaten & Hinton, JMLR 2008), used by the paper to
+// project domain embeddings to two dimensions for the cluster
+// visualization of Figure 5 (§7.3).
+//
+// The implementation follows the reference algorithm: Gaussian input
+// affinities with per-point bandwidths found by binary search to match a
+// target perplexity, symmetrized and normalized; Student-t output
+// affinities; KL-divergence gradient descent with momentum, adaptive
+// gains, and early exaggeration. Exact O(n²) computation is appropriate
+// at the few-hundred-point scale of the paper's figure.
+package tsne
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mathx"
+)
+
+// Config parameterizes the embedding.
+type Config struct {
+	// Perplexity is the effective neighbor count (default 30, clamped to
+	// (n-1)/3 when the input is small).
+	Perplexity float64
+	// Iterations of gradient descent (default 500).
+	Iterations int
+	// LearningRate (default 100).
+	LearningRate float64
+	// Seed drives the initial layout.
+	Seed uint64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Perplexity <= 0 {
+		c.Perplexity = 30
+	}
+	if max := float64(n-1) / 3; c.Perplexity > max && max >= 2 {
+		c.Perplexity = max
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 500
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 100
+	}
+	return c
+}
+
+// ErrTooFewPoints is returned for inputs with fewer than 4 points.
+var ErrTooFewPoints = errors.New("tsne: need at least 4 points")
+
+// Embed projects points to 2-D.
+func Embed(points [][]float64, cfg Config) ([][2]float64, error) {
+	n := len(points)
+	if n < 4 {
+		return nil, ErrTooFewPoints
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("tsne: inconsistent dimensions")
+		}
+	}
+	cfg = cfg.withDefaults(n)
+
+	P := affinities(points, cfg.Perplexity)
+	// Early exaggeration.
+	for i := range P {
+		P[i] *= 4
+	}
+
+	rng := mathx.NewRNG(cfg.Seed)
+	Y := make([][2]float64, n)
+	for i := range Y {
+		Y[i][0] = 1e-4 * rng.NormFloat64()
+		Y[i][1] = 1e-4 * rng.NormFloat64()
+	}
+
+	var (
+		dY    = make([][2]float64, n)
+		velo  = make([][2]float64, n)
+		gains = make([][2]float64, n)
+		Q     = make([]float64, n*n)
+	)
+	for i := range gains {
+		gains[i] = [2]float64{1, 1}
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if iter == 100 {
+			for i := range P {
+				P[i] /= 4 // end early exaggeration
+			}
+		}
+		// Student-t output affinities.
+		sumQ := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := Y[i][0] - Y[j][0]
+				dy := Y[i][1] - Y[j][1]
+				q := 1 / (1 + dx*dx + dy*dy)
+				Q[i*n+j] = q
+				Q[j*n+i] = q
+				sumQ += 2 * q
+			}
+		}
+		if sumQ < 1e-12 {
+			sumQ = 1e-12
+		}
+		// Gradient.
+		for i := 0; i < n; i++ {
+			gx, gy := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				q := Q[i*n+j]
+				mult := (P[i*n+j] - q/sumQ) * q
+				gx += mult * (Y[i][0] - Y[j][0])
+				gy += mult * (Y[i][1] - Y[j][1])
+			}
+			dY[i][0] = 4 * gx
+			dY[i][1] = 4 * gy
+		}
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+		for i := 0; i < n; i++ {
+			for d := 0; d < 2; d++ {
+				if (dY[i][d] > 0) != (velo[i][d] > 0) {
+					gains[i][d] += 0.2
+				} else {
+					gains[i][d] *= 0.8
+				}
+				if gains[i][d] < 0.01 {
+					gains[i][d] = 0.01
+				}
+				velo[i][d] = momentum*velo[i][d] - cfg.LearningRate*gains[i][d]*dY[i][d]
+				Y[i][d] += velo[i][d]
+			}
+		}
+		// Re-center.
+		var mx, my float64
+		for i := range Y {
+			mx += Y[i][0]
+			my += Y[i][1]
+		}
+		mx /= float64(n)
+		my /= float64(n)
+		for i := range Y {
+			Y[i][0] -= mx
+			Y[i][1] -= my
+		}
+	}
+	return Y, nil
+}
+
+// affinities computes the symmetrized, normalized joint distribution P
+// with per-point bandwidths matched to the target perplexity.
+func affinities(points [][]float64, perplexity float64) []float64 {
+	n := len(points)
+	d2 := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := mathx.SquaredDistance(points[i], points[j])
+			d2[i*n+j] = d
+			d2[j*n+i] = d
+		}
+	}
+	logU := math.Log(perplexity)
+	P := make([]float64, n*n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Binary search the precision beta for row i.
+		beta := 1.0
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		for t := 0; t < 50; t++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-d2[i*n+j] * beta)
+				sum += row[j]
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			// Shannon entropy of the row distribution.
+			h := 0.0
+			for j := 0; j < n; j++ {
+				if row[j] > 0 {
+					p := row[j] / sum
+					h -= p * math.Log(p)
+				}
+			}
+			diff := h - logU
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 { // entropy too high -> sharpen
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		if sum < 1e-300 {
+			sum = 1e-300
+		}
+		for j := 0; j < n; j++ {
+			P[i*n+j] = row[j] / sum
+		}
+	}
+	// Symmetrize and normalize; floor tiny values for numeric stability.
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (P[i*n+j] + P[j*n+i]) / 2
+			P[i*n+j] = v
+			P[j*n+i] = v
+			total += 2 * v
+		}
+		P[i*n+i] = 0
+	}
+	for i := range P {
+		P[i] /= total
+		if P[i] < 1e-12 {
+			P[i] = 1e-12
+		}
+	}
+	return P
+}
+
+// ASCIIScatter renders the layout as a rows×cols character grid, one
+// glyph per point class (points overwrite earlier points in the same
+// cell). It is the terminal rendering of Figure 5.
+func ASCIIScatter(Y [][2]float64, classes []int, rows, cols int) string {
+	if len(Y) == 0 || rows < 2 || cols < 2 {
+		return ""
+	}
+	minX, maxX := Y[0][0], Y[0][0]
+	minY, maxY := Y[0][1], Y[0][1]
+	for _, p := range Y {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	glyphs := "ox+*#@%&=~"
+	for i, p := range Y {
+		c := int((p[0] - minX) / spanX * float64(cols-1))
+		r := int((p[1] - minY) / spanY * float64(rows-1))
+		g := byte('.')
+		if classes != nil {
+			g = glyphs[classes[i]%len(glyphs)]
+		}
+		grid[r][c] = g
+	}
+	out := make([]byte, 0, rows*(cols+1))
+	for r := range grid {
+		out = append(out, grid[r]...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// SVGScatter renders the layout as a standalone SVG document, one circle
+// per point colored by class — the publishable rendering of Figure 5.
+func SVGScatter(Y [][2]float64, classes []int, width, height int) string {
+	if len(Y) == 0 || width < 10 || height < 10 {
+		return ""
+	}
+	minX, maxX := Y[0][0], Y[0][0]
+	minY, maxY := Y[0][1], Y[0][1]
+	for _, p := range Y {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+		"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+	}
+	const margin = 12
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	for i, p := range Y {
+		x := margin + (p[0]-minX)/spanX*float64(width-2*margin)
+		y := margin + (p[1]-minY)/spanY*float64(height-2*margin)
+		color := "#333333"
+		if classes != nil {
+			color = palette[classes[i]%len(palette)]
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s" fill-opacity="0.8"/>`, x, y, color)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

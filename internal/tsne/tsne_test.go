@@ -1,0 +1,181 @@
+package tsne
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// clusters generates k tight groups in dim dimensions, centers far apart.
+func clusters(k, m, dim int, seed uint64) (points [][]float64, classes []int) {
+	rng := mathx.NewRNG(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = 10 * rng.NormFloat64()
+		}
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = centers[c][j] + 0.3*rng.NormFloat64()
+			}
+			points = append(points, p)
+			classes = append(classes, c)
+		}
+	}
+	return points, classes
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	points, classes := clusters(4, 25, 16, 3)
+	Y, err := Embed(points, Config{Perplexity: 15, Iterations: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Y) != len(points) {
+		t.Fatalf("got %d layouts for %d points", len(Y), len(points))
+	}
+	// Mean within-class 2-D distance must be well below between-class.
+	within, between := 0.0, 0.0
+	nw, nb := 0, 0
+	for i := range Y {
+		for j := i + 1; j < len(Y); j++ {
+			dx := Y[i][0] - Y[j][0]
+			dy := Y[i][1] - Y[j][1]
+			d := math.Hypot(dx, dy)
+			if classes[i] == classes[j] {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	within /= float64(nw)
+	between /= float64(nb)
+	if between < 3*within {
+		t.Errorf("cluster separation weak: within %.3f between %.3f", within, between)
+	}
+}
+
+func TestEmbedFiniteOutput(t *testing.T) {
+	points, _ := clusters(3, 15, 8, 7)
+	Y, err := Embed(points, Config{Iterations: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range Y {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+			t.Fatalf("point %d is %v", i, p)
+		}
+	}
+}
+
+func TestEmbedCentered(t *testing.T) {
+	points, _ := clusters(2, 20, 4, 9)
+	Y, err := Embed(points, Config{Iterations: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mx, my float64
+	for _, p := range Y {
+		mx += p[0]
+		my += p[1]
+	}
+	mx /= float64(len(Y))
+	my /= float64(len(Y))
+	if math.Abs(mx) > 1e-6 || math.Abs(my) > 1e-6 {
+		t.Errorf("layout not centered: mean (%v, %v)", mx, my)
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	if _, err := Embed([][]float64{{1}, {2}}, Config{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("too few: %v", err)
+	}
+	ragged := [][]float64{{1, 2}, {1}, {1, 2}, {1, 2}}
+	if _, err := Embed(ragged, Config{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	points, _ := clusters(2, 10, 4, 11)
+	a, err := Embed(points, Config{Iterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(points, Config{Iterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different layouts")
+		}
+	}
+}
+
+func TestPerplexityClampedForSmallInputs(t *testing.T) {
+	points, _ := clusters(2, 3, 4, 13) // 6 points, default perplexity 30
+	if _, err := Embed(points, Config{Iterations: 50, Seed: 1}); err != nil {
+		t.Fatalf("small input failed: %v", err)
+	}
+}
+
+func TestASCIIScatter(t *testing.T) {
+	Y := [][2]float64{{-1, -1}, {1, 1}, {-1, 1}, {1, -1}}
+	classes := []int{0, 1, 2, 3}
+	s := ASCIIScatter(Y, classes, 5, 9)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d rows", len(lines))
+	}
+	for _, g := range []string{"o", "x", "+", "*"} {
+		if !strings.Contains(s, g) {
+			t.Errorf("glyph %q missing from scatter:\n%s", g, s)
+		}
+	}
+	if ASCIIScatter(nil, nil, 5, 5) != "" {
+		t.Error("empty input should render empty")
+	}
+}
+
+func BenchmarkEmbed100(b *testing.B) {
+	points, _ := clusters(4, 25, 16, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(points, Config{Iterations: 250, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSVGScatter(t *testing.T) {
+	Y := [][2]float64{{-1, -1}, {1, 1}, {-1, 1}, {1, -1}}
+	classes := []int{0, 1, 2, 3}
+	svg := SVGScatter(Y, classes, 200, 150)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an SVG document: %.60s...", svg)
+	}
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("got %d circles, want 4", got)
+	}
+	// Distinct classes get distinct colors.
+	if strings.Count(svg, "#4e79a7") != 1 || strings.Count(svg, "#f28e2b") != 1 {
+		t.Error("class colors not applied")
+	}
+	if SVGScatter(nil, nil, 200, 150) != "" {
+		t.Error("empty layout should render empty string")
+	}
+	if SVGScatter(Y, nil, 5, 5) != "" {
+		t.Error("degenerate viewport should render empty string")
+	}
+}

@@ -1,0 +1,392 @@
+// Package xmeans implements the X-Means clustering algorithm (Pelleg &
+// Moore, ICML 2000) the paper applies to domain embeddings to discover
+// malware families and other associations (§7.1). X-Means extends
+// k-means with an automated choice of k: starting from a small k, each
+// cluster is tentatively split in two and the split is kept when it
+// improves the Bayesian information criterion (BIC), repeating until no
+// split helps or a maximum k is reached. Distances are Euclidean over
+// the embedding vectors, as in the paper.
+package xmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mathx"
+)
+
+// Config parameterizes clustering.
+type Config struct {
+	// KMin is the initial number of clusters (default 2).
+	KMin int
+	// KMax bounds the number of clusters (default 64).
+	KMax int
+	// MaxIter bounds Lloyd iterations per k-means run (default 50).
+	MaxIter int
+	// Seed drives centroid initialization.
+	Seed uint64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.KMin <= 0 {
+		c.KMin = 2
+	}
+	if c.KMax <= 0 {
+		c.KMax = 64
+	}
+	if c.KMax > n {
+		c.KMax = n
+	}
+	if c.KMin > c.KMax {
+		c.KMin = c.KMax
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 50
+	}
+	return c
+}
+
+// Result is a clustering of the input points.
+type Result struct {
+	// K is the chosen number of clusters.
+	K int
+	// Assign[i] is the cluster index of point i.
+	Assign []int
+	// Centroids[c] is the mean of cluster c.
+	Centroids [][]float64
+	// BIC is the Bayesian information criterion of the final model
+	// (higher is better under the Kass-Wasserman formulation used here).
+	BIC float64
+}
+
+// ErrNoData is returned for an empty input.
+var ErrNoData = errors.New("xmeans: empty input")
+
+// Cluster runs X-Means over points.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("xmeans: inconsistent dimensions %d vs %d", len(p), dim)
+		}
+	}
+	cfg = cfg.withDefaults(n)
+	rng := mathx.NewRNG(cfg.Seed)
+
+	centroids := kmeansPP(points, cfg.KMin, rng)
+	assign := make([]int, n)
+	lloyd(points, centroids, assign, cfg.MaxIter)
+
+	for len(centroids) < cfg.KMax {
+		// budget limits how many clusters may split this round so the
+		// total never exceeds KMax.
+		budget := cfg.KMax - len(centroids)
+		improved := false
+		next := make([][]float64, 0, len(centroids)+budget)
+		for c := range centroids {
+			members := membersOf(assign, c)
+			if budget == 0 || len(members) < 4 {
+				next = append(next, centroids[c])
+				continue
+			}
+			sub := gather(points, members)
+			// Parent model: the cluster as one Gaussian.
+			parentBIC := bic(sub, [][]float64{centroidOf(sub)}, make([]int, len(sub)))
+			// Child model: 2-means inside the cluster.
+			childCentroids := kmeansPP(sub, 2, rng)
+			childAssign := make([]int, len(sub))
+			lloyd(sub, childCentroids, childAssign, cfg.MaxIter)
+			if bic(sub, childCentroids, childAssign) > parentBIC {
+				next = append(next, childCentroids...)
+				budget--
+				improved = true
+			} else {
+				next = append(next, centroids[c])
+			}
+		}
+		if !improved {
+			break
+		}
+		centroids = next
+		lloyd(points, centroids, assign, cfg.MaxIter)
+	}
+
+	// Drop empty clusters and compact indices.
+	centroids, assign = compact(points, centroids, assign)
+	return &Result{
+		K:         len(centroids),
+		Assign:    assign,
+		Centroids: centroids,
+		BIC:       bic(points, centroids, assign),
+	}, nil
+}
+
+// KMeans runs plain k-means with k-means++ seeding (exposed for the
+// paper's comparisons and for callers that know k).
+func KMeans(points [][]float64, k int, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("xmeans: k = %d invalid for %d points", k, n)
+	}
+	cfg = cfg.withDefaults(n)
+	rng := mathx.NewRNG(cfg.Seed)
+	centroids := kmeansPP(points, k, rng)
+	assign := make([]int, n)
+	lloyd(points, centroids, assign, cfg.MaxIter)
+	centroids, assign = compact(points, centroids, assign)
+	return &Result{
+		K:         len(centroids),
+		Assign:    assign,
+		Centroids: centroids,
+		BIC:       bic(points, centroids, assign),
+	}, nil
+}
+
+// kmeansPP seeds k centroids with the k-means++ D² weighting.
+func kmeansPP(points [][]float64, k int, rng *mathx.RNG) [][]float64 {
+	n := len(points)
+	if k > n {
+		k = n
+	}
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(points[rng.Intn(n)]))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = mathx.SquaredDistance(points[i], centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= u {
+					pick = i
+					break
+				}
+			}
+		}
+		c := clone(points[pick])
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := mathx.SquaredDistance(points[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// lloyd iterates assignment/update until convergence or maxIter. The
+// assignment step parallelizes across points (month-scale experiments
+// cluster ~10k 96-dimensional embeddings into >100 clusters, which is
+// prohibitive single-threaded).
+func lloyd(points [][]float64, centroids [][]float64, assign []int, maxIter int) {
+	n, k := len(points), len(centroids)
+	dim := len(points[0])
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/256+1 {
+		workers = n/256 + 1
+	}
+
+	for it := 0; it < maxIter; it++ {
+		var changed int32
+		if workers <= 1 {
+			for i, p := range points {
+				best := nearest(p, centroids)
+				if assign[i] != best {
+					assign[i] = best
+					changed = 1
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					local := false
+					for i := lo; i < hi; i++ {
+						best := nearest(points[i], centroids)
+						if assign[i] != best {
+							assign[i] = best
+							local = true
+						}
+					}
+					if local {
+						atomic.StoreInt32(&changed, 1)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		if changed == 0 && it > 0 {
+			return
+		}
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the stale centroid; compact() removes empties
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+}
+
+func nearest(p []float64, centroids [][]float64) int {
+	best, bestD := 0, math.MaxFloat64
+	for c := range centroids {
+		if d := mathx.SquaredDistance(p, centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// bic computes the Bayesian information criterion of a spherical-Gaussian
+// mixture fit (Pelleg & Moore's formulation): larger is better.
+func bic(points [][]float64, centroids [][]float64, assign []int) float64 {
+	n := len(points)
+	k := len(centroids)
+	if n == 0 || k == 0 {
+		return math.Inf(-1)
+	}
+	dim := float64(len(points[0]))
+	// Pooled within-cluster variance estimate.
+	rss := 0.0
+	counts := make([]int, k)
+	for i, p := range points {
+		rss += mathx.SquaredDistance(p, centroids[assign[i]])
+		counts[assign[i]]++
+	}
+	denom := float64(n-k) * dim
+	if denom <= 0 {
+		denom = dim
+	}
+	variance := rss / denom
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	ll := 0.0
+	for c := 0; c < k; c++ {
+		nc := float64(counts[c])
+		if nc == 0 {
+			continue
+		}
+		ll += nc*math.Log(nc) - nc*math.Log(float64(n)) -
+			nc*dim/2*math.Log(2*math.Pi*variance) - (nc-1)*dim/2
+	}
+	params := float64(k) * (dim + 1)
+	return ll - params/2*math.Log(float64(n))
+}
+
+func membersOf(assign []int, c int) []int {
+	var out []int
+	for i, a := range assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func gather(points [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = points[j]
+	}
+	return out
+}
+
+func centroidOf(points [][]float64) []float64 {
+	dim := len(points[0])
+	c := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			c[j] += v
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(points))
+	}
+	return c
+}
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// compact removes empty clusters and renumbers assignments.
+func compact(points [][]float64, centroids [][]float64, assign []int) ([][]float64, []int) {
+	used := make([]bool, len(centroids))
+	for _, a := range assign {
+		used[a] = true
+	}
+	remap := make([]int, len(centroids))
+	var kept [][]float64
+	for c, u := range used {
+		if u {
+			remap[c] = len(kept)
+			kept = append(kept, centroids[c])
+		}
+	}
+	out := make([]int, len(assign))
+	for i, a := range assign {
+		out[i] = remap[a]
+	}
+	return kept, out
+}
+
+// Members returns the point indices of each cluster.
+func (r *Result) Members() [][]int {
+	out := make([][]int, r.K)
+	for i, c := range r.Assign {
+		out[c] = append(out[c], i)
+	}
+	return out
+}

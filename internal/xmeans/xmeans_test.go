@@ -1,0 +1,208 @@
+package xmeans
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// gaussianBlobs generates k well-separated clusters of m points each,
+// with centers spread on a circle. Tight far-apart clusters mirror the
+// embedding-space geometry X-Means sees in the pipeline (families embed
+// near-orthogonally); 2-way splits of grid-arranged blobs are genuinely
+// BIC-marginal and not representative.
+func gaussianBlobs(k, m int, spread float64, seed uint64) (points [][]float64, truth []int) {
+	rng := mathx.NewRNG(seed)
+	for c := 0; c < k; c++ {
+		angle := 2 * math.Pi * float64(c) / float64(k)
+		cx := 60 * math.Cos(angle)
+		cy := 60 * math.Sin(angle)
+		for i := 0; i < m; i++ {
+			points = append(points, []float64{
+				cx + spread*rng.NormFloat64(),
+				cy + spread*rng.NormFloat64(),
+			})
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+// purity computes the fraction of points whose cluster's majority truth
+// label matches their own.
+func purity(assign, truth []int, k int) float64 {
+	counts := make([]map[int]int, k)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	for i, c := range assign {
+		counts[c][truth[i]]++
+	}
+	right := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		right += best
+	}
+	return float64(right) / float64(len(assign))
+}
+
+func TestXMeansFindsClusterCount(t *testing.T) {
+	for _, wantK := range []int{3, 5, 7} {
+		points, truth := gaussianBlobs(wantK, 60, 1.0, uint64(wantK))
+		res, err := Cluster(points, Config{KMin: 2, KMax: 20, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K < wantK-1 || res.K > wantK+2 {
+			t.Errorf("want ≈%d clusters, got %d", wantK, res.K)
+		}
+		if p := purity(res.Assign, truth, res.K); p < 0.95 {
+			t.Errorf("purity %.3f with %d true clusters", p, wantK)
+		}
+	}
+}
+
+func TestKMeansExactK(t *testing.T) {
+	points, truth := gaussianBlobs(4, 50, 0.8, 9)
+	res, err := KMeans(points, 4, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Fatalf("KMeans returned %d clusters, want 4", res.K)
+	}
+	if p := purity(res.Assign, truth, res.K); p < 0.95 {
+		t.Errorf("purity %.3f", p)
+	}
+}
+
+func TestAssignmentsMatchNearestCentroid(t *testing.T) {
+	points, _ := gaussianBlobs(3, 40, 1.0, 11)
+	res, err := Cluster(points, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		best, bestD := -1, -1.0
+		for c, cent := range res.Centroids {
+			d := mathx.SquaredDistance(p, cent)
+			if best < 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if res.Assign[i] != best {
+			t.Fatalf("point %d assigned to %d, nearest centroid %d", i, res.Assign[i], best)
+		}
+	}
+}
+
+func TestKMaxRespected(t *testing.T) {
+	points, _ := gaussianBlobs(8, 30, 0.5, 13)
+	res, err := Cluster(points, Config{KMin: 2, KMax: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 4 {
+		t.Fatalf("K = %d exceeds KMax 4", res.K)
+	}
+}
+
+func TestSingleBlobStaysTogether(t *testing.T) {
+	points, _ := gaussianBlobs(1, 120, 1.0, 17)
+	res, err := Cluster(points, Config{KMin: 2, KMax: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BIC shouldn't shatter a single Gaussian into many pieces.
+	if res.K > 4 {
+		t.Errorf("single blob split into %d clusters", res.K)
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	points, _ := gaussianBlobs(3, 30, 1.0, 19)
+	res, err := Cluster(points, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(points))
+	for c, members := range res.Members() {
+		for _, i := range members {
+			if seen[i] {
+				t.Fatalf("point %d in two clusters", i)
+			}
+			seen[i] = true
+			if res.Assign[i] != c {
+				t.Fatalf("Members/Assign disagree for point %d", i)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d unassigned", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, Config{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Cluster([][]float64{{1}, {1, 2}}, Config{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if _, err := KMeans([][]float64{{1}}, 5, Config{}); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	points, _ := gaussianBlobs(4, 40, 1.0, 23)
+	a, err := Cluster(points, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(points, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K {
+		t.Fatalf("same seed, different K: %d vs %d", a.K, b.K)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different assignments")
+		}
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	points := make([][]float64, 50)
+	for i := range points {
+		points[i] = []float64{1, 2, 3}
+	}
+	res, err := Cluster(points, Config{KMin: 2, KMax: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 2 {
+		t.Errorf("identical points split into %d clusters", res.K)
+	}
+}
+
+func BenchmarkXMeans(b *testing.B) {
+	points, _ := gaussianBlobs(6, 100, 1.0, 29)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(points, Config{KMin: 2, KMax: 16, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package maldomain is the public API of this repository: a from-scratch
+// Go implementation of "Detecting Malicious Domains with Behavioral
+// Modeling and Graph Embedding" (Lei et al., ICDCS 2019).
+//
+// The system models the DNS behavior of effective second-level domains
+// (e2LDs) observed in a network's traffic through three bipartite graphs
+// — domains vs. querying hosts, domains vs. resolved IP addresses, and
+// domains vs. active minutes — projects each onto the domain vertex set
+// with Jaccard-weighted edges, learns latent feature vectors per view
+// with the LINE graph-embedding algorithm, classifies domains as
+// malicious or benign with an RBF-kernel SVM, and mines malware families
+// with X-Means clustering.
+//
+// # Quick start
+//
+//	det := maldomain.NewDetector(maldomain.Config{
+//		Start: captureStart,
+//		Days:  31,
+//	})
+//	for _, obs := range observations {      // joined DNS query/response records
+//		det.Consume(obs)
+//	}
+//	if err := det.BuildModel(); err != nil { ... }
+//	clf, err := det.TrainClassifier(labeledDomains, labels)
+//	score, ok := clf.Score("suspicious-domain.example")
+//
+// See examples/ for complete programs, including end-to-end runs against
+// the synthetic campus-network traffic generator used to reproduce the
+// paper's evaluation, and EXPERIMENTS.md for the paper-vs-measured
+// results of every table and figure.
+package maldomain
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Config parameterizes a Detector; see the field documentation in
+// internal/core. The zero value plus Start/Days uses the paper's
+// defaults throughout (pruning rules of §4.1, LINE with both proximity
+// orders, RBF SVM with C=0.09 and γ=0.06).
+type Config = core.Config
+
+// Detector is the end-to-end detection system of the paper's Figure 2.
+type Detector = core.Detector
+
+// Classifier is a trained malicious-domain classifier (§6.2).
+type Classifier = core.Classifier
+
+// ModelStats summarizes a built model.
+type ModelStats = core.ModelStats
+
+// Observation is one joined DNS query/response record — the schema the
+// paper's collector extracts from packet captures (§2).
+type Observation = pipeline.Input
+
+// View selects one of the three behavioral similarity views of §4.2.
+type View = bipartite.View
+
+// The three behavioral views: shared querying hosts (Eq. 1), shared
+// resolved addresses (Eq. 2), and shared active minutes (Eq. 3).
+const (
+	ViewQuery = bipartite.ViewQuery
+	ViewIP    = bipartite.ViewIP
+	ViewTime  = bipartite.ViewTime
+)
+
+// Views lists all three views in canonical order.
+var Views = bipartite.Views
+
+// NewDetector returns a Detector for cfg.
+func NewDetector(cfg Config) *Detector { return core.NewDetector(cfg) }
+
+// Sentinel errors re-exported from the core implementation.
+var (
+	// ErrNotBuilt is returned by model accessors before BuildModel.
+	ErrNotBuilt = core.ErrNotBuilt
+	// ErrAlreadyBuilt is returned by a second BuildModel call.
+	ErrAlreadyBuilt = core.ErrAlreadyBuilt
+	// ErrNoDomains is returned when no domains survive pruning or no
+	// labeled domain is in the retained vertex set.
+	ErrNoDomains = core.ErrNoDomains
+)
