@@ -1,0 +1,154 @@
+// Command maldlint is the repository's static-analysis gate. It loads
+// every package of the module with go/parser and go/types (stdlib only —
+// no external tooling), runs the repo-specific checks of internal/lint,
+// prints position-accurate findings, and exits non-zero when any remain.
+//
+// Usage:
+//
+//	maldlint [-list] [-checks name,name] [package-dir|./...]...
+//
+// With no arguments (or "./...") the whole module is analyzed. Findings
+// can be silenced inline, one line above or on the offending line, with
+//
+//	//maldlint:ignore <check>[,<check>...] <rationale>
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("maldlint", flag.ContinueOnError)
+	listFlag := fs.Bool("list", false, "list available checks and exit")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, c := range lint.AllChecks() {
+			fmt.Printf("%-12s %-8s %s\n", c.Name(), c.Severity(), c.Doc())
+		}
+		return 0
+	}
+
+	runner, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maldlint:", err)
+		return 2
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maldlint:", err)
+		return 2
+	}
+
+	paths, err := resolvePatterns(loader, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maldlint:", err)
+		return 2
+	}
+
+	findings := 0
+	failed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maldlint:", err)
+			failed = true
+			continue
+		}
+		for _, d := range runner.Run(pkg) {
+			fmt.Println(relativize(loader.ModRoot, d))
+			findings++
+		}
+	}
+	switch {
+	case failed:
+		return 2
+	case findings > 0:
+		fmt.Fprintf(os.Stderr, "maldlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectChecks builds a runner for the requested check subset.
+func selectChecks(spec string) (*lint.Runner, error) {
+	if spec == "" {
+		return lint.NewRunner(), nil
+	}
+	var checks []lint.Check
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c := lint.CheckByName(name)
+		if c == nil {
+			return nil, fmt.Errorf("unknown check %q (run -list for options)", name)
+		}
+		checks = append(checks, c)
+	}
+	if len(checks) == 0 {
+		return nil, fmt.Errorf("no checks selected")
+	}
+	return &lint.Runner{Checks: checks}, nil
+}
+
+// resolvePatterns turns CLI arguments into module import paths. "./..."
+// (and no arguments at all) selects every package of the module; other
+// arguments name package directories relative to the working directory.
+func resolvePatterns(loader *lint.Loader, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return loader.Walk()
+	}
+	var paths []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == loader.ModPath+"/..." {
+			all, err := loader.Walk()
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, all...)
+			continue
+		}
+		abs, err := filepath.Abs(a)
+		if err != nil {
+			return nil, fmt.Errorf("resolving %s: %w", a, err)
+		}
+		rel, err := filepath.Rel(loader.ModRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside module %s", a, loader.ModPath)
+		}
+		if rel == "." {
+			paths = append(paths, loader.ModPath)
+		} else {
+			paths = append(paths, loader.ModPath+"/"+filepath.ToSlash(rel))
+		}
+	}
+	return paths, nil
+}
+
+// relativize shortens absolute file positions to module-relative paths
+// for readable output.
+func relativize(root string, d lint.Diagnostic) string {
+	s := d.String()
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = strings.Replace(s, d.Pos.Filename, rel, 1)
+	}
+	return s
+}

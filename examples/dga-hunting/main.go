@@ -103,8 +103,13 @@ func main() {
 	fmt.Printf("  newly confirmed malicious: %d\n", newTrue)
 	fmt.Printf("  suspicious (unconfirmed):  %d\n", suspicious)
 	fmt.Println("\ndiscovered families:")
-	for fam, n := range families {
-		fmt.Printf("  %-20s %d domains\n", fam, n)
+	famNames := make([]string, 0, len(families))
+	for fam := range families {
+		famNames = append(famNames, fam)
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		fmt.Printf("  %-20s %d domains\n", fam, families[fam])
 	}
 	fmt.Println("\nsample discoveries:")
 	sort.Strings(examples)

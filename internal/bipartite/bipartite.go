@@ -145,9 +145,18 @@ func newInterner() *interner {
 	return &interner{strIDs: make(map[string]int32), intIDs: make(map[int]int32)}
 }
 
+// internStrings assigns dense attribute ids in sorted key order so that
+// repeated runs over the same stats produce identical Graphs, not merely
+// isomorphic ones (attribute ids must not depend on map iteration
+// order).
 func internStrings(in *interner, set map[string]struct{}) []int32 {
-	out := make([]int32, 0, len(set))
+	keys := make([]string, 0, len(set))
 	for s := range set {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	out := make([]int32, 0, len(keys))
+	for _, s := range keys {
 		id, ok := in.strIDs[s]
 		if !ok {
 			id = int32(in.count)
@@ -160,9 +169,15 @@ func internStrings(in *interner, set map[string]struct{}) []int32 {
 	return out
 }
 
+// internInts is internStrings for integer attributes (minute buckets).
 func internInts(in *interner, set map[int]struct{}) []int32 {
-	out := make([]int32, 0, len(set))
+	keys := make([]int, 0, len(set))
 	for v := range set {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	out := make([]int32, 0, len(keys))
+	for _, v := range keys {
 		id, ok := in.intIDs[v]
 		if !ok {
 			id = int32(in.count)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/eval"
 	"repro/internal/pipeline"
+	"repro/internal/race"
 	"repro/internal/svm"
 	"repro/internal/threatintel"
 	"repro/internal/xmeans"
@@ -32,6 +33,7 @@ type fixture struct {
 // first use.
 func buildDetector(t testing.TB, seed uint64) (*Detector, *dnssim.Scenario, *threatintel.Service) {
 	t.Helper()
+	skipIfRace(t)
 	sharedFixture.mu.Lock()
 	defer sharedFixture.mu.Unlock()
 	if f, ok := sharedFixture.cache[seed]; ok {
@@ -60,6 +62,19 @@ func labeledSet(t testing.TB, d *Detector, ti *threatintel.Service) (domains []s
 		t.Fatal(err)
 	}
 	return ti.LabeledSet(all)
+}
+
+// skipIfRace skips model-building tests under the race detector: the
+// LINE SGD inside BuildModel performs hundreds of millions of atomic
+// operations, which instrumentation slows past the default per-package
+// test timeout. The pipeline's concurrent components (bipartite
+// projection, LINE workers, x-means) have fast package-level tests
+// that do run under -race; core itself orchestrates them sequentially.
+func skipIfRace(t testing.TB) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("model build too slow under the race detector; components are race-tested per package")
+	}
 }
 
 func TestLifecycleErrors(t *testing.T) {
@@ -277,6 +292,7 @@ func TestTrainClassifierValidation(t *testing.T) {
 }
 
 func TestCustomSVMConfigPropagates(t *testing.T) {
+	skipIfRace(t)
 	s := dnssim.NewScenario(dnssim.SmallScenario(29))
 	d := NewDetector(Config{
 		Start: s.Config.Start,

@@ -617,8 +617,13 @@ func (s *Scenario) buildDHCP(rng *mathx.RNG) {
 	for _, l := range s.leases {
 		// MACForDevice is bijective over the device range; recover index.
 		var b [4]byte
-		fmt.Sscanf(l.MAC, "02:00:%02x:%02x:%02x:%02x", &b[0], &b[1], &b[2], &b[3])
+		if _, err := fmt.Sscanf(l.MAC, "02:00:%02x:%02x:%02x:%02x", &b[0], &b[1], &b[2], &b[3]); err != nil {
+			continue // foreign MAC not minted by MACForDevice; no device index to recover
+		}
 		dev := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+		if dev < 0 || dev >= len(s.leasesByDev) {
+			continue
+		}
 		s.leasesByDev[dev] = append(s.leasesByDev[dev], l)
 	}
 }

@@ -1,0 +1,57 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeMessage drives Decode with arbitrary bytes. Invariants:
+// Decode never panics on malformed RFC 1035 input; when it accepts a
+// message, re-encoding either fails cleanly (hostile names with
+// embedded dots do not round-trip) or produces bytes that decode again.
+func FuzzDecodeMessage(f *testing.F) {
+	// Seed corpus: the well-formed messages the unit tests exercise,
+	// plus truncation and pointer edge cases.
+	seed := func(m *Message) {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(b)
+	}
+	seed(query(0x1234, "maps.google.com", TypeA))
+	seed(query(1, ".", TypeNS))
+	cname, err := CNAMERecord("www.example.com", "edge.cdn.example.com", 300)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed(&Message{
+		Header:    Header{ID: 7, Response: true, RCode: RCodeNoError},
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			cname,
+			ARecord("edge.cdn.example.com", 60, [4]byte{192, 0, 2, 10}),
+		},
+	})
+	f.Add([]byte{})                                   // short message
+	f.Add(bytes.Repeat([]byte{0xc0}, 64))             // pointer soup
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0}) // count without body
+	f.Add(append(make([]byte, 12), 0xc0, 0x0c, 0, 0)) // self-referential pointer
+	f.Add(append(make([]byte, 12), 63, 'a', 'b'))     // label overruns buffer
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		out, err := Encode(m)
+		if err != nil {
+			// Decoded names may contain bytes (embedded dots, empty
+			// labels) Encode rejects; a clean error is acceptable.
+			return
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v\noriginal: %x\nencoded:  %x", err, b, out)
+		}
+	})
+}

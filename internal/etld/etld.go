@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode"
 )
 
 // ErrNoEligibleDomain is returned when an input has no registrable e2LD,
@@ -164,7 +165,10 @@ func E2LD(name string) (string, error) { return Default.E2LD(name) }
 func PublicSuffix(name string) string { return Default.PublicSuffix(name) }
 
 // split normalizes a domain name into lower-case labels, trimming a root
-// dot and rejecting empty labels.
+// dot and rejecting empty labels. Labels containing whitespace are
+// rejected outright: they never occur in real DNS names, and a label
+// with leading or trailing spaces would make the e2LD unstable under
+// re-parsing (the outer TrimSpace would eat it on the next pass).
 func split(name string) []string {
 	name = strings.ToLower(strings.TrimSuffix(strings.TrimSpace(name), "."))
 	if name == "" {
@@ -172,7 +176,7 @@ func split(name string) []string {
 	}
 	labels := strings.Split(name, ".")
 	for _, l := range labels {
-		if l == "" {
+		if l == "" || strings.IndexFunc(l, unicode.IsSpace) >= 0 {
 			return nil
 		}
 	}

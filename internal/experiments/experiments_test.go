@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/dnssim"
+	"repro/internal/race"
 )
 
 var (
@@ -15,9 +16,23 @@ var (
 	envErr  error
 )
 
+// skipIfRace skips environment-building tests under the race detector:
+// Build trains LINE embeddings whose hogwild SGD performs hundreds of
+// millions of atomic operations, which instrumentation slows past the
+// default per-package test timeout. The concurrent components
+// (bipartite, line, xmeans) have fast package-level -race tests; this
+// package orchestrates them sequentially.
+func skipIfRace(t testing.TB) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("model build too slow under the race detector; components are race-tested per package")
+	}
+}
+
 // testEnv builds one shared small-scenario environment per test binary.
 func testEnv(t testing.TB) *Env {
 	t.Helper()
+	skipIfRace(t)
 	envOnce.Do(func() {
 		envVal, envErr = Build(dnssim.SmallScenario(77), Options{Seed: 77, KFolds: 5})
 	})
@@ -39,6 +54,7 @@ func TestBuildEnv(t *testing.T) {
 }
 
 func TestMaxLabeledSubsampling(t *testing.T) {
+	skipIfRace(t)
 	e, err := Build(dnssim.SmallScenario(78), Options{Seed: 78, MaxLabeled: 100, KFolds: 5})
 	if err != nil {
 		t.Fatal(err)

@@ -71,25 +71,23 @@ func (e *Env) SelfTraining(rounds, candidatesPerRound int) ([]SelfTrainingRound,
 	var out []SelfTrainingRound
 	for round := 0; round < rounds; round++ {
 		var trD []string
-		var trY []int
-		nm, nb := 0, 0
 		for i := range training {
 			trD = append(trD, e.Domains[i])
-			trY = append(trY, e.Labels[i])
-			if e.Labels[i] == 1 {
-				nm++
-			} else {
-				nb++
-			}
 		}
-		sort.Strings(trD) // deterministic order; labels re-derived below
-		trY = trY[:0]
+		sort.Strings(trD) // deterministic training order
 		labelOf := make(map[string]int, len(e.Domains))
 		for i, d := range e.Domains {
 			labelOf[d] = e.Labels[i]
 		}
-		for _, d := range trD {
-			trY = append(trY, labelOf[d])
+		trY := make([]int, len(trD))
+		nm, nb := 0, 0
+		for i, d := range trD {
+			trY[i] = labelOf[d]
+			if trY[i] == 1 {
+				nm++
+			} else {
+				nb++
+			}
 		}
 
 		clf, err := e.Detector.TrainClassifier(trD, trY)

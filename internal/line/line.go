@@ -12,9 +12,12 @@
 // distribution P(v) ∝ deg(v)^0.75 (§5.2, Eqs. 4-6).
 //
 // Optimization is asynchronous (hogwild-style): workers update the shared
-// embedding matrices without locking. Races only perturb individual
-// float64 updates, which SGD tolerates; with Workers=1 training is fully
-// deterministic in the seed.
+// embedding matrices without locking. The matrices are stored as flat
+// float64 bit patterns accessed through sync/atomic, so concurrent
+// updates are data-race-free (and `go test -race` clean); colliding
+// updates may still lose an increment, which is exactly the perturbation
+// hogwild SGD tolerates. With Workers=1 training is fully deterministic
+// in the seed.
 package line
 
 import (
@@ -24,6 +27,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/mathx"
@@ -120,17 +124,17 @@ func Train(g *graph.Weighted, cfg Config) (*Embedding, error) {
 	var parts [][][]float64
 	switch cfg.Order {
 	case OrderFirst:
-		p, err := trainOrder(g, cfg, false)
+		part, err := trainOrder(g, cfg, false)
 		if err != nil {
 			return nil, err
 		}
-		parts = [][][]float64{p}
+		parts = [][][]float64{part}
 	case OrderSecond:
-		p, err := trainOrder(g, cfg, true)
+		part, err := trainOrder(g, cfg, true)
 		if err != nil {
 			return nil, err
 		}
-		parts = [][][]float64{p}
+		parts = [][][]float64{part}
 	case OrderBoth:
 		half := cfg
 		half.Dim = cfg.Dim / 2
@@ -185,10 +189,11 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 	}
 
 	root := mathx.NewRNG(cfg.Seed)
-	emb := randomInit(g.N, cfg.Dim, root)
-	var ctx [][]float64
+	emb := newAtomicMatrix(g.N, cfg.Dim)
+	emb.randomize(root)
+	tgt := emb
 	if secondOrder {
-		ctx = zeroInit(g.N, cfg.Dim)
+		tgt = newAtomicMatrix(g.N, cfg.Dim) // context matrix starts at zero
 	}
 
 	var wg sync.WaitGroup
@@ -201,6 +206,8 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 		wg.Add(1)
 		go func(rng *mathx.RNG, workerID int) {
 			defer wg.Done()
+			src := make([]float64, cfg.Dim)
+			dst := make([]float64, cfg.Dim)
 			grad := make([]float64, cfg.Dim)
 			for s := 0; s < perWorker; s++ {
 				// Linear LR decay on local progress; workers advance in
@@ -217,43 +224,92 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 				if rng.Float64() < 0.5 {
 					u, v = v, u
 				}
-				src := emb[u]
+				emb.load(u, src)
 				for i := range grad {
 					grad[i] = 0
 				}
 				// Positive example.
-				dst := target(emb, ctx, v, secondOrder)
+				tgt.load(v, dst)
 				g1 := (1 - mathx.Sigmoid(mathx.Dot(src, dst))) * lr
 				mathx.AddScaled(grad, g1, dst)
-				mathx.AddScaled(dst, g1, src)
+				tgt.addScaled(v, g1, src)
 				// Negative samples.
 				for k := 0; k < cfg.Negatives; k++ {
 					nv := int32(noiseSampler.Sample(rng))
 					if nv == v || nv == u {
 						continue
 					}
-					neg := target(emb, ctx, nv, secondOrder)
-					gn := -mathx.Sigmoid(mathx.Dot(src, neg)) * lr
-					mathx.AddScaled(grad, gn, neg)
-					mathx.AddScaled(neg, gn, src)
+					tgt.load(nv, dst)
+					gn := -mathx.Sigmoid(mathx.Dot(src, dst)) * lr
+					mathx.AddScaled(grad, gn, dst)
+					tgt.addScaled(nv, gn, src)
 				}
-				for i := range src {
-					src[i] += grad[i]
-				}
+				emb.addScaled(u, 1, grad)
 			}
 		}(root.Split(), w)
 	}
 	wg.Wait()
-	return emb, nil
+	return emb.rows(), nil
 }
 
-func target(emb, ctx [][]float64, v int32, secondOrder bool) []float64 {
-	if secondOrder {
-		return ctx[v]
+// atomicMatrix is an n×dim float64 matrix stored as a flat slice of bit
+// patterns accessed with sync/atomic. It gives the hogwild SGD workers
+// lock-free shared updates without data races: concurrent addScaled
+// calls to the same element may lose one increment (load and store are
+// two operations), but every read and write is atomic, so the race
+// detector is satisfied and no torn values are ever observed.
+type atomicMatrix struct {
+	n, dim int
+	bits   []uint64
+}
+
+func newAtomicMatrix(n, dim int) *atomicMatrix {
+	return &atomicMatrix{n: n, dim: dim, bits: make([]uint64, n*dim)}
+}
+
+// randomize fills the matrix with the standard LINE initialization,
+// uniform in (-0.5/dim, 0.5/dim).
+func (m *atomicMatrix) randomize(rng *mathx.RNG) {
+	for i := range m.bits {
+		m.bits[i] = math.Float64bits((rng.Float64() - 0.5) / float64(m.dim))
 	}
-	return emb[v]
 }
 
+// load copies row v into dst.
+func (m *atomicMatrix) load(v int32, dst []float64) {
+	base := int(v) * m.dim
+	for i := range dst {
+		dst[i] = math.Float64frombits(atomic.LoadUint64(&m.bits[base+i]))
+	}
+}
+
+// addScaled adds s*x to row v element-wise.
+func (m *atomicMatrix) addScaled(v int32, s float64, x []float64) {
+	base := int(v) * m.dim
+	for i, xv := range x {
+		p := &m.bits[base+i]
+		cur := math.Float64frombits(atomic.LoadUint64(p))
+		atomic.StoreUint64(p, math.Float64bits(cur+s*xv))
+	}
+}
+
+// rows converts the matrix to per-vertex slices once training finished;
+// the caller owns the result.
+func (m *atomicMatrix) rows() [][]float64 {
+	out := make([][]float64, m.n)
+	for v := 0; v < m.n; v++ {
+		row := make([]float64, m.dim)
+		base := v * m.dim
+		for i := range row {
+			row[i] = math.Float64frombits(m.bits[base+i])
+		}
+		out[v] = row
+	}
+	return out
+}
+
+// randomInit mirrors atomicMatrix.randomize for the no-edge early path,
+// which never spawns workers and has no need for atomics.
 func randomInit(n, dim int, rng *mathx.RNG) [][]float64 {
 	out := make([][]float64, n)
 	for v := range out {
@@ -262,14 +318,6 @@ func randomInit(n, dim int, rng *mathx.RNG) [][]float64 {
 			vec[i] = (rng.Float64() - 0.5) / float64(dim)
 		}
 		out[v] = vec
-	}
-	return out
-}
-
-func zeroInit(n, dim int) [][]float64 {
-	out := make([][]float64, n)
-	for v := range out {
-		out[v] = make([]float64, dim)
 	}
 	return out
 }

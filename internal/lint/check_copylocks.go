@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLocksCheck flags values of sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once or sync.Cond (or structs/arrays containing
+// one) copied by value: as function parameters, results, or value
+// receivers; as range values; in plain assignments from an existing
+// variable; and as call arguments. A copied lock guards nothing — two
+// goroutines end up serializing on different mutexes.
+type CopyLocksCheck struct{}
+
+// Name implements Check.
+func (*CopyLocksCheck) Name() string { return "copylocks" }
+
+// Doc implements Check.
+func (*CopyLocksCheck) Doc() string {
+	return "flag sync.Mutex/RWMutex/WaitGroup/Once/Cond copied by value"
+}
+
+// Severity implements Check.
+func (*CopyLocksCheck) Severity() Severity { return SeverityError }
+
+// Run implements Check.
+func (c *CopyLocksCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					c.checkFieldList(p, x.Recv, "receiver")
+				}
+				if x.Type.Params != nil {
+					c.checkFieldList(p, x.Type.Params, "parameter")
+				}
+			case *ast.FuncLit:
+				if x.Type.Params != nil {
+					c.checkFieldList(p, x.Type.Params, "parameter")
+				}
+			case *ast.ReturnStmt:
+				// Returning a fresh composite literal is fine; returning
+				// an existing lock-bearing value copies it.
+				for _, res := range x.Results {
+					c.checkValueCopy(p, res)
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if t := p.TypeOf(x.Value); t != nil && containsLock(t) {
+						p.Reportf(x.Value.Pos(),
+							"range value copies a lock: %s contains a sync primitive; iterate by index or over pointers", typeString(t))
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					c.checkValueCopy(p, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range x.Values {
+					c.checkValueCopy(p, v)
+				}
+			case *ast.CallExpr:
+				if isBuiltinAppend(p, x) {
+					return true
+				}
+				for _, arg := range x.Args {
+					c.checkValueCopy(p, arg)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList reports fields whose by-value type contains a lock.
+func (c *CopyLocksCheck) checkFieldList(p *Pass, fl *ast.FieldList, kind string) {
+	for _, field := range fl.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			p.Reportf(field.Pos(),
+				"%s passes a lock by value: %s contains a sync primitive; use a pointer", kind, typeString(t))
+		}
+	}
+}
+
+// checkValueCopy reports expressions that copy an existing lock-bearing
+// value. Composite literals and function calls create fresh values and
+// are fine; reads of variables, fields, elements, and dereferences are
+// copies.
+func (c *CopyLocksCheck) checkValueCopy(p *Pass, e ast.Expr) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := p.TypeOf(e)
+	if t == nil || !containsLock(t) {
+		return
+	}
+	p.Reportf(e.Pos(), "expression copies a lock: %s contains a sync primitive", typeString(t))
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LoopCaptureCheck flags goroutines launched inside a loop whose
+// function literal references the loop variables instead of receiving
+// them as arguments. Go 1.22 made loop variables per-iteration, so the
+// classic aliasing bug no longer bites — but the repo still requires the
+// explicit-parameter style: it keeps worker code correct under older
+// toolchains, and makes the data each goroutine owns visible at the go
+// statement (the style internal/line and internal/xmeans already use).
+type LoopCaptureCheck struct{}
+
+// Name implements Check.
+func (*LoopCaptureCheck) Name() string { return "loopcapture" }
+
+// Doc implements Check.
+func (*LoopCaptureCheck) Doc() string {
+	return "flag goroutines that capture loop variables instead of taking them as arguments"
+}
+
+// Severity implements Check.
+func (*LoopCaptureCheck) Severity() Severity { return SeverityWarning }
+
+// Run implements Check.
+func (c *LoopCaptureCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		var loopVars []map[types.Object]bool
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				vars := declaredVars(p, x.Init)
+				loopVars = append(loopVars, vars)
+				ast.Inspect(x.Body, walk)
+				if x.Post != nil {
+					ast.Inspect(x.Post, walk)
+				}
+				loopVars = loopVars[:len(loopVars)-1]
+				return false
+			case *ast.RangeStmt:
+				vars := make(map[types.Object]bool)
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := e.(*ast.Ident); ok && id != nil {
+						if obj := p.Info.ObjectOf(id); obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+				loopVars = append(loopVars, vars)
+				ast.Inspect(x.Body, walk)
+				loopVars = loopVars[:len(loopVars)-1]
+				return false
+			case *ast.GoStmt:
+				if len(loopVars) == 0 {
+					return true
+				}
+				fn, ok := x.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				c.checkCapture(p, fn, loopVars)
+				// Arguments are evaluated at the go statement, outside
+				// the goroutine — keep walking them normally.
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// declaredVars collects variables defined by a for-loop init statement.
+func declaredVars(p *Pass, init ast.Stmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	assign, ok := init.(*ast.AssignStmt)
+	if !ok {
+		return vars
+	}
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// checkCapture reports references inside the goroutine body to any
+// in-scope loop variable.
+func (c *LoopCaptureCheck) checkCapture(p *Pass, fn *ast.FuncLit, loopVars []map[types.Object]bool) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		for _, scope := range loopVars {
+			if scope[obj] {
+				reported[obj] = true
+				p.Reportf(id.Pos(),
+					"goroutine captures loop variable %s: pass it as an argument to the function literal", obj.Name())
+				break
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WgAddCheck flags the classic WaitGroup race: calling wg.Add inside the
+// very goroutine it accounts for. If the scheduler runs wg.Wait before
+// the goroutine starts, the counter is still zero and Wait returns
+// early. The pattern detected is a `go func(){ ... }()` whose body calls
+// Add on a WaitGroup that the same body also releases with a directly
+// deferred Done — Add must happen before the go statement instead.
+// Worker goroutines that Add before spawning sub-goroutines (whose Done
+// lives in the nested literal) are not flagged.
+type WgAddCheck struct{}
+
+// Name implements Check.
+func (*WgAddCheck) Name() string { return "wgadd" }
+
+// Doc implements Check.
+func (*WgAddCheck) Doc() string {
+	return "flag sync.WaitGroup.Add called inside the goroutine it accounts for"
+}
+
+// Severity implements Check.
+func (*WgAddCheck) Severity() Severity { return SeverityError }
+
+// Run implements Check.
+func (*WgAddCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fn, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			// Collect, at this literal's own level only, the WaitGroups
+			// with a deferred Done and the positions of Add calls.
+			doneOn := make(map[types.Object]bool)
+			type addCall struct {
+				obj types.Object
+				pos ast.Node
+			}
+			var adds []addCall
+			inspectShallow(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.DeferStmt:
+					if obj := waitGroupMethodRecv(p, x.Call, "Done"); obj != nil {
+						doneOn[obj] = true
+					}
+				case *ast.CallExpr:
+					if obj := waitGroupMethodRecv(p, x, "Add"); obj != nil {
+						adds = append(adds, addCall{obj: obj, pos: x})
+					}
+				}
+				return true
+			})
+			for _, a := range adds {
+				if doneOn[a.obj] {
+					p.Reportf(a.pos.Pos(),
+						"%s.Add called inside the goroutine it accounts for: Wait can run before the goroutine starts; call Add before the go statement", a.obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// waitGroupMethodRecv returns the object of the receiver variable when
+// call invokes the named method on a sync.WaitGroup, else nil.
+func waitGroupMethodRecv(p *Pass, call *ast.CallExpr, method string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	if t := p.TypeOf(sel.X); t == nil || !isWaitGroup(t) {
+		return nil
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(root)
+}

@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/line").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions all files of this loader.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included. In-package
+	// _test.go files are linted too; external (package foo_test) test
+	// files are excluded because they form a separate compilation unit.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module. Module-internal
+// imports are resolved recursively from source; standard-library imports
+// are satisfied by the go/importer source importer (still stdlib-only —
+// no external tooling). Loaded packages are memoized, so a whole-module
+// walk type-checks each package once.
+type Loader struct {
+	Fset *token.FileSet
+	// ModRoot is the filesystem root of the module (directory holding
+	// go.mod); ModPath is its module path.
+	ModRoot string
+	ModPath string
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir. It
+// locates go.mod by walking upward and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving %s: %w", dir, err)
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", path, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", path)
+}
+
+// Walk returns the import paths of every package directory under the
+// module root, skipping testdata, hidden directories, and directories
+// with no Go files. The result is sorted.
+func (l *Loader) Walk() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		hasGo, err := dirHasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if hasGo {
+			rel, err := filepath.Rel(l.ModRoot, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				paths = append(paths, l.ModPath)
+			} else {
+				paths = append(paths, l.ModPath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking module: %w", err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func dirHasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Load parses and type-checks the package with the given import path,
+// which must belong to this loader's module.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	rel, ok := strings.CutPrefix(path, l.ModPath)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is outside module %s", path, l.ModPath)
+	}
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	return l.LoadDir(dir, path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. It is the entry point fixture tests use to check
+// directories outside the module layout.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &moduleImporter{l: l},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the buildable Go files of dir: regular sources plus
+// in-package _test.go files. External test packages (package foo_test)
+// are skipped — they would need the package under test as an import of
+// themselves and form a separate unit.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		full := filepath.Join(dir, n)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", full, err)
+		}
+		if !buildable(f) {
+			// Excluded by a //go:build constraint under the default tag
+			// set (e.g. the !race half of a race/norace pair): parsing
+			// both halves would redeclare their symbols.
+			continue
+		}
+		name := f.Name.Name
+		if strings.HasSuffix(n, "_test.go") {
+			// Keep in-package test files, skip external test packages.
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+		}
+		if pkgName == "" {
+			pkgName = name
+		}
+		if name != pkgName {
+			// Mixed non-test package clauses; keep the majority package
+			// (the first seen) and ignore strays rather than failing.
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildable reports whether f is included under the default build
+// configuration: current GOOS/GOARCH, gc, no extra tags. Files gated on
+// instrumentation or tool tags (race, msan, ignore, …) are excluded so
+// the loader never sees both halves of a tag-paired declaration.
+func buildable(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(defaultTag) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// defaultTag is the build-tag truth function for buildable: the host
+// platform and compiler are on, Go release tags are assumed satisfied
+// by the current toolchain, and everything else (race, msan, custom
+// tags) is off.
+func defaultTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// moduleImporter resolves module-internal imports from source and
+// delegates everything else to the standard-library source importer.
+type moduleImporter struct {
+	l *Loader
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.l.ModPath || strings.HasPrefix(path, m.l.ModPath+"/") {
+		pkg, err := m.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.l.std.Import(path)
+}

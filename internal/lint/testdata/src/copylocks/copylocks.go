@@ -1,0 +1,49 @@
+// Package fixture seeds violations for the copylocks check: locks
+// passed, assigned, and ranged over by value, plus pointer-based and
+// suppressed cases.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func badParam(mu sync.Mutex) { // want copylocks
+	mu.Lock()
+}
+
+func goodParam(mu *sync.Mutex) {
+	mu.Lock()
+}
+
+func badAssign(g *guarded) int {
+	cp := *g // want copylocks
+	return cp.n
+}
+
+func badRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want copylocks
+		total += g.n
+	}
+	return total
+}
+
+func goodRange(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+func goodFreshValue() guarded {
+	return guarded{n: 1}
+}
+
+func suppressedAssign(g *guarded) int {
+	cp := *g //maldlint:ignore copylocks fixture: snapshot of a settled value
+	return cp.n
+}

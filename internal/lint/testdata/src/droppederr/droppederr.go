@@ -1,0 +1,49 @@
+// Package fixture seeds violations for the droppederr check: discarded
+// error returns, plus handled, blank-assigned, exempt and suppressed
+// cases.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndError() (int, error) { return 0, errors.New("boom") }
+
+func badDiscard() {
+	mayFail() // want droppederr
+}
+
+func badDiscardMulti() {
+	valueAndError() // want droppederr
+}
+
+func badFprintfToFile(f *os.File) {
+	fmt.Fprintf(f, "ok\n") // want droppederr
+}
+
+func goodHandled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodExplicitBlank() {
+	_ = mayFail()
+}
+
+func goodExemptWriters(sb *strings.Builder) {
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "ok\n")
+	fmt.Fprintf(sb, "ok %d\n", 1)
+	sb.WriteString("ok")
+}
+
+func suppressedDiscard() {
+	mayFail() //maldlint:ignore droppederr fixture: best-effort cleanup
+}

@@ -1,0 +1,6 @@
+// In-package test file: droppederr must not fire in _test.go sources.
+package fixture
+
+func discardInTest() {
+	mayFail()
+}

@@ -1,0 +1,57 @@
+// Package fixture seeds violations for the loopcapture check:
+// goroutines referencing range and classic for-loop variables, plus the
+// required pass-as-argument style and a suppressed case.
+package fixture
+
+import "sync"
+
+func badRangeCapture(items []int) {
+	var wg sync.WaitGroup
+	results := make([]int, len(items))
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = i * 2 // want loopcapture
+		}()
+	}
+	wg.Wait()
+}
+
+func badClassicCapture(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			ch <- i // want loopcapture
+		}()
+	}
+}
+
+func goodParamStyle(items []int) {
+	var wg sync.WaitGroup
+	results := make([]int, len(items))
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = i * 2
+		}(i)
+	}
+	wg.Wait()
+}
+
+func suppressedCapture(items []int) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sum := 0
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += i //maldlint:ignore loopcapture fixture: per-iteration semantics intended
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,55 @@
+// Package fixture seeds violations for the maprange check: map ranges
+// that print or collect without sorting, plus sorted, order-insensitive
+// and suppressed cases.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want maprange
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func goodSortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCounting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodMapToMap(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func suppressedPrint(m map[string]int) {
+	//maldlint:ignore maprange fixture: debug dump, order irrelevant
+	for k := range m {
+		fmt.Println(k)
+	}
+}

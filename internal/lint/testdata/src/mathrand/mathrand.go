@@ -1,0 +1,33 @@
+// Package fixture seeds violations for the mathrand check: forbidden
+// math/rand imports and time-seeded generators, plus negative and
+// suppressed cases.
+package fixture
+
+import (
+	"math/rand" // want mathrand
+	"time"
+)
+
+type config struct {
+	Seed uint64
+}
+
+func badImportUse() int {
+	return rand.Int()
+}
+
+func badTimeSeed() {
+	rand.Seed(time.Now().UnixNano()) // want mathrand
+}
+
+func badSeedField() config {
+	return config{Seed: uint64(time.Now().UnixNano())} // want mathrand
+}
+
+func goodFixedSeed() config {
+	return config{Seed: 42}
+}
+
+func suppressedTimeSeed() {
+	rand.Seed(time.Now().UnixNano()) //maldlint:ignore mathrand fixture exercises suppression
+}

@@ -1,0 +1,10 @@
+// Package fixture stands in for internal/mathx: when its import path is
+// on the check's Allow list, math/rand imports are permitted (the RNG
+// home package may wrap or benchmark against the stdlib generator).
+package fixture
+
+import "math/rand"
+
+func wrapped() int {
+	return rand.Int()
+}

@@ -1,0 +1,59 @@
+// Package fixture seeds violations for the wgadd check: Add called
+// inside the goroutine it accounts for, plus the correct
+// Add-before-spawn pattern, a nested worker-pool pattern that must not
+// be flagged, and a suppressed case.
+package fixture
+
+import "sync"
+
+func badAddInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			wg.Add(1) // want wgadd
+			defer wg.Done()
+			_ = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+func goodAddBefore(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+func goodNestedSpawner(jobs [][]int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		for range jobs {
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+			}()
+		}
+		inner.Wait()
+	}()
+	wg.Wait()
+}
+
+func suppressedHeldOpen() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Add(1) //maldlint:ignore wgadd fixture: outer Add already holds the counter open
+		go func() { defer wg.Done() }()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package race
+
+// Enabled is true when the build has race detection instrumentation.
+const Enabled = false

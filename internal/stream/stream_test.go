@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnssim"
 	"repro/internal/pipeline"
+	"repro/internal/race"
 	"repro/internal/threatintel"
 )
 
@@ -59,10 +60,22 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// skipIfRace skips the tests that retrain a model per window day: LINE
+// SGD's atomic operations make them exceed the default per-package test
+// timeout under race instrumentation. The concurrent components have
+// their own fast -race package tests.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("window retraining too slow under the race detector; components are race-tested per package")
+	}
+}
+
 func TestRollingEmitsMostlyMaliciousAlerts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("streaming end-to-end test")
 	}
+	skipIfRace(t)
 	r, s, _ := rollingFixture(t)
 	s.Generate(func(ev dnssim.Event) { r.Consume(pipeline.Input(ev)) })
 
@@ -101,6 +114,7 @@ func TestWindowEviction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("streaming end-to-end test")
 	}
+	skipIfRace(t)
 	r, s, _ := rollingFixture(t)
 	s.Generate(func(ev dnssim.Event) { r.Consume(pipeline.Input(ev)) })
 	before := r.BufferedDays()

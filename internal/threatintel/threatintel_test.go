@@ -1,6 +1,7 @@
 package threatintel
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/dnssim"
@@ -118,6 +119,7 @@ func TestLabeledSet(t *testing.T) {
 	for d := range truth {
 		observed = append(observed, d)
 	}
+	sort.Strings(observed)
 	domains, labels := svc.LabeledSet(observed)
 	if len(domains) != len(labels) {
 		t.Fatal("misaligned output")

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# check.sh — the tier-1+ correctness gate for this repository.
+#
+# Runs, in order: formatting, go vet, build, the maldlint static
+# analyzer, the full test suite under the race detector, and a short
+# fuzz smoke for each native fuzz target. Every step must pass; the
+# script stops at the first failure.
+#
+# Usage: scripts/check.sh [fuzztime]
+#   fuzztime  per-target -fuzztime for the smoke stage (default 10s;
+#             pass 0 to skip fuzzing, e.g. in quick local iterations).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fuzztime="${1:-10s}"
+
+echo "==> gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> maldlint ./..."
+go run ./cmd/maldlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+if [ "$fuzztime" != "0" ]; then
+    echo "==> fuzz smoke (${fuzztime} per target)"
+    go test -run='^$' -fuzz='^FuzzDecodeMessage$' -fuzztime="$fuzztime" ./internal/dnswire
+    go test -run='^$' -fuzz='^FuzzParseETLD$' -fuzztime="$fuzztime" ./internal/etld
+fi
+
+echo "==> all checks passed"
