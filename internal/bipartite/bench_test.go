@@ -1,0 +1,58 @@
+package bipartite
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dnssim"
+	"repro/internal/pipeline"
+)
+
+// benchGraphs lazily builds the three bipartite graphs of the small
+// scenario once; every projection benchmark shares them.
+var (
+	benchOnce sync.Once
+	benchQ    *Graph
+	benchIP   *Graph
+	benchT    *Graph
+)
+
+func benchBuild(b *testing.B) (q, ip, timeg *Graph) {
+	b.Helper()
+	benchOnce.Do(func() {
+		s := dnssim.NewScenario(dnssim.SmallScenario(51))
+		p := pipeline.NewProcessor(pipeline.Config{Start: s.Config.Start, Days: s.Config.Days, DHCP: s.DHCP()})
+		s.Generate(func(ev dnssim.Event) { p.Consume(pipeline.Input(ev)) })
+		benchQ, benchIP, benchT = Build(p.Stats(), p.DeviceCount(), DefaultPrune)
+	})
+	return benchQ, benchIP, benchT
+}
+
+// BenchmarkProject measures the one-mode projection over each behavioral
+// view of the small scenario — the O(Σ deg(attr)²) stage that bounds
+// month-scale runs — reporting produced projection edges per second.
+// The time view uses the stop-attribute filter the detector applies at
+// experiment scale (busy minutes are shared by most domains and would
+// otherwise dominate the quadratic cost).
+func BenchmarkProject(b *testing.B) {
+	q, ip, timeg := benchBuild(b)
+	cases := []struct {
+		name string
+		g    *Graph
+		cfg  ProjectConfig
+	}{
+		{"query", q, ProjectConfig{MinSimilarity: 0.05}},
+		{"ip", ip, ProjectConfig{MinSimilarity: 0.05}},
+		{"time", timeg, ProjectConfig{MinSimilarity: 0.015, MaxAttrDegree: 2000}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			edges := 0
+			for i := 0; i < b.N; i++ {
+				proj := Project(tc.g, tc.cfg)
+				edges += len(proj.Edges)
+			}
+			b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/sec")
+		})
+	}
+}

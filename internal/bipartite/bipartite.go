@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pipeline"
 )
@@ -289,6 +290,17 @@ type ProjectConfig struct {
 // index, then for each domain accumulates intersection counts against all
 // later domains using an epoch-tagged counter array, giving
 // O(Σ_attr deg(attr)²) time without per-pair set operations.
+//
+// Scheduling: per-domain costs are wildly skewed (one mega-domain can
+// cost as much as thousands of tail domains), so domains are handed to
+// workers in descending estimated-cost order through a work-stealing
+// chunk queue — an atomic cursor over the sorted order with guided chunk
+// sizes that shrink as the queue drains. The expensive domains start
+// first and the cheap tail backfills idle workers, so one hot domain no
+// longer serializes the end of the stage. Output is deterministic
+// regardless of worker count or schedule: each domain's edges are
+// assembled into a per-domain slot and concatenated in domain order, and
+// candidates are visited in sorted order within a domain.
 func Project(g *Graph, cfg ProjectConfig) *Projection {
 	n := len(g.Domains)
 	proj := &Projection{View: g.View, Domains: g.Domains}
@@ -304,6 +316,29 @@ func Project(g *Graph, cfg ProjectConfig) *Projection {
 		}
 	}
 
+	// Estimated cost of projecting domain di: the candidate postings it
+	// scans, Σ len(index[a]) over its attributes (skipping the ones the
+	// stop-attribute filter will skip).
+	cost := make([]int64, n)
+	for di, set := range g.Sets {
+		for _, a := range set {
+			if cfg.MaxAttrDegree > 0 && len(index[a]) > cfg.MaxAttrDegree {
+				continue
+			}
+			cost[di] += int64(len(index[a]))
+		}
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if cost[order[i]] != cost[order[j]] {
+			return cost[order[i]] > cost[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -312,11 +347,11 @@ func Project(g *Graph, cfg ProjectConfig) *Projection {
 		workers = n
 	}
 
-	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		next = make(chan int, workers*4)
-	)
+	// edgesBy[di] is written by exactly one worker (the one that claimed
+	// di) and read only after wg.Wait — no locking needed.
+	edgesBy := make([][]Edge, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -324,56 +359,82 @@ func Project(g *Graph, cfg ProjectConfig) *Projection {
 			counts := make([]int32, n)
 			stamped := make([]int32, n)
 			var epoch int32
-			var local []Edge
-			var cands []int32
-			for di := range next {
-				epoch++
-				set := g.Sets[di]
-				// Accumulate |set ∩ other| for every other > di.
-				for _, a := range set {
-					idx := index[a]
-					if cfg.MaxAttrDegree > 0 && len(idx) > cfg.MaxAttrDegree {
-						continue
-					}
-					for _, dj := range idx {
-						if int(dj) <= di {
+			var cands []int32 // reused candidate buffer across claimed domains
+			var local []Edge  // reused per-domain edge scratch
+			for {
+				// Guided self-scheduling: claim a chunk sized to a
+				// fraction of the (racily estimated) remaining work, so
+				// claims are rare while the queue is long and fine-grained
+				// near the end where imbalance hurts.
+				remaining := n - int(cursor.Load())
+				if remaining <= 0 {
+					return
+				}
+				chunk := remaining / (workers * 4)
+				if chunk < 1 {
+					chunk = 1
+				}
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for _, di32 := range order[start:end] {
+					di := int(di32)
+					epoch++
+					set := g.Sets[di]
+					// Accumulate |set ∩ other| for every other > di. A
+					// candidate's count is seeded on first touch, so the
+					// counter array needs no per-epoch reset pass.
+					for _, a := range set {
+						idx := index[a]
+						if cfg.MaxAttrDegree > 0 && len(idx) > cfg.MaxAttrDegree {
 							continue
 						}
-						if stamped[dj] != epoch {
-							stamped[dj] = epoch
-							counts[dj] = 0
-							cands = append(cands, dj)
+						for _, dj := range idx {
+							if int(dj) <= di {
+								continue
+							}
+							if stamped[dj] != epoch {
+								stamped[dj] = epoch
+								counts[dj] = 1
+								cands = append(cands, dj)
+							} else {
+								counts[dj]++
+							}
 						}
-						counts[dj]++
+					}
+					// Sorted candidate order makes this domain's edge
+					// slice identical no matter which worker built it.
+					sortInt32(cands)
+					local = local[:0]
+					for _, dj := range cands {
+						w := cfg.Measure.weight(float64(counts[dj]), len(set), len(g.Sets[dj]))
+						if w >= cfg.MinSimilarity && w > 0 {
+							local = append(local, Edge{U: int32(di), V: dj, W: w})
+						}
+					}
+					cands = cands[:0]
+					if len(local) > 0 {
+						edgesBy[di] = append([]Edge(nil), local...)
 					}
 				}
-				for _, dj := range cands {
-					w := cfg.Measure.weight(float64(counts[dj]), len(set), len(g.Sets[dj]))
-					if w >= cfg.MinSimilarity && w > 0 {
-						local = append(local, Edge{U: int32(di), V: dj, W: w})
-					}
-				}
-				cands = cands[:0]
-			}
-			if len(local) > 0 {
-				mu.Lock()
-				proj.Edges = append(proj.Edges, local...)
-				mu.Unlock()
 			}
 		}()
 	}
-	for di := 0; di < n; di++ {
-		next <- di
-	}
-	close(next)
 	wg.Wait()
 
-	sort.Slice(proj.Edges, func(i, j int) bool {
-		if proj.Edges[i].U != proj.Edges[j].U {
-			return proj.Edges[i].U < proj.Edges[j].U
-		}
-		return proj.Edges[i].V < proj.Edges[j].V
-	})
+	total := 0
+	for _, es := range edgesBy {
+		total += len(es)
+	}
+	proj.Edges = make([]Edge, 0, total)
+	for _, es := range edgesBy {
+		proj.Edges = append(proj.Edges, es...)
+	}
 	return proj
 }
 

@@ -203,6 +203,60 @@ func TestProjectDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// Regression: the parallel projection must produce byte-identical edge
+// lists across repeated runs with Workers > 1 — not merely
+// set-identical ones. The per-domain assembly makes the output
+// independent of which worker claims which domain and of claim order;
+// this guards the guarantee against scheduler-dependent merges,
+// including under the stop-attribute filter, whose skipped postings
+// also change per-domain cost estimates (and hence the claim order).
+func TestProjectByteIdenticalAcrossRuns(t *testing.T) {
+	s := dnssim.NewScenario(dnssim.SmallScenario(43))
+	p := pipeline.NewProcessor(pipeline.Config{Start: s.Config.Start, Days: s.Config.Days, DHCP: s.DHCP()})
+	s.Generate(func(ev dnssim.Event) { p.Consume(pipeline.Input(ev)) })
+	q, _, timeg := Build(p.Stats(), p.DeviceCount(), DefaultPrune)
+
+	cases := []struct {
+		name string
+		g    *Graph
+		cfg  ProjectConfig
+	}{
+		{"query", q, ProjectConfig{MinSimilarity: 0.05, Workers: 4}},
+		{"time/maxattrdegree", timeg, ProjectConfig{MinSimilarity: 0.015, MaxAttrDegree: 50, Workers: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := Project(tc.g, tc.cfg)
+			if len(ref.Edges) == 0 {
+				t.Fatal("fixture produced no edges; test is vacuous")
+			}
+			for run := 0; run < 5; run++ {
+				got := Project(tc.g, tc.cfg)
+				if len(got.Edges) != len(ref.Edges) {
+					t.Fatalf("run %d: %d edges, want %d", run, len(got.Edges), len(ref.Edges))
+				}
+				for i := range got.Edges {
+					if got.Edges[i] != ref.Edges[i] {
+						t.Fatalf("run %d edge %d: %+v != %+v", run, i, got.Edges[i], ref.Edges[i])
+					}
+				}
+			}
+			// And single-worker output matches the parallel output.
+			seq := tc.cfg
+			seq.Workers = 1
+			one := Project(tc.g, seq)
+			if len(one.Edges) != len(ref.Edges) {
+				t.Fatalf("workers=1: %d edges, want %d", len(one.Edges), len(ref.Edges))
+			}
+			for i := range one.Edges {
+				if one.Edges[i] != ref.Edges[i] {
+					t.Fatalf("workers=1 edge %d: %+v != %+v", i, one.Edges[i], ref.Edges[i])
+				}
+			}
+		})
+	}
+}
+
 // Property: projection weights are in (0,1], symmetric by construction,
 // and 1.0 exactly when the two attribute sets coincide.
 func TestProjectionWeightProperties(t *testing.T) {

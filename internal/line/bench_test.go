@@ -1,0 +1,74 @@
+package line
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// benchGraph builds a reproducible sparse random graph with n vertices
+// and n*avgDeg/2 distinct edges — the shape of a projection graph at
+// test scale, without the cost of generating traffic first.
+func benchGraph(n, avgDeg int, seed uint64) *graph.Weighted {
+	rng := mathx.NewRNG(seed)
+	m := n * avgDeg / 2
+	seen := make(map[[2]int32]bool, m)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		edges = append(edges, graph.Edge{U: u, V: v, W: rng.Float64() + 0.1})
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BenchmarkLINETrainOrder measures raw SGD throughput for each objective
+// at Workers=1 (the deterministic configuration) and Workers=GOMAXPROCS
+// (the hogwild configuration), reporting samples/sec so BENCH_*.json
+// snapshots track the hot-loop trajectory across PRs.
+func BenchmarkLINETrainOrder(b *testing.B) {
+	g := benchGraph(1000, 16, 99)
+	const samples = 500_000
+	cases := []struct {
+		name    string
+		order   Order
+		workers int
+	}{
+		{"first/workers=1", OrderFirst, 1},
+		{"first/workers=max", OrderFirst, runtime.GOMAXPROCS(0)},
+		{"second/workers=1", OrderSecond, 1},
+		{"second/workers=max", OrderSecond, runtime.GOMAXPROCS(0)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := Train(g, Config{
+					Dim:     32,
+					Order:   tc.order,
+					Samples: samples,
+					Seed:    42,
+					Workers: tc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}

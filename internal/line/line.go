@@ -12,12 +12,21 @@
 // distribution P(v) ∝ deg(v)^0.75 (§5.2, Eqs. 4-6).
 //
 // Optimization is asynchronous (hogwild-style): workers update the shared
-// embedding matrices without locking. The matrices are stored as flat
-// float64 bit patterns accessed through sync/atomic, so concurrent
-// updates are data-race-free (and `go test -race` clean); colliding
-// updates may still lose an increment, which is exactly the perturbation
-// hogwild SGD tolerates. With Workers=1 training is fully deterministic
-// in the seed.
+// embedding matrices without locking. The matrix storage is selected by
+// build tag (see matrix_norace.go / matrix_race.go): normal builds use a
+// plain []float64 with genuinely unsynchronized hogwild updates — the
+// reference implementation's scheme — while race-detector builds swap in
+// an atomic bit-pattern matrix so `go test -race` stays clean. Colliding
+// updates may lose an increment in either variant, which is exactly the
+// perturbation hogwild SGD tolerates. With Workers=1 training is fully
+// deterministic in the seed.
+//
+// The SGD inner loop avoids per-sample transcendental and bookkeeping
+// costs: the logistic function is a 1024-interval lookup table
+// (mathx.FastSigmoid, bounded at ±6 like the reference implementation),
+// the learning rate is recomputed only every lrInterval samples, and
+// negative sampling retries collisions in place instead of dropping the
+// sample.
 package line
 
 import (
@@ -27,7 +36,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/mathx"
@@ -189,11 +197,11 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 	}
 
 	root := mathx.NewRNG(cfg.Seed)
-	emb := newAtomicMatrix(g.N, cfg.Dim)
+	emb := newMatrix(g.N, cfg.Dim)
 	emb.randomize(root)
 	tgt := emb
 	if secondOrder {
-		tgt = newAtomicMatrix(g.N, cfg.Dim) // context matrix starts at zero
+		tgt = newMatrix(g.N, cfg.Dim) // context matrix starts at zero
 	}
 
 	var wg sync.WaitGroup
@@ -206,16 +214,23 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 		wg.Add(1)
 		go func(rng *mathx.RNG, workerID int) {
 			defer wg.Done()
-			src := make([]float64, cfg.Dim)
-			dst := make([]float64, cfg.Dim)
+			srcScratch := make([]float64, cfg.Dim)
+			dstScratch := make([]float64, cfg.Dim)
 			grad := make([]float64, cfg.Dim)
+			lr := cfg.InitialLR
+			floorLR := cfg.InitialLR * 0.0001
 			for s := 0; s < perWorker; s++ {
-				// Linear LR decay on local progress; workers advance in
-				// lockstep on average.
-				progress := float64(workerID*perWorker+s) / total
-				lr := cfg.InitialLR * (1 - progress)
-				if lr < cfg.InitialLR*0.0001 {
-					lr = cfg.InitialLR * 0.0001
+				// Hoisted LR schedule: linear decay on local progress,
+				// recomputed every lrInterval samples instead of per
+				// sample. Workers advance in lockstep on average, and the
+				// LR changes by at most InitialLR·lrInterval/total ≈ 1e-5
+				// of its range between refreshes.
+				if s%lrInterval == 0 {
+					progress := float64(workerID*perWorker+s) / total
+					lr = cfg.InitialLR * (1 - progress)
+					if lr < floorLR {
+						lr = floorLR
+					}
 				}
 
 				ei := edgeSampler.Sample(rng)
@@ -224,23 +239,29 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 				if rng.Float64() < 0.5 {
 					u, v = v, u
 				}
-				emb.load(u, src)
+				src := emb.row(u, srcScratch)
 				for i := range grad {
 					grad[i] = 0
 				}
 				// Positive example.
-				tgt.load(v, dst)
-				g1 := (1 - mathx.Sigmoid(mathx.Dot(src, dst))) * lr
+				dst := tgt.row(v, dstScratch)
+				g1 := (1 - mathx.FastSigmoid(mathx.Dot(src, dst))) * lr
 				mathx.AddScaled(grad, g1, dst)
 				tgt.addScaled(v, g1, src)
-				// Negative samples.
+				// Negative samples: resample collisions with the positive
+				// pair in place (bounded rejection loop) so every step
+				// trains on the configured number of negatives instead of
+				// silently dropping some on dense toy graphs.
 				for k := 0; k < cfg.Negatives; k++ {
 					nv := int32(noiseSampler.Sample(rng))
+					for tries := 0; (nv == v || nv == u) && tries < negRetries; tries++ {
+						nv = int32(noiseSampler.Sample(rng))
+					}
 					if nv == v || nv == u {
 						continue
 					}
-					tgt.load(nv, dst)
-					gn := -mathx.Sigmoid(mathx.Dot(src, dst)) * lr
+					dst = tgt.row(nv, dstScratch)
+					gn := -mathx.FastSigmoid(mathx.Dot(src, dst)) * lr
 					mathx.AddScaled(grad, gn, dst)
 					tgt.addScaled(nv, gn, src)
 				}
@@ -252,63 +273,19 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 	return emb.rows(), nil
 }
 
-// atomicMatrix is an n×dim float64 matrix stored as a flat slice of bit
-// patterns accessed with sync/atomic. It gives the hogwild SGD workers
-// lock-free shared updates without data races: concurrent addScaled
-// calls to the same element may lose one increment (load and store are
-// two operations), but every read and write is atomic, so the race
-// detector is satisfied and no torn values are ever observed.
-type atomicMatrix struct {
-	n, dim int
-	bits   []uint64
-}
+// Inner-loop tuning constants.
+const (
+	// lrInterval is how many samples a worker processes between learning
+	// rate refreshes; the schedule is linear, so the LR drifts by a
+	// negligible amount within one interval.
+	lrInterval = 1024
+	// negRetries bounds the negative-sample rejection loop so degenerate
+	// graphs (where the noise distribution nearly always returns the
+	// positive pair) cannot stall a worker.
+	negRetries = 3
+)
 
-func newAtomicMatrix(n, dim int) *atomicMatrix {
-	return &atomicMatrix{n: n, dim: dim, bits: make([]uint64, n*dim)}
-}
-
-// randomize fills the matrix with the standard LINE initialization,
-// uniform in (-0.5/dim, 0.5/dim).
-func (m *atomicMatrix) randomize(rng *mathx.RNG) {
-	for i := range m.bits {
-		m.bits[i] = math.Float64bits((rng.Float64() - 0.5) / float64(m.dim))
-	}
-}
-
-// load copies row v into dst.
-func (m *atomicMatrix) load(v int32, dst []float64) {
-	base := int(v) * m.dim
-	for i := range dst {
-		dst[i] = math.Float64frombits(atomic.LoadUint64(&m.bits[base+i]))
-	}
-}
-
-// addScaled adds s*x to row v element-wise.
-func (m *atomicMatrix) addScaled(v int32, s float64, x []float64) {
-	base := int(v) * m.dim
-	for i, xv := range x {
-		p := &m.bits[base+i]
-		cur := math.Float64frombits(atomic.LoadUint64(p))
-		atomic.StoreUint64(p, math.Float64bits(cur+s*xv))
-	}
-}
-
-// rows converts the matrix to per-vertex slices once training finished;
-// the caller owns the result.
-func (m *atomicMatrix) rows() [][]float64 {
-	out := make([][]float64, m.n)
-	for v := 0; v < m.n; v++ {
-		row := make([]float64, m.dim)
-		base := v * m.dim
-		for i := range row {
-			row[i] = math.Float64frombits(m.bits[base+i])
-		}
-		out[v] = row
-	}
-	return out
-}
-
-// randomInit mirrors atomicMatrix.randomize for the no-edge early path,
+// randomInit mirrors matrix.randomize for the no-edge early path,
 // which never spawns workers and has no need for atomics.
 func randomInit(n, dim int, rng *mathx.RNG) [][]float64 {
 	out := make([][]float64, n)

@@ -1,0 +1,64 @@
+//go:build !race
+
+package line
+
+import "repro/internal/mathx"
+
+// matrix is the normal-build embedding store: one flat []float64 shared
+// by all hogwild SGD workers with no synchronization at all. This is the
+// true lock-free scheme of the reference LINE implementation (Tang et
+// al., WWW 2015): colliding updates may lose an increment and readers
+// may observe a row mid-update, which is exactly the perturbation
+// hogwild SGD tolerates, and on 64-bit platforms aligned float64
+// accesses never tear in practice. Builds with the race detector select
+// the atomic bit-pattern variant in matrix_race.go instead, so
+// `go test -race ./...` stays clean while normal builds pay zero
+// synchronization cost in the SGD inner loop. With Workers=1 both
+// variants perform identical arithmetic in the same order, so training
+// stays bit-deterministic in the seed across build modes.
+type matrix struct {
+	n, dim int
+	data   []float64
+}
+
+func newMatrix(n, dim int) *matrix {
+	return &matrix{n: n, dim: dim, data: make([]float64, n*dim)}
+}
+
+// randomize fills the matrix with the standard LINE initialization,
+// uniform in (-0.5/dim, 0.5/dim).
+func (m *matrix) randomize(rng *mathx.RNG) {
+	for i := range m.data {
+		m.data[i] = (rng.Float64() - 0.5) / float64(m.dim)
+	}
+}
+
+// row returns the live storage of row v; scratch is unused in this
+// build (the race-build variant fills and returns scratch instead, so
+// callers must treat the result as read-only and valid only until the
+// next row call with the same scratch).
+func (m *matrix) row(v int32, scratch []float64) []float64 {
+	base := int(v) * m.dim
+	return m.data[base : base+m.dim : base+m.dim]
+}
+
+// addScaled adds s*x to row v element-wise.
+func (m *matrix) addScaled(v int32, s float64, x []float64) {
+	base := int(v) * m.dim
+	row := m.data[base : base+m.dim : base+m.dim]
+	for i, xv := range x {
+		row[i] += s * xv
+	}
+}
+
+// rows converts the matrix to per-vertex slices once training finished;
+// the caller owns the result.
+func (m *matrix) rows() [][]float64 {
+	out := make([][]float64, m.n)
+	for v := 0; v < m.n; v++ {
+		row := make([]float64, m.dim)
+		copy(row, m.data[v*m.dim:(v+1)*m.dim])
+		out[v] = row
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+//go:build race
+
+package line
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/mathx"
+)
+
+// matrix is the race-build embedding store: an n×dim float64 matrix held
+// as a flat slice of bit patterns accessed with sync/atomic. It gives
+// the hogwild SGD workers lock-free shared updates without data races:
+// concurrent addScaled calls to the same element may lose one increment
+// (load and store are two operations), but every read and write is
+// atomic, so the race detector is satisfied and no torn values are ever
+// observed. Normal builds select the plain []float64 variant in
+// matrix_norace.go, which skips the atomic traffic entirely; with
+// Workers=1 both variants perform identical arithmetic in the same
+// order, so training stays bit-deterministic in the seed across build
+// modes.
+type matrix struct {
+	n, dim int
+	bits   []uint64
+}
+
+func newMatrix(n, dim int) *matrix {
+	return &matrix{n: n, dim: dim, bits: make([]uint64, n*dim)}
+}
+
+// randomize fills the matrix with the standard LINE initialization,
+// uniform in (-0.5/dim, 0.5/dim).
+func (m *matrix) randomize(rng *mathx.RNG) {
+	for i := range m.bits {
+		m.bits[i] = math.Float64bits((rng.Float64() - 0.5) / float64(m.dim))
+	}
+}
+
+// row copies row v into scratch and returns scratch.
+func (m *matrix) row(v int32, scratch []float64) []float64 {
+	base := int(v) * m.dim
+	for i := range scratch {
+		scratch[i] = math.Float64frombits(atomic.LoadUint64(&m.bits[base+i]))
+	}
+	return scratch
+}
+
+// addScaled adds s*x to row v element-wise.
+func (m *matrix) addScaled(v int32, s float64, x []float64) {
+	base := int(v) * m.dim
+	for i, xv := range x {
+		p := &m.bits[base+i]
+		cur := math.Float64frombits(atomic.LoadUint64(p))
+		atomic.StoreUint64(p, math.Float64bits(cur+s*xv))
+	}
+}
+
+// rows converts the matrix to per-vertex slices once training finished;
+// the caller owns the result.
+func (m *matrix) rows() [][]float64 {
+	out := make([][]float64, m.n)
+	for v := 0; v < m.n; v++ {
+		row := make([]float64, m.dim)
+		base := v * m.dim
+		for i := range row {
+			row[i] = math.Float64frombits(m.bits[base+i])
+		}
+		out[v] = row
+	}
+	return out
+}

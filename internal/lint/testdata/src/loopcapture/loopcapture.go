@@ -40,6 +40,51 @@ func goodParamStyle(items []int) {
 	wg.Wait()
 }
 
+// badChunkBounds is the parallel kernel-row fan-out shape with the
+// chunk's loop variable referenced inside the goroutine instead of
+// passed as an argument.
+func badChunkBounds(row []float64, workers int) {
+	n := len(row)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := lo; j < hi; j++ { // want loopcapture
+				row[j] = 0
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// goodChunkBounds passes the chunk bounds as goroutine arguments, the
+// style computeRow uses for its disjoint row ranges.
+func goodChunkBounds(row []float64, workers int) {
+	n := len(row)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				row[j] = 0
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 func suppressedCapture(items []int) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex

@@ -4,7 +4,10 @@
 // be flagged, and a suppressed case.
 package fixture
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 func badAddInside(n int) {
 	var wg sync.WaitGroup
@@ -44,6 +47,49 @@ func goodNestedSpawner(jobs [][]int) {
 		}
 		inner.Wait()
 	}()
+	wg.Wait()
+}
+
+// goodChunkQueueWorkers is the degree-balanced projection pool shape: a
+// fixed fan-out of workers that claim work chunks from a shared atomic
+// cursor, with Add correctly preceding each spawn.
+func goodChunkQueueWorkers(workers int, items []int) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				_ = items[i]
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// badChunkQueueWorkers is the same pool with Add moved inside the
+// worker, where Wait can run before any worker has registered.
+func badChunkQueueWorkers(workers int, items []int) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			wg.Add(1) // want wgadd
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				_ = items[i]
+			}
+		}()
+	}
 	wg.Wait()
 }
 

@@ -141,6 +141,110 @@ func TestSigmoidMonotone(t *testing.T) {
 	}
 }
 
+func TestDotMatchesNaiveLoop(t *testing.T) {
+	// The unrolled Dot reassociates the sum; it must stay within a tight
+	// tolerance of the sequential reference for all lengths, including
+	// the remainder tail (len % 4 != 0).
+	rng := NewRNG(5)
+	for n := 0; n <= 13; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		want := 0.0
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); !almostEqual(got, want, 1e-12*(1+math.Abs(want))) {
+			t.Errorf("len %d: Dot = %v, naive = %v", n, got, want)
+		}
+	}
+}
+
+func TestSquaredNorm(t *testing.T) {
+	if got := SquaredNorm([]float64{3, 4}); !almostEqual(got, 25, 1e-12) {
+		t.Errorf("SquaredNorm = %v, want 25", got)
+	}
+	if SquaredNorm(nil) != 0 {
+		t.Error("SquaredNorm(nil) != 0")
+	}
+}
+
+func TestFastSigmoidErrorBound(t *testing.T) {
+	// Documented bound: < 2e-6 inside [-6, 6] (h²/8·max|σ″|), and the
+	// clamp error at the boundary is sigma(-6) ≈ 2.5e-3.
+	for x := -5.9995; x < 6.0; x += 1e-3 {
+		if diff := math.Abs(FastSigmoid(x) - Sigmoid(x)); diff > 2e-6 {
+			t.Fatalf("FastSigmoid(%v) off by %v, want < 2e-6", x, diff)
+		}
+	}
+	// At the clamp boundary the absolute error is sigma(-6) ≈ 2.5e-3.
+	if diff := math.Abs(FastSigmoid(-6) - Sigmoid(-6)); diff > 2.5e-3 {
+		t.Errorf("clamp error at -6 is %v, want <= 2.5e-3", diff)
+	}
+	if FastSigmoid(-100) != 0 || FastSigmoid(100) != 1 {
+		t.Error("FastSigmoid should clamp outside the table")
+	}
+	if FastSigmoid(-6) != 0 || FastSigmoid(6) != 1 {
+		t.Error("FastSigmoid boundary values should clamp")
+	}
+	if got := FastSigmoid(0); !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("FastSigmoid(0) = %v, want 0.5", got)
+	}
+}
+
+func TestFastSigmoidMonotone(t *testing.T) {
+	prev := -1.0
+	for x := -7.0; x <= 7.0; x += 1e-3 {
+		v := FastSigmoid(x)
+		if v < prev {
+			t.Fatalf("FastSigmoid not monotone at %v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestExpNegAccuracy(t *testing.T) {
+	// Documented bound: relative error below 1e-8 for x <= 0.
+	for x := -700.0; x <= 0; x += 0.37 {
+		got, want := ExpNeg(x), math.Exp(x)
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-8 {
+			t.Fatalf("ExpNeg(%v) relative error %v, want < 1e-8", x, rel)
+		}
+	}
+	if ExpNeg(0) != 1 {
+		t.Error("ExpNeg(0) != 1")
+	}
+	if ExpNeg(-1000) != 0 {
+		t.Error("ExpNeg(-1000) should underflow to 0")
+	}
+	// Positive inputs fall back to math.Exp exactly.
+	if ExpNeg(2.5) != math.Exp(2.5) {
+		t.Error("ExpNeg positive fallback mismatch")
+	}
+}
+
+func TestExpNegSubnormalRange(t *testing.T) {
+	// k < -1022 takes the Ldexp path; spot-check it stays finite and
+	// close to math.Exp.
+	for _, x := range []float64{-690, -700, -705, -708} {
+		got, want := ExpNeg(x), math.Exp(x)
+		if got < 0 || math.IsNaN(got) {
+			t.Fatalf("ExpNeg(%v) = %v", x, got)
+		}
+		if want > 0 {
+			if rel := math.Abs(got-want) / want; rel > 1e-6 {
+				t.Fatalf("ExpNeg(%v) relative error %v in subnormal range", x, rel)
+			}
+		}
+	}
+}
+
 func TestConcat(t *testing.T) {
 	got := Concat([]float64{1}, nil, []float64{2, 3})
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {

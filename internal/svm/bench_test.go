@@ -1,0 +1,52 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// embedLike generates n unit-normalized dim-d vectors with class
+// structure in a few coordinates — the shape of the LINE embeddings the
+// classifier consumes in the pipeline (§6).
+func embedLike(n, dim int, seed uint64) (X [][]float64, y []int) {
+	rng := mathx.NewRNG(seed)
+	X = make([][]float64, n)
+	y = make([]int, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = 0.1 * rng.NormFloat64()
+		}
+		label := i % 2
+		if label == 1 {
+			v[1] += 0.6
+			v[dim/2] -= 0.6
+		} else {
+			v[1] -= 0.6
+			v[dim/2] += 0.6
+		}
+		mathx.Normalize(v)
+		X[i] = v
+		y[i] = label
+	}
+	return X, y
+}
+
+// BenchmarkSVMTrain measures RBF-SMO training at the labeled-set scale
+// the experiments run at (n≈1k, embedding-dimensioned features),
+// reporting training examples consumed per second.
+func BenchmarkSVMTrain(b *testing.B) {
+	X, y := embedLike(1000, 32, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Train(X, y, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.NumSV() == 0 {
+			b.Fatal("no support vectors")
+		}
+	}
+	b.ReportMetric(float64(len(X))*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}

@@ -61,5 +61,6 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("svm: corrupt model: %d SVs vs %d coefficients",
 			len(m.svX), len(m.svCoef))
 	}
+	m.initFastPath()
 	return m, nil
 }

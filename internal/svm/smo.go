@@ -1,6 +1,12 @@
 package svm
 
-import "repro/internal/mathx"
+import (
+	"container/list"
+	"math/bits"
+	"sync"
+
+	"repro/internal/mathx"
+)
 
 // trainer holds the mutable SMO state. The implementation follows
 // Platt (1998): an outer loop alternating full sweeps with sweeps over
@@ -17,7 +23,34 @@ type trainer struct {
 	rng   *mathx.RNG
 	iters int
 
+	// xs is x flattened into one contiguous n×dim matrix (row j at
+	// xs[j*dim:]); kernel rows stream through it sequentially instead of
+	// chasing per-row slice headers scattered on the heap.
+	xs  []float64
+	dim int
+	// nonBound marks multipliers strictly inside (0, C). The SMO
+	// heuristics scan non-bound examples constantly (second-choice on
+	// every examine, then a full sweep); near convergence the set is
+	// small, so a bitset walk beats testing every alpha. Bits are always
+	// visited in ascending index order, so selection — including
+	// tie-breaks — is identical to the plain loop it replaces.
+	nonBound []uint64
+	// posAlpha marks multipliers with alpha > 0 (the current support
+	// vectors); errorOf sums over exactly these, in the same ascending
+	// order as the full scan it replaces.
+	posAlpha []uint64
+
 	rowLRU *rowCache
+	// workers bounds the parallel kernel-row fan-out (GOMAXPROCS at
+	// Train time); rows are computed serially when it is 1 or the row is
+	// short.
+	workers int
+	// RBF fast path: with per-vector squared norms cached, a kernel row
+	// entry is exp(-γ(‖xi‖²+‖xj‖²−2·xi·xj)) — one dot product instead of
+	// a subtract-square pass, and a bounded-error ExpNeg instead of
+	// math.Exp. rbfNorm is nil for non-RBF kernels.
+	rbfNorm  []float64
+	rbfGamma float64
 }
 
 func (t *trainer) run() {
@@ -68,14 +101,8 @@ func (t *trainer) examine(i2 int) int {
 		// Heuristic 2: sweep non-bound examples from a random start.
 		n := len(t.x)
 		start := t.rng.Intn(n)
-		for k := 0; k < n; k++ {
-			i1 := (start + k) % n
-			if i1 == i2 || t.alpha[i1] <= 0 || t.alpha[i1] >= c {
-				continue
-			}
-			if t.step(i1, i2) {
-				return 1
-			}
+		if t.sweepNonBound(start, len(t.alpha), i2) || t.sweepNonBound(0, start, i2) {
+			return 1
 		}
 		// Heuristic 3: sweep everything.
 		start = t.rng.Intn(n)
@@ -94,19 +121,55 @@ func (t *trainer) examine(i2 int) int {
 
 func (t *trainer) secondChoice(e2 float64) int {
 	best, bestGap := -1, -1.0
-	for i, a := range t.alpha {
-		if a <= 0 || a >= t.cfg.C {
-			continue
-		}
-		gap := t.errs[i] - e2
-		if gap < 0 {
-			gap = -gap
-		}
-		if gap > bestGap {
-			best, bestGap = i, gap
+	errs := t.errs
+	for w, word := range t.nonBound {
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			gap := errs[i] - e2
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > bestGap {
+				best, bestGap = i, gap
+			}
 		}
 	}
 	return best
+}
+
+// sweepNonBound tries step(i1, i2) for every non-bound i1 in [lo, hi) in
+// ascending order, returning true on the first successful step. It
+// visits exactly the indices the plain modular sweep visited, in the
+// same order.
+func (t *trainer) sweepNonBound(lo, hi, i2 int) bool {
+	for w := lo / 64; w*64 < hi; w++ {
+		word := t.nonBound[w]
+		if base := w * 64; base < lo {
+			word &= ^uint64(0) << uint(lo-base)
+		}
+		if rem := hi - w*64; rem < 64 {
+			word &= 1<<uint(rem) - 1
+		}
+		for word != 0 {
+			i1 := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i1 != i2 && t.step(i1, i2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// setBit sets or clears bit i of the bitset.
+func setBit(bs []uint64, i int, on bool) {
+	w, bit := i/64, uint(i%64)
+	if on {
+		bs[w] |= 1 << bit
+	} else {
+		bs[w] &^= 1 << bit
+	}
 }
 
 // step jointly optimizes the pair (i1, i2). It returns true when the
@@ -197,20 +260,29 @@ func (t *trainer) step(i1, i2 int) bool {
 	t.alpha[i1] = a1new
 	t.alpha[i2] = a2new
 	t.b = bNew
-	for i := range t.errs {
-		t.errs[i] += d1*row1[i] + d2*row2[i] + db
+	errs := t.errs
+	r1 := row1[:len(errs)]
+	r2 := row2[:len(errs)]
+	for i := range errs {
+		errs[i] += d1*r1[i] + d2*r2[i] + db
 	}
 	// Platt maintains E = 0 for freshly optimized non-bound multipliers;
 	// recompute exactly for pair members that landed on a bound.
+	setBit(t.posAlpha, i1, a1new > 0)
+	setBit(t.posAlpha, i2, a2new > 0)
 	if a1new > 0 && a1new < c {
 		t.errs[i1] = 0
+		setBit(t.nonBound, i1, true)
 	} else {
 		t.errs[i1] = t.errorOf(i1)
+		setBit(t.nonBound, i1, false)
 	}
 	if a2new > 0 && a2new < c {
 		t.errs[i2] = 0
+		setBit(t.nonBound, i2, true)
 	} else {
 		t.errs[i2] = t.errorOf(i2)
+		setBit(t.nonBound, i2, false)
 	}
 	t.iters++
 	return true
@@ -222,9 +294,12 @@ func (t *trainer) step(i1, i2 int) bool {
 func (t *trainer) errorOf(i int) float64 {
 	s := 0.0
 	row := t.kernelRow(i)
-	for j, a := range t.alpha {
-		if a > 0 {
-			s += a * t.y[j] * row[j]
+	alpha, ys := t.alpha, t.y
+	for w, word := range t.posAlpha {
+		for word != 0 {
+			j := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			s += alpha[j] * ys[j] * row[j]
 		}
 	}
 	return s - t.b - t.y[i]
@@ -234,20 +309,161 @@ func (t *trainer) kernelRow(i int) []float64 {
 	if row, ok := t.rowLRU.get(i); ok {
 		return row
 	}
-	row := make([]float64, len(t.x))
-	xi := t.x[i]
-	for j := range t.x {
-		row[j] = t.cfg.Kernel.Compute(xi, t.x[j])
-	}
-	t.rowLRU.put(i, row)
+	// take hands back the evicted row's buffer (or a fresh one while the
+	// cache is filling), so the steady state allocates nothing and never
+	// re-zeroes: computeRow overwrites every entry.
+	row := t.rowLRU.take(i)
+	t.computeRow(i, row)
 	return row
 }
 
-// rowCache is a bounded FIFO cache of kernel rows.
+// parallelRowMin is the row length below which the fan-out overhead of
+// parallel row computation exceeds the work itself.
+const parallelRowMin = 1024
+
+// computeRow fills row with k(x_i, x_j) for all j, splitting the row
+// across workers when it is long enough to amortize the goroutine
+// fan-out. Chunks are disjoint, so workers never write the same index.
+func (t *trainer) computeRow(i int, row []float64) {
+	n := len(t.x)
+	if t.workers <= 1 || n < parallelRowMin {
+		t.fillRowRange(i, row, 0, n)
+		return
+	}
+	chunk := (n + t.workers - 1) / t.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			t.fillRowRange(i, row, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// fillRowRange computes row[lo:hi] of kernel row i, using the cached
+// squared norms when the kernel is RBF. The RBF path walks the flat
+// feature matrix, so consecutive j read consecutive memory.
+func (t *trainer) fillRowRange(i int, row []float64, lo, hi int) {
+	dim := t.dim
+	if t.rbfNorm != nil {
+		xi := t.xs[i*dim : i*dim+dim]
+		ni := t.rbfNorm[i]
+		g := t.rbfGamma
+		norms := t.rbfNorm
+		xs := t.xs
+		// The dot products are written out (rather than calling
+		// mathx.Dot) so they stay in the row loop's inlining scope: at
+		// dim≈32 the call overhead is comparable to the dot itself.
+		// Four consecutive j share each xi load — the loop is load-bound
+		// — and two accumulators per j break the FP dependency chains.
+		// The per-j summation (even k into one accumulator, odd k into
+		// the other, remainder appended) is identical in the blocked
+		// body and the tail, so every k(i, j) is bit-reproducible no
+		// matter where chunk boundaries fall or how many workers run.
+		j := lo
+		for ; j+4 <= hi; j += 4 {
+			base := j * dim
+			xj0 := xs[base : base+dim]
+			xj1 := xs[base+dim : base+2*dim]
+			xj2 := xs[base+2*dim : base+3*dim]
+			xj3 := xs[base+3*dim : base+4*dim]
+			var a0, b0, a1, b1, a2, b2, a3, b3 float64
+			k := 0
+			for ; k+2 <= dim; k += 2 {
+				x0, x1 := xi[k], xi[k+1]
+				a0 += x0 * xj0[k]
+				b0 += x1 * xj0[k+1]
+				a1 += x0 * xj1[k]
+				b1 += x1 * xj1[k+1]
+				a2 += x0 * xj2[k]
+				b2 += x1 * xj2[k+1]
+				a3 += x0 * xj3[k]
+				b3 += x1 * xj3[k+1]
+			}
+			dot0, dot1, dot2, dot3 := a0+b0, a1+b1, a2+b2, a3+b3
+			for ; k < dim; k++ {
+				x := xi[k]
+				dot0 += x * xj0[k]
+				dot1 += x * xj1[k]
+				dot2 += x * xj2[k]
+				dot3 += x * xj3[k]
+			}
+			d0 := ni + norms[j] - 2*dot0
+			d1 := ni + norms[j+1] - 2*dot1
+			d2 := ni + norms[j+2] - 2*dot2
+			d3 := ni + norms[j+3] - 2*dot3
+			// Rounding can push ‖xi−xj‖² a hair below zero.
+			if d0 < 0 {
+				d0 = 0
+			}
+			if d1 < 0 {
+				d1 = 0
+			}
+			if d2 < 0 {
+				d2 = 0
+			}
+			if d3 < 0 {
+				d3 = 0
+			}
+			row[j] = mathx.ExpNeg(-g * d0)
+			row[j+1] = mathx.ExpNeg(-g * d1)
+			row[j+2] = mathx.ExpNeg(-g * d2)
+			row[j+3] = mathx.ExpNeg(-g * d3)
+		}
+		for ; j < hi; j++ {
+			xj := xs[j*dim : j*dim+dim]
+			var a, b float64
+			k := 0
+			for ; k+2 <= dim; k += 2 {
+				a += xi[k] * xj[k]
+				b += xi[k+1] * xj[k+1]
+			}
+			dot := a + b
+			for ; k < dim; k++ {
+				dot += xi[k] * xj[k]
+			}
+			d := ni + norms[j] - 2*dot
+			if d < 0 {
+				d = 0
+			}
+			row[j] = mathx.ExpNeg(-g * d)
+		}
+		return
+	}
+	xi := t.x[i]
+	for j := lo; j < hi; j++ {
+		row[j] = t.cfg.Kernel.Compute(xi, t.x[j])
+	}
+}
+
+// rowCache is a bounded LRU cache of kernel rows: get refreshes recency,
+// take registers a key at the most-recent position and hands its caller
+// a buffer to fill — recycling the evicted row's buffer once the cache
+// is full, so the steady state allocates nothing.
 type rowCache struct {
-	rows  map[int][]float64
-	order []int
-	cap   int
+	rows map[int]*list.Element
+	lru  *list.List // front = most recently used
+	cap  int
+	n    int // row length
+	// arena is the tail of the current allocation block; new rows are
+	// sliced off it so the cache makes a handful of large allocations
+	// instead of one small zeroed allocation per row.
+	arena []float64
+}
+
+// arenaBlockRows is how many rows each arena block holds.
+const arenaBlockRows = 64
+
+// rowEntry is the list payload: the row index plus its kernel values.
+type rowEntry struct {
+	key int
+	row []float64
 }
 
 func newRowCache(n, capRows int) *rowCache {
@@ -257,26 +473,53 @@ func newRowCache(n, capRows int) *rowCache {
 	if capRows > n {
 		capRows = n
 	}
-	return &rowCache{rows: make(map[int][]float64, capRows), cap: capRows}
+	return &rowCache{rows: make(map[int]*list.Element, capRows), lru: list.New(), cap: capRows, n: n}
 }
 
 func (c *rowCache) get(i int) ([]float64, bool) {
-	row, ok := c.rows[i]
-	return row, ok
+	el, ok := c.rows[i]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*rowEntry).row, true
 }
 
-func (c *rowCache) put(i int, row []float64) {
-	if _, exists := c.rows[i]; exists {
-		return
+// take returns the buffer registered under key i, inserting i at the
+// most-recent position first. On a miss it evicts the least recently
+// used row once the cache is full and recycles both its list element and
+// its buffer. The buffer's previous contents are preserved for an
+// existing key and stale garbage otherwise — the caller fills all n
+// entries after a miss.
+func (c *rowCache) take(i int) []float64 {
+	if el, ok := c.rows[i]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*rowEntry).row
 	}
 	if len(c.rows) >= c.cap {
-		old := c.order[0]
-		c.order = c.order[1:]
-		delete(c.rows, old)
+		back := c.lru.Back()
+		ent := back.Value.(*rowEntry)
+		delete(c.rows, ent.key)
+		ent.key = i
+		c.lru.MoveToFront(back)
+		c.rows[i] = back
+		return ent.row
 	}
-	c.rows[i] = row
-	c.order = append(c.order, i)
+	if len(c.arena) < c.n {
+		blockRows := arenaBlockRows
+		if left := c.cap - len(c.rows); left < blockRows {
+			blockRows = left
+		}
+		c.arena = make([]float64, c.n*blockRows)
+	}
+	row := c.arena[:c.n:c.n]
+	c.arena = c.arena[c.n:]
+	c.rows[i] = c.lru.PushFront(&rowEntry{key: i, row: row})
+	return row
 }
+
+// len reports the number of cached rows.
+func (c *rowCache) len() int { return len(c.rows) }
 
 func maxf(a, b float64) float64 {
 	if a > b {

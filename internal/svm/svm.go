@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/mathx"
 )
@@ -96,6 +97,30 @@ type Model struct {
 	b      float64
 	// Iters reports SMO pair-optimization steps taken during training.
 	Iters int
+
+	// RBF decision fast path (see initFastPath): per-SV squared norms so
+	// Decision needs one dot product per support vector instead of a
+	// subtract-square distance pass.
+	rbf      bool
+	rbfGamma float64
+	svNorm   []float64
+}
+
+// initFastPath precomputes the per-support-vector squared norms that let
+// RBF decisions use ‖sv−x‖² = ‖sv‖²+‖x‖²−2·sv·x. Called once after
+// training or deserialization; models are immutable afterwards, so the
+// cached norms stay valid.
+func (m *Model) initFastPath() {
+	rbf, ok := m.kernel.(RBF)
+	if !ok {
+		return
+	}
+	m.rbf = true
+	m.rbfGamma = rbf.Gamma
+	m.svNorm = make([]float64, len(m.svX))
+	for i, sv := range m.svX {
+		m.svNorm[i] = mathx.SquaredNorm(sv)
+	}
 }
 
 // Errors returned by Train.
@@ -133,14 +158,29 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults(n)
 
 	t := &trainer{
-		cfg:    cfg,
-		x:      X,
-		y:      make([]float64, n),
-		alpha:  make([]float64, n),
-		errs:   make([]float64, n),
-		rng:    mathx.NewRNG(cfg.Seed),
-		diag:   make([]float64, n),
-		rowLRU: newRowCache(n, 256<<20/(8*n)+1),
+		cfg:      cfg,
+		x:        X,
+		y:        make([]float64, n),
+		alpha:    make([]float64, n),
+		errs:     make([]float64, n),
+		rng:      mathx.NewRNG(cfg.Seed),
+		diag:     make([]float64, n),
+		rowLRU:   newRowCache(n, 256<<20/(8*n)+1),
+		workers:  runtime.GOMAXPROCS(0),
+		xs:       make([]float64, n*dim),
+		dim:      dim,
+		nonBound: make([]uint64, (n+63)/64),
+		posAlpha: make([]uint64, (n+63)/64),
+	}
+	for i, x := range X {
+		copy(t.xs[i*dim:], x)
+	}
+	if rbf, ok := cfg.Kernel.(RBF); ok {
+		t.rbfGamma = rbf.Gamma
+		t.rbfNorm = make([]float64, n)
+		for i, x := range X {
+			t.rbfNorm[i] = mathx.SquaredNorm(x)
+		}
 	}
 	for i := range y {
 		if y[i] == 1 {
@@ -166,6 +206,7 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 			m.svCoef = append(m.svCoef, a*t.y[i])
 		}
 	}
+	m.initFastPath()
 	return m, nil
 }
 
@@ -173,6 +214,17 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 // predicts malicious (class 1).
 func (m *Model) Decision(x []float64) float64 {
 	s := m.b
+	if m.rbf {
+		nx := mathx.SquaredNorm(x)
+		for i, sv := range m.svX {
+			d := m.svNorm[i] + nx - 2*mathx.Dot(sv, x)
+			if d < 0 { // rounding guard; true squared distances are >= 0
+				d = 0
+			}
+			s += m.svCoef[i] * mathx.ExpNeg(-m.rbfGamma*d)
+		}
+		return s
+	}
 	for i, sv := range m.svX {
 		s += m.svCoef[i] * m.kernel.Compute(sv, x)
 	}

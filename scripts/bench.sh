@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench.sh — benchmark runner for the detection pipeline's hot paths.
+#
+# full mode (default) runs the microbenchmarks for the three hot stages
+# (bipartite projection, LINE training, SVM training) with -benchmem,
+# then the root table/figure reproduction benchmarks once each, and
+# converts the combined log into BENCH_2.json via cmd/benchjson.
+#
+# short mode runs each microbenchmark for a single iteration as a smoke
+# test (wired into scripts/check.sh) and emits no JSON.
+#
+# Usage: scripts/bench.sh [full|short]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+micro_pkgs=(./internal/bipartite ./internal/line ./internal/svm)
+
+case "$mode" in
+short)
+    go test -run='^$' -bench=. -benchtime=1x "${micro_pkgs[@]}" | tee "$log"
+    ;;
+full)
+    go test -run='^$' -bench=. -benchmem "${micro_pkgs[@]}" | tee "$log"
+    go test -run='^$' -bench=. -benchtime=1x -timeout 60m . | tee -a "$log"
+    go run ./cmd/benchjson <"$log" >BENCH_2.json
+    echo "wrote BENCH_2.json"
+    ;;
+*)
+    echo "usage: scripts/bench.sh [full|short]" >&2
+    exit 1
+    ;;
+esac

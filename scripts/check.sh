@@ -35,6 +35,9 @@ go run ./cmd/maldlint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> benchmark smoke (scripts/bench.sh short)"
+scripts/bench.sh short
+
 if [ "$fuzztime" != "0" ]; then
     echo "==> fuzz smoke (${fuzztime} per target)"
     go test -run='^$' -fuzz='^FuzzDecodeMessage$' -fuzztime="$fuzztime" ./internal/dnswire
