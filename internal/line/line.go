@@ -13,10 +13,14 @@
 //
 // Optimization is asynchronous (hogwild-style): workers update the shared
 // embedding matrices without locking. The matrix storage is selected by
-// build tag (see matrix_norace.go / matrix_race.go): normal builds use a
-// plain []float64 with genuinely unsynchronized hogwild updates — the
-// reference implementation's scheme — while race-detector builds swap in
-// an atomic bit-pattern matrix so `go test -race` stays clean. Colliding
+// build tag (see matrix_norace.go / matrix_race.go): normal builds on
+// 64-bit platforms (amd64/arm64, where aligned float64 accesses never
+// tear) use a plain []float64 with genuinely unsynchronized hogwild
+// updates — the reference implementation's scheme — while race-detector
+// builds and other architectures swap in an atomic bit-pattern matrix,
+// so `go test -race` stays clean and 32-bit builds stay torn-free. The
+// production hogwild path is thus intentionally exempt from race
+// checking: the detector exercises the atomic variant. Colliding
 // updates may lose an increment in either variant, which is exactly the
 // perturbation hogwild SGD tolerates. With Workers=1 training is fully
 // deterministic in the seed.
@@ -235,6 +239,17 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 
 				ei := edgeSampler.Sample(rng)
 				u, v := g.EdgesU[ei], g.EdgesV[ei]
+				// Skip self-loops: with tgt == emb (first order) they would
+				// alias src and dst, and the unsynchronized matrix's live
+				// rows would let the negative-sample dots observe the
+				// positive update mid-step — diverging from the atomic
+				// variant's scratch-copy reads and breaking the Workers=1
+				// cross-build bit-identical guarantee. Projection graphs
+				// never contain them (edges always have U < V), so this is
+				// purely defensive.
+				if u == v {
+					continue
+				}
 				// Undirected edge: train in a random direction each step.
 				if rng.Float64() < 0.5 {
 					u, v = v, u

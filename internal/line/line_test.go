@@ -146,6 +146,42 @@ func TestOddDimRejectedForBoth(t *testing.T) {
 	}
 }
 
+func TestSelfLoopEdgesAreSkipped(t *testing.T) {
+	// graph.Build rejects self-loops, but package line does not control
+	// its inputs: a hand-built Weighted can carry u==v edges. In the
+	// first-order objective a self-loop would alias src and dst (the
+	// unsynchronized matrix returns live rows), so trainOrder skips
+	// them; training must stay finite and Workers=1 deterministic.
+	g := &graph.Weighted{
+		N:      3,
+		EdgesU: []int32{0, 1, 2},
+		EdgesV: []int32{1, 2, 2}, // (2,2) is a self-loop
+		EdgesW: []float64{1, 1, 5},
+		Degree: []float64{1, 2, 11},
+	}
+	cfg := Config{Dim: 8, Order: OrderFirst, Samples: 20_000, Seed: 3, Workers: 1, Negatives: 2}
+	e1, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range e1.Vectors {
+		for i := range e1.Vectors[v] {
+			x := e1.Vectors[v][i]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("vertex %d component %d is %v", v, i, x)
+			}
+			if x != e2.Vectors[v][i] {
+				t.Fatalf("vertex %d differs across identically seeded runs: %v vs %v",
+					v, x, e2.Vectors[v][i])
+			}
+		}
+	}
+}
+
 func TestDeterministicSingleWorker(t *testing.T) {
 	g := twoCliques(5)
 	cfg := Config{Dim: 8, Order: OrderFirst, Samples: 20_000, Seed: 11, Workers: 1}

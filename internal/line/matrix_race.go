@@ -1,4 +1,4 @@
-//go:build race
+//go:build race || !(amd64 || arm64)
 
 package line
 
@@ -9,17 +9,20 @@ import (
 	"repro/internal/mathx"
 )
 
-// matrix is the race-build embedding store: an n×dim float64 matrix held
+// matrix is the safe-path embedding store: an n×dim float64 matrix held
 // as a flat slice of bit patterns accessed with sync/atomic. It gives
 // the hogwild SGD workers lock-free shared updates without data races:
 // concurrent addScaled calls to the same element may lose one increment
 // (load and store are two operations), but every read and write is
 // atomic, so the race detector is satisfied and no torn values are ever
-// observed. Normal builds select the plain []float64 variant in
-// matrix_norace.go, which skips the atomic traffic entirely; with
-// Workers=1 both variants perform identical arithmetic in the same
-// order, so training stays bit-deterministic in the seed across build
-// modes.
+// observed. It is selected under the race detector and on every
+// platform where plain float64 accesses could tear (anything other than
+// amd64/arm64); those 64-bit builds select the unsynchronized
+// []float64 variant in matrix_norace.go, which skips the atomic traffic
+// entirely. The uint64 slice is 64-bit aligned by the Go allocator, so
+// the atomics are valid on 32-bit platforms too. With Workers=1 both
+// variants perform identical arithmetic in the same order, so training
+// stays bit-deterministic in the seed across build modes.
 type matrix struct {
 	n, dim int
 	bits   []uint64

@@ -163,6 +163,12 @@ func FastSigmoid(x float64) float64 {
 	}
 	f := (x + sigBound) * sigScale
 	i := int(f)
+	if i >= sigIntervals {
+		// x one ulp below sigBound can still round (x+sigBound)*sigScale
+		// up to exactly sigIntervals, which would read past the last
+		// knot; treat it as the boundary clamp.
+		return 1
+	}
 	frac := f - float64(i)
 	return sigTable[i] + frac*(sigTable[i+1]-sigTable[i])
 }

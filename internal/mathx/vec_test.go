@@ -195,6 +195,23 @@ func TestFastSigmoidErrorBound(t *testing.T) {
 	}
 }
 
+func TestFastSigmoidBoundary(t *testing.T) {
+	// Regression: x one ulp inside the table bound passes the clamp
+	// check but (x+sigBound)*sigScale can round up to exactly the knot
+	// count, which used to index one past the end of the table.
+	x, y := 6.0, -6.0
+	for i := 0; i < 64; i++ {
+		for _, v := range []float64{x, y} {
+			got := FastSigmoid(v)
+			if diff := math.Abs(got - Sigmoid(v)); diff > 2.5e-3 {
+				t.Fatalf("FastSigmoid(%v) = %v, off by %v, want <= 2.5e-3", v, got, diff)
+			}
+		}
+		x = math.Nextafter(x, -1)
+		y = math.Nextafter(y, 1)
+	}
+}
+
 func TestFastSigmoidMonotone(t *testing.T) {
 	prev := -1.0
 	for x := -7.0; x <= 7.0; x += 1e-3 {

@@ -196,6 +196,14 @@ func (t *trainer) step(i1, i2 int) bool {
 		return false
 	}
 
+	// row1 is cache-owned storage, valid only until a later kernelRow
+	// miss evicts its entry (see rowCache.take). It must survive exactly
+	// one potential miss — the kernelRow(i2) fetch below — which holds
+	// because newRowCache enforces cap >= 2 and this fetch leaves i1 at
+	// the MRU position, so a subsequent single miss evicts some other
+	// row. Do not insert additional kernelRow calls between here and the
+	// last use of row1 (the error-cache refresh loop) without revisiting
+	// that invariant.
 	row1 := t.kernelRow(i1)
 	k11 := t.diag[i1]
 	k22 := t.diag[i2]
@@ -239,7 +247,10 @@ func (t *trainer) step(i1, i2 int) bool {
 		a1new = c
 	}
 
-	// Update threshold b (Platt's b1/b2 rule).
+	// Update threshold b (Platt's b1/b2 rule). This fetch may miss and
+	// recycle the LRU buffer; row1 is safe because i1 is at the MRU
+	// position (fetched above, cap >= 2), but after this point a further
+	// miss could corrupt row1 — errorOf below only ever hits i1/i2.
 	row2 := t.kernelRow(i2)
 	b1 := e1 + y1*(a1new-a1)*k11 + y2*(a2new-a2)*k12 + t.b
 	b2 := e2 + y1*(a1new-a1)*k12 + y2*(a2new-a2)*k22 + t.b
@@ -491,6 +502,13 @@ func (c *rowCache) get(i int) ([]float64, bool) {
 // its buffer. The buffer's previous contents are preserved for an
 // existing key and stale garbage otherwise — the caller fills all n
 // entries after a miss.
+//
+// Lifetime invariant: buffers returned by get/take are cache-owned and
+// remain valid only until a later miss evicts their entry. Because
+// newRowCache enforces cap >= 2, the MRU row is always guaranteed to
+// survive the next single miss — step() relies on exactly that to keep
+// row1 intact across its row2 fetch. Callers that need a row to outlive
+// more than one subsequent miss must copy it.
 func (c *rowCache) take(i int) []float64 {
 	if el, ok := c.rows[i]; ok {
 		c.lru.MoveToFront(el)
