@@ -1,15 +1,23 @@
 // Command maldetect runs the paper's end-to-end detection pipeline on a
-// DNS trace in the text log format written by cmd/dnsgen: it builds the
-// three bipartite graphs, learns LINE embeddings, trains the SVM on a
-// labeled subset, and scores every retained domain.
+// DNS trace in the text log format written by cmd/dnsgen.
 //
 // Usage:
 //
 //	maldetect -trace trace.tsv -truth truth.tsv [-train-frac 0.7] [-seed N] [-top 25]
+//	maldetect train -trace trace.tsv -truth truth.tsv -out model.bin [-dhcp leases.tsv] [-seed N]
+//	maldetect score -model model.bin [-top 25] [domain ...]
 //
-// The truth file supplies labels; a train-frac fraction (stratified) is
-// used for training and the rest is scored, printing the top suspicious
-// held-out domains and held-out AUC.
+// The default (no subcommand) mode builds the model, trains the SVM on a
+// stratified train-frac fraction of the labeled domains, and scores the
+// held-out rest, printing the top suspicious domains and held-out AUC.
+//
+// The train subcommand builds the model, trains the SVM on every labeled
+// retained domain, and persists the full model (domain set, per-view
+// embeddings, classifier, config fingerprint) to -out; score loads such
+// a file and serves decision values for the given domains — or ranks all
+// retained domains when none are given — without rebuilding anything.
+// Every model build prints a per-stage report (wall time, vertex/edge/
+// sample counts) to stderr.
 package main
 
 import (
@@ -29,25 +37,41 @@ import (
 )
 
 func main() {
-	var (
-		tracePath = flag.String("trace", "trace.tsv", "input trace (text log format)")
-		truthPath = flag.String("truth", "truth.tsv", "ground-truth labels")
-		dhcpPath  = flag.String("dhcp", "", "DHCP lease log for device pinning (optional)")
-		trainFrac = flag.Float64("train-frac", 0.7, "fraction of labeled domains used for training")
-		seed      = flag.Uint64("seed", 1, "seed for embedding/SVM/shuffle")
-		top       = flag.Int("top", 25, "suspicious domains to print")
-	)
-	flag.Parse()
-	if err := run(*tracePath, *truthPath, *dhcpPath, *trainFrac, *seed, *top); err != nil {
+	var err error
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "train":
+			err = runTrain(os.Args[2:])
+		case "score":
+			err = runScore(os.Args[2:])
+		default:
+			err = fmt.Errorf("unknown subcommand %q (want train or score)", os.Args[1])
+		}
+	} else {
+		var (
+			tracePath = flag.String("trace", "trace.tsv", "input trace (text log format)")
+			truthPath = flag.String("truth", "truth.tsv", "ground-truth labels")
+			dhcpPath  = flag.String("dhcp", "", "DHCP lease log for device pinning (optional)")
+			trainFrac = flag.Float64("train-frac", 0.7, "fraction of labeled domains used for training")
+			seed      = flag.Uint64("seed", 1, "seed for embedding/SVM/shuffle")
+			top       = flag.Int("top", 25, "suspicious domains to print")
+		)
+		flag.Parse()
+		err = run(*tracePath, *truthPath, *dhcpPath, *trainFrac, *seed, *top)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "maldetect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, top int) error {
+// loadDetector reads the trace (two passes: one to discover the capture
+// window, one to consume), builds the model, and prints the per-stage
+// build report.
+func loadDetector(tracePath, dhcpPath string, seed uint64) (*core.Detector, error) {
 	f, err := os.Open(tracePath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 
@@ -64,10 +88,10 @@ func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, 
 		}
 		n++
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	if n == 0 {
-		return fmt.Errorf("trace %s is empty", tracePath)
+		return nil, fmt.Errorf("trace %s is empty", tracePath)
 	}
 	days := int(last.Sub(first).Hours()/24) + 1
 	start := first.Truncate(24 * time.Hour)
@@ -76,7 +100,7 @@ func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, 
 	if dhcpPath != "" {
 		leases, err := readLeases(dhcpPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		resolver = dhcp.NewResolver(leases)
 		fmt.Fprintf(os.Stderr, "maldetect: loaded %d DHCP leases\n", len(leases))
@@ -84,32 +108,55 @@ func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, 
 
 	det := core.NewDetector(core.Config{Start: start, Days: days, DHCP: resolver, Seed: seed})
 	if _, err := f.Seek(0, 0); err != nil {
-		return err
+		return nil, err
 	}
 	if err := pipeline.ReadLog(bufio.NewReaderSize(f, 1<<20), func(in pipeline.Input) {
 		det.Consume(in)
 	}); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "maldetect: consumed %d observations over %d days\n", n, days)
 
 	if err := det.BuildModel(); err != nil {
-		return err
+		return nil, err
 	}
+	printBuildReport(det)
 	stats, err := det.Stats()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "maldetect: %d devices, %d observed e2LDs, %d retained\n",
 		stats.Devices, stats.ObservedE2LDs, stats.RetainedE2LDs)
+	return det, nil
+}
 
+// printBuildReport writes the staged-build timing table to stderr.
+func printBuildReport(det *core.Detector) {
+	report, err := det.BuildReport()
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "maldetect: build stages:")
+	for _, st := range report.Stages {
+		line := fmt.Sprintf("  %-14s %12s  %7d vertices  %8d edges", st.Name,
+			st.Duration.Round(time.Microsecond), st.Vertices, st.Edges)
+		if st.Samples > 0 {
+			line += fmt.Sprintf("  %9d samples", st.Samples)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	fmt.Fprintf(os.Stderr, "  %-14s %12s\n", "total", report.Total.Round(time.Microsecond))
+}
+
+// labeledRetained intersects the truth file with the retained domain set.
+func labeledRetained(det *core.Detector, truthPath string) ([]string, []int, error) {
 	truth, err := readTruth(truthPath)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	retained, err := det.Domains()
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	var domains []string
 	var labels []int
@@ -118,6 +165,136 @@ func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, 
 			domains = append(domains, d)
 			labels = append(labels, lab)
 		}
+	}
+	return domains, labels, nil
+}
+
+// runTrain builds a model from a trace, trains the classifier on every
+// labeled retained domain, and persists the result for score.
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	var (
+		tracePath = fs.String("trace", "trace.tsv", "input trace (text log format)")
+		truthPath = fs.String("truth", "truth.tsv", "ground-truth labels")
+		dhcpPath  = fs.String("dhcp", "", "DHCP lease log for device pinning (optional)")
+		seed      = fs.Uint64("seed", 1, "seed for embedding/SVM")
+		outPath   = fs.String("out", "model.bin", "output model file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	det, err := loadDetector(*tracePath, *dhcpPath, *seed)
+	if err != nil {
+		return err
+	}
+	domains, labels, err := labeledRetained(det, *truthPath)
+	if err != nil {
+		return err
+	}
+	if len(domains) < 2 {
+		return fmt.Errorf("only %d labeled retained domains", len(domains))
+	}
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "maldetect: trained on %d domains (%d SVs)\n",
+		len(clf.Used), clf.Model().NumSV())
+
+	out, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := det.SaveModel(out, clf); err != nil {
+		_ = out.Close() // the save error is the one worth reporting
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved model: %s (%d bytes, %d domains)\n", *outPath, info.Size(), len(mustDomains(det)))
+	fmt.Printf("fingerprint: %s\n", det.Config().Fingerprint())
+	return nil
+}
+
+func mustDomains(det *core.Detector) []string {
+	d, _ := det.Domains()
+	return d
+}
+
+// runScore loads a persisted model and serves decision values: for the
+// domains given as arguments, or ranked over every retained domain.
+func runScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "model.bin", "model file written by train")
+		top       = fs.Int("top", 25, "domains to print when ranking the whole model")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	sc, err := core.LoadScorer(bufio.NewReaderSize(f, 1<<20))
+	_ = f.Close() // read-only; decode errors surface through err
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "maldetect: loaded model with %d domains\n", len(sc.Domains()))
+	fmt.Fprintf(os.Stderr, "maldetect: fingerprint: %s\n", sc.Fingerprint())
+
+	if fs.NArg() > 0 {
+		for _, d := range fs.Args() {
+			s, ok := sc.Score(d)
+			if !ok {
+				fmt.Printf("%-36s not in model\n", d)
+				continue
+			}
+			verdict := "benign"
+			if p, _ := sc.Predict(d); p == 1 {
+				verdict = "malicious"
+			}
+			fmt.Printf("%-36s %10.4f  %s\n", d, s, verdict)
+		}
+		return nil
+	}
+
+	type scored struct {
+		domain string
+		score  float64
+	}
+	var results []scored
+	for _, d := range sc.Domains() {
+		if s, ok := sc.Score(d); ok {
+			results = append(results, scored{d, s})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].score > results[j].score })
+	fmt.Printf("top %d suspicious domains:\n", *top)
+	fmt.Printf("%-36s %10s\n", "domain", "score")
+	for i, r := range results {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-36s %10.4f\n", r.domain, r.score)
+	}
+	return nil
+}
+
+func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, top int) error {
+	det, err := loadDetector(tracePath, dhcpPath, seed)
+	if err != nil {
+		return err
+	}
+	domains, labels, err := labeledRetained(det, truthPath)
+	if err != nil {
+		return err
 	}
 	if len(domains) < 10 {
 		return fmt.Errorf("only %d labeled retained domains", len(domains))

@@ -13,7 +13,6 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/dhcp"
 	"repro/internal/etld"
-	"repro/internal/graph"
 	"repro/internal/line"
 	"repro/internal/pipeline"
 	"repro/internal/svm"
@@ -64,6 +63,14 @@ type Config struct {
 	Workers int
 	// Seed drives every stochastic stage.
 	Seed uint64
+
+	// EmbedInit, when set, is consulted at the start of each embedding
+	// stage to warm-start LINE: it receives the view and the retained
+	// domain list and returns one initial vector per domain (nil rows
+	// fall back to random initialization), or nil for a cold start. The
+	// streaming mode uses it to seed each remodel with the previous
+	// window's vectors for persisting domains.
+	EmbedInit func(view bipartite.View, domains []string) [][]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +108,7 @@ type Detector struct {
 	embeddings  map[bipartite.View]*line.Embedding
 	domains     []string
 	index       map[string]int
+	report      BuildReport
 }
 
 // ModelStats summarizes the built model for reports and logs.
@@ -126,6 +134,17 @@ func NewDetector(cfg Config) *Detector {
 	}
 }
 
+// NewDetectorWith returns a Detector that models the aggregates already
+// accumulated in proc instead of starting from an empty pipeline. The
+// processor must have been built with the same Start/Suffixes the
+// detector config describes (the streaming mode merges per-day
+// processors and hands the result here, skipping any replay of raw
+// observations). The detector takes ownership of proc; callers must not
+// keep consuming into it.
+func NewDetectorWith(cfg Config, proc *pipeline.Processor) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), proc: proc}
+}
+
 // Errors returned by Detector methods.
 var (
 	ErrAlreadyBuilt = errors.New("core: model already built")
@@ -146,61 +165,36 @@ func (d *Detector) Processor() *pipeline.Processor { return d.proc }
 // Config returns the detector's effective (defaulted) configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
-// BuildModel runs behavioral modeling and feature learning: bipartite
-// graph construction with pruning, the three one-mode projections, and
-// one LINE embedding per view.
+// BuildModel runs behavioral modeling and feature learning as a
+// sequence of named stages (see stages.go): bipartite graph
+// construction with pruning, the three one-mode projections, and one
+// LINE embedding per view. Per-stage timings and counts are recorded
+// and available through BuildReport afterwards.
 func (d *Detector) BuildModel() error {
 	if d.built {
 		return ErrAlreadyBuilt
 	}
-	q, ip, tg := bipartite.Build(d.proc.Stats(), d.proc.DeviceCount(), d.cfg.Prune)
-	if len(q.Domains) == 0 {
-		return ErrNoDomains
+	a, report, err := d.runBuild(d.buildStages())
+	if err != nil {
+		return err
 	}
-	d.graphs = map[bipartite.View]*bipartite.Graph{
-		bipartite.ViewQuery: q,
-		bipartite.ViewIP:    ip,
-		bipartite.ViewTime:  tg,
-	}
-	d.domains = q.Domains
-	d.index = q.DomainIndex()
-
-	d.projections = make(map[bipartite.View]*bipartite.Projection, 3)
-	d.embeddings = make(map[bipartite.View]*line.Embedding, 3)
-	for _, view := range bipartite.Views {
-		minSim := d.cfg.MinSimilarity
-		if view == bipartite.ViewTime && d.cfg.TimeMinSimilarity > 0 {
-			minSim = d.cfg.TimeMinSimilarity
-		}
-		proj := bipartite.Project(d.graphs[view], bipartite.ProjectConfig{
-			MinSimilarity: minSim,
-			MaxAttrDegree: d.cfg.MaxAttrDegree,
-			Workers:       d.cfg.Workers,
-		})
-		d.projections[view] = proj
-
-		edges := make([]graph.Edge, len(proj.Edges))
-		for i, e := range proj.Edges {
-			edges[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
-		}
-		g, err := graph.Build(len(d.domains), edges)
-		if err != nil {
-			return fmt.Errorf("core: building %v similarity graph: %w", view, err)
-		}
-		emb, err := line.Train(g, line.Config{
-			Dim:     d.cfg.EmbedDim,
-			Order:   d.cfg.EmbedOrder,
-			Samples: d.cfg.EmbedSamples,
-			Workers: d.cfg.Workers,
-			Seed:    d.cfg.Seed ^ uint64(view)*0x9e3779b97f4a7c15,
-		})
-		if err != nil {
-			return fmt.Errorf("core: embedding %v view: %w", view, err)
-		}
-		d.embeddings[view] = emb
-	}
+	d.graphs = a.graphs
+	d.domains = a.domains
+	d.index = a.index
+	d.projections = a.projections
+	d.embeddings = a.embeddings
+	d.report = report
 	d.built = true
 	return nil
+}
+
+// BuildReport returns the per-stage timing and size report of the
+// BuildModel run.
+func (d *Detector) BuildReport() (BuildReport, error) {
+	if !d.built {
+		return BuildReport{}, ErrNotBuilt
+	}
+	return d.report, nil
 }
 
 // Stats summarizes the built model.
@@ -245,6 +239,15 @@ func (d *Detector) Projection(v bipartite.View) (*bipartite.Projection, error) {
 	return d.projections[v], nil
 }
 
+// Embedding returns one view's trained LINE embedding. The result is
+// the detector's live model state; treat it as read-only.
+func (d *Detector) Embedding(v bipartite.View) (*line.Embedding, error) {
+	if !d.built {
+		return nil, ErrNotBuilt
+	}
+	return d.embeddings[v], nil
+}
+
 // FeatureVector returns the domain's feature representation built from
 // the requested views, concatenated in the given order (§6.1 uses all
 // three: [V1..Vk | Vk+1..V2k | V2k+1..V3k]). ok is false for domains not
@@ -269,7 +272,11 @@ func (d *Detector) FeatureVector(domain string, views ...bipartite.View) ([]floa
 
 // FeatureMatrix builds vectors for a slice of domains, skipping ones not
 // retained; it returns the matrix and the corresponding kept domains.
-func (d *Detector) FeatureMatrix(domains []string, views ...bipartite.View) ([][]float64, []string) {
+// Like its sibling accessors it returns ErrNotBuilt before BuildModel.
+func (d *Detector) FeatureMatrix(domains []string, views ...bipartite.View) ([][]float64, []string, error) {
+	if !d.built {
+		return nil, nil, ErrNotBuilt
+	}
 	var X [][]float64
 	var kept []string
 	for _, dom := range domains {
@@ -278,7 +285,7 @@ func (d *Detector) FeatureMatrix(domains []string, views ...bipartite.View) ([][
 			kept = append(kept, dom)
 		}
 	}
-	return X, kept
+	return X, kept, nil
 }
 
 // TrainClassifier fits the SVM of §6.2 on labeled domains (label 1 =
@@ -360,7 +367,10 @@ func (d *Detector) ClusterDomains(domains []string, cfg xmeans.Config) (*xmeans.
 	if !d.built {
 		return nil, nil, ErrNotBuilt
 	}
-	X, kept := d.FeatureMatrix(domains)
+	X, kept, err := d.FeatureMatrix(domains)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(X) == 0 {
 		return nil, nil, ErrNoDomains
 	}

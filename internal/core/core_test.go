@@ -88,8 +88,62 @@ func TestLifecycleErrors(t *testing.T) {
 	if _, err := d.TrainClassifier(nil, nil); !errors.Is(err, ErrNotBuilt) {
 		t.Errorf("TrainClassifier before build: %v", err)
 	}
+	if _, _, err := d.FeatureMatrix([]string{"a.com"}); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("FeatureMatrix before build: %v", err)
+	}
+	if _, err := d.BuildReport(); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("BuildReport before build: %v", err)
+	}
+	if _, err := d.Embedding(bipartite.ViewQuery); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("Embedding before build: %v", err)
+	}
 	if err := d.BuildModel(); !errors.Is(err, ErrNoDomains) {
 		t.Errorf("BuildModel on empty traffic: %v", err)
+	}
+}
+
+// TestBuildReportStages checks the staged build's telemetry: every
+// Figure-2 stage appears in order with plausible counts.
+func TestBuildReportStages(t *testing.T) {
+	d, _, _ := buildDetector(t, 21)
+	rep, err := d.BuildReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"graphs",
+		"project:query", "project:ip", "project:time",
+		"embed:query", "embed:ip", "embed:time",
+	}
+	if len(rep.Stages) != len(want) {
+		t.Fatalf("report has %d stages, want %d", len(rep.Stages), len(want))
+	}
+	st, _ := d.Stats()
+	var sum int64
+	for i, s := range rep.Stages {
+		if s.Name != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Name, want[i])
+		}
+		if s.Vertices != st.RetainedE2LDs {
+			t.Errorf("stage %q vertices = %d, want %d", s.Name, s.Vertices, st.RetainedE2LDs)
+		}
+		sum += int64(s.Duration)
+	}
+	if rep.Total <= 0 || int64(rep.Total) < sum {
+		t.Errorf("total %v below stage sum %v", rep.Total, sum)
+	}
+	for _, v := range bipartite.Views {
+		p, ok := rep.Stage("project:" + v.String())
+		if !ok || p.Edges != st.ProjectionEdges[v] {
+			t.Errorf("project:%v edges = %d, want %d", v, p.Edges, st.ProjectionEdges[v])
+		}
+		e, ok := rep.Stage("embed:" + v.String())
+		if !ok || e.Samples <= 0 {
+			t.Errorf("embed:%v samples = %d, want > 0", v, e.Samples)
+		}
+	}
+	if _, ok := rep.Stage("no-such-stage"); ok {
+		t.Error("unknown stage reported present")
 	}
 }
 

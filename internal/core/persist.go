@@ -1,0 +1,223 @@
+package core
+
+// Full-model persistence: the train/serve split of the staged
+// architecture. SaveModel writes everything scoring needs — the retained
+// domain set, the three per-view LINE embeddings, the trained SVM with
+// its view selection, and a config fingerprint — as one versioned
+// stream layered on the existing line.Embedding.Save and svm.Model.Save
+// formats. LoadScorer reads it back into a Scorer, a lightweight
+// serving handle that answers Score/Predict/FeatureVector without a
+// pipeline.Processor or any of the build-time state, so a model trains
+// once and deploys to any number of scoring processes.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bipartite"
+	"repro/internal/line"
+	"repro/internal/svm"
+)
+
+const (
+	// modelMagic guards against feeding arbitrary gob streams (for
+	// example a bare embedding or SVM file) to LoadScorer.
+	modelMagic = "maldomain-model"
+	// modelVersion is bumped on any incompatible layout change.
+	modelVersion = 1
+)
+
+// modelHeader is the leading gob value of a saved model; the three
+// per-view embeddings (canonical bipartite.Views order) and the SVM
+// model follow it on the same stream.
+type modelHeader struct {
+	Magic       string
+	Version     int
+	Fingerprint string
+	EmbedDim    int
+	Domains     []string
+	Views       []bipartite.View
+}
+
+// Fingerprint returns a short description of every configuration knob
+// that shapes the model artifact (window, pruning, projection, embedding
+// and SVM parameters, seed). It is stored in saved models so operators
+// can tell which configuration produced a file.
+func (c Config) Fingerprint() string {
+	kernel := "rbf(gamma=0.06)"
+	if c.SVM.Kernel != nil {
+		kernel = c.SVM.Kernel.Name()
+	}
+	cost := c.SVM.C
+	if cost <= 0 {
+		cost = 0.09
+	}
+	return fmt.Sprintf(
+		"start=%s days=%d prune=%g/%d minsim=%g timesim=%g maxattr=%d dim=%d order=%d samples=%d svm=%s/C=%g seed=%d",
+		c.Start.UTC().Format("2006-01-02T15:04:05Z"), c.Days,
+		c.Prune.MaxHostFrac, c.Prune.MinHosts,
+		c.MinSimilarity, c.TimeMinSimilarity, c.MaxAttrDegree,
+		c.EmbedDim, c.EmbedOrder, c.EmbedSamples,
+		kernel, cost, c.Seed)
+}
+
+// SaveModel writes the built model and the classifier trained on it as
+// a single versioned stream readable by LoadScorer. The round trip is
+// exact: a loaded Scorer reproduces bit-identical feature vectors and
+// decision values for every retained domain.
+func (d *Detector) SaveModel(w io.Writer, clf *Classifier) error {
+	if !d.built {
+		return ErrNotBuilt
+	}
+	if clf == nil {
+		return errors.New("core: SaveModel needs a trained classifier")
+	}
+	if clf.detector != d {
+		return errors.New("core: classifier was trained on a different detector")
+	}
+	hdr := modelHeader{
+		Magic:       modelMagic,
+		Version:     modelVersion,
+		Fingerprint: d.cfg.Fingerprint(),
+		EmbedDim:    d.cfg.EmbedDim,
+		Domains:     d.domains,
+		Views:       clf.views,
+	}
+	if err := gob.NewEncoder(w).Encode(hdr); err != nil {
+		return fmt.Errorf("core: encoding model header: %w", err)
+	}
+	for _, v := range bipartite.Views {
+		if err := d.embeddings[v].Save(w); err != nil {
+			return fmt.Errorf("core: saving %v embedding: %w", v, err)
+		}
+	}
+	if err := clf.model.Save(w); err != nil {
+		return fmt.Errorf("core: saving classifier: %w", err)
+	}
+	return nil
+}
+
+// Scorer serves a persisted model: feature vectors, decision values and
+// predictions for the domains retained at build time, with none of the
+// build-time pipeline state. Scorers are immutable and safe for
+// concurrent use.
+type Scorer struct {
+	fingerprint string
+	dim         int
+	domains     []string
+	index       map[string]int
+	embeddings  map[bipartite.View]*line.Embedding
+	model       *svm.Model
+	views       []bipartite.View
+}
+
+// LoadScorer reads a model written by SaveModel. Corrupt, truncated, or
+// foreign streams are rejected with an error.
+func LoadScorer(r io.Reader) (*Scorer, error) {
+	var hdr modelHeader
+	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding model header: %w", err)
+	}
+	if hdr.Magic != modelMagic {
+		return nil, fmt.Errorf("core: not a model stream (magic %q)", hdr.Magic)
+	}
+	if hdr.Version != modelVersion {
+		return nil, fmt.Errorf("core: model version %d, this build reads %d", hdr.Version, modelVersion)
+	}
+	if hdr.EmbedDim <= 0 || len(hdr.Domains) == 0 {
+		return nil, errors.New("core: corrupt model: empty domain set or dimension")
+	}
+	if len(hdr.Views) == 0 {
+		return nil, errors.New("core: corrupt model: classifier has no views")
+	}
+	for _, v := range hdr.Views {
+		if v != bipartite.ViewQuery && v != bipartite.ViewIP && v != bipartite.ViewTime {
+			return nil, fmt.Errorf("core: corrupt model: unknown view %d", int(v))
+		}
+	}
+	s := &Scorer{
+		fingerprint: hdr.Fingerprint,
+		dim:         hdr.EmbedDim,
+		domains:     hdr.Domains,
+		index:       make(map[string]int, len(hdr.Domains)),
+		embeddings:  make(map[bipartite.View]*line.Embedding, len(bipartite.Views)),
+		views:       hdr.Views,
+	}
+	for i, d := range hdr.Domains {
+		s.index[d] = i
+	}
+	for _, v := range bipartite.Views {
+		emb, err := line.LoadEmbedding(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading %v embedding: %w", v, err)
+		}
+		if emb.Dim != hdr.EmbedDim {
+			return nil, fmt.Errorf("core: %v embedding dim %d, header says %d", v, emb.Dim, hdr.EmbedDim)
+		}
+		if len(emb.Vectors) != len(hdr.Domains) {
+			return nil, fmt.Errorf("core: %v embedding has %d vectors for %d domains",
+				v, len(emb.Vectors), len(hdr.Domains))
+		}
+		s.embeddings[v] = emb
+	}
+	model, err := svm.LoadModel(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading classifier: %w", err)
+	}
+	s.model = model
+	return s, nil
+}
+
+// Domains returns the retained domain set the model scores, sorted.
+// The slice is the scorer's state; treat it as read-only.
+func (s *Scorer) Domains() []string { return s.domains }
+
+// Fingerprint returns the configuration fingerprint recorded at save
+// time.
+func (s *Scorer) Fingerprint() string { return s.fingerprint }
+
+// Model exposes the underlying SVM (support-vector count etc.).
+func (s *Scorer) Model() *svm.Model { return s.model }
+
+// FeatureVector mirrors Detector.FeatureVector on the persisted
+// embeddings: the domain's representation over the requested views
+// (default all three), or ok=false for domains outside the retained set.
+func (s *Scorer) FeatureVector(domain string, views ...bipartite.View) ([]float64, bool) {
+	i, ok := s.index[domain]
+	if !ok {
+		return nil, false
+	}
+	if len(views) == 0 {
+		views = bipartite.Views
+	}
+	out := make([]float64, 0, len(views)*s.dim)
+	for _, v := range views {
+		out = append(out, s.embeddings[v].Vectors[i]...)
+	}
+	return out, true
+}
+
+// Score returns the SVM decision value for a domain over the views the
+// classifier was trained with; ok is false for unknown domains.
+func (s *Scorer) Score(domain string) (float64, bool) {
+	v, ok := s.FeatureVector(domain, s.views...)
+	if !ok {
+		return 0, false
+	}
+	return s.model.Decision(v), true
+}
+
+// Predict returns 1 (malicious) or 0 (benign); ok is false for unknown
+// domains.
+func (s *Scorer) Predict(domain string) (int, bool) {
+	sc, ok := s.Score(domain)
+	if !ok {
+		return 0, false
+	}
+	if sc > 0 {
+		return 1, true
+	}
+	return 0, true
+}

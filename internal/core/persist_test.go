@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// TestSaveModelLoadScorerRoundTrip is the train-once/serve-many
+// guarantee: a Scorer loaded from a saved model must reproduce
+// bit-identical feature vectors, decision values, and predictions for
+// every retained domain, without any pipeline state.
+func TestSaveModelLoadScorerRoundTrip(t *testing.T) {
+	d, _, ti := buildDetector(t, 21)
+	domains, labels := labeledSet(t, d, ti)
+	clf, err := d.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := d.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScorer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retained, err := d.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Domains(); len(got) != len(retained) {
+		t.Fatalf("scorer has %d domains, want %d", len(got), len(retained))
+	}
+	if sc.Fingerprint() != d.Config().Fingerprint() {
+		t.Errorf("fingerprint %q, want %q", sc.Fingerprint(), d.Config().Fingerprint())
+	}
+	if sc.Model().NumSV() != clf.Model().NumSV() {
+		t.Errorf("scorer has %d SVs, want %d", sc.Model().NumSV(), clf.Model().NumSV())
+	}
+	for _, dom := range retained {
+		want, ok := clf.Score(dom)
+		if !ok {
+			t.Fatalf("detector cannot score retained domain %s", dom)
+		}
+		got, ok := sc.Score(dom)
+		if !ok {
+			t.Fatalf("scorer cannot score retained domain %s", dom)
+		}
+		if got != want {
+			t.Fatalf("%s: scorer decision %v != detector decision %v", dom, got, want)
+		}
+		wp, _ := clf.Predict(dom)
+		if gp, _ := sc.Predict(dom); gp != wp {
+			t.Fatalf("%s: scorer predicts %d, detector %d", dom, gp, wp)
+		}
+		wv, _ := d.FeatureVector(dom)
+		gv, _ := sc.FeatureVector(dom)
+		if len(gv) != len(wv) {
+			t.Fatalf("%s: feature dim %d != %d", dom, len(gv), len(wv))
+		}
+		for i := range wv {
+			if gv[i] != wv[i] {
+				t.Fatalf("%s: feature component %d differs after round trip", dom, i)
+			}
+		}
+	}
+	if _, ok := sc.Score("never-seen.example"); ok {
+		t.Error("scorer scored an unknown domain")
+	}
+	if v, ok := sc.FeatureVector(retained[0], bipartite.ViewQuery); !ok || len(v) != d.Config().EmbedDim {
+		t.Errorf("single-view scorer vector dim %d, want %d", len(v), d.Config().EmbedDim)
+	}
+}
+
+func TestSaveModelValidation(t *testing.T) {
+	var buf bytes.Buffer
+	unbuilt := NewDetector(Config{})
+	if err := unbuilt.SaveModel(&buf, nil); err == nil {
+		t.Fatal("SaveModel before build accepted")
+	}
+
+	d, _, ti := buildDetector(t, 21)
+	if err := d.SaveModel(&buf, nil); err == nil {
+		t.Fatal("nil classifier accepted")
+	}
+	// A classifier trained on a different detector must be rejected: its
+	// support vectors index a different feature space.
+	other := &Classifier{detector: unbuilt}
+	if err := d.SaveModel(&buf, other); err == nil {
+		t.Fatal("foreign classifier accepted")
+	}
+	domains, labels := labeledSet(t, d, ti)
+	clf, err := d.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadScorerRejectsCorruptStreams mirrors the line/svm persist
+// tests: garbage, truncation at several depths, and foreign-but-valid
+// gob streams must all fail cleanly.
+func TestLoadScorerRejectsCorruptStreams(t *testing.T) {
+	if _, err := LoadScorer(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+
+	d, _, ti := buildDetector(t, 21)
+	domains, labels := labeledSet(t, d, ti)
+	clf, err := d.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncations: inside the header, inside the embeddings, and just
+	// before the SVM trailer.
+	for _, frac := range []int{64, 4, 2} {
+		cut := len(full) / frac
+		if _, err := LoadScorer(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated stream (%d of %d bytes) accepted", cut, len(full))
+		}
+	}
+	if _, err := LoadScorer(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Fatal("stream missing final byte accepted")
+	}
+	// A valid gob stream that is not a model: a bare embedding.
+	var embBuf bytes.Buffer
+	emb, err := d.Embedding(bipartite.ViewQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Save(&embBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScorer(bytes.NewReader(embBuf.Bytes())); err == nil {
+		t.Fatal("bare embedding stream accepted as a model")
+	}
+}

@@ -81,6 +81,16 @@ type Config struct {
 	Workers int
 	// Seed drives initialization and sampling.
 	Seed uint64
+	// Init optionally warm-starts training: when non-nil it must have one
+	// entry per vertex, and every non-nil row (length Dim) replaces that
+	// vertex's random initialization. For OrderBoth the first Dim/2
+	// components seed the first-order matrix and the rest the
+	// second-order vertex matrix (the second-order context matrix always
+	// starts at zero, as in a cold start). Rows are copied, never
+	// mutated. A warm start from previously converged vectors needs far
+	// fewer SGD samples, so when Samples is 0 the automatic sample count
+	// is scaled down by warmSampleScale.
+	Init [][]float64
 }
 
 func (c Config) withDefaults(edgeCount int) (Config, error) {
@@ -95,11 +105,20 @@ func (c Config) withDefaults(edgeCount int) (Config, error) {
 	}
 	if c.Samples <= 0 {
 		c.Samples = 200 * edgeCount
-		if c.Samples < 200_000 {
-			c.Samples = 200_000
+		lo, hi := 200_000, 30_000_000
+		if c.Init != nil {
+			// Warm start: most vertices begin near their converged
+			// position, so the budget only has to move the new vertices
+			// and track the drift of the old ones.
+			c.Samples = int(float64(c.Samples) * warmSampleScale)
+			lo = int(float64(lo) * warmSampleScale)
+			hi = int(float64(hi) * warmSampleScale)
 		}
-		if c.Samples > 30_000_000 {
-			c.Samples = 30_000_000
+		if c.Samples < lo {
+			c.Samples = lo
+		}
+		if c.Samples > hi {
+			c.Samples = hi
 		}
 	}
 	if c.Negatives <= 0 {
@@ -119,6 +138,10 @@ func (c Config) withDefaults(edgeCount int) (Config, error) {
 type Embedding struct {
 	Dim     int
 	Vectors [][]float64
+	// Samples is the total number of SGD edge samples Train performed
+	// (summed over both objectives for OrderBoth; 0 for edgeless
+	// graphs). Reported in build telemetry; not persisted by Save.
+	Samples int
 }
 
 // Train learns embeddings for all vertices of g. Isolated vertices keep
@@ -132,30 +155,42 @@ func Train(g *graph.Weighted, cfg Config) (*Embedding, error) {
 	if g.N == 0 {
 		return &Embedding{Dim: cfg.Dim}, nil
 	}
+	if cfg.Init != nil {
+		if len(cfg.Init) != g.N {
+			return nil, fmt.Errorf("line: Init has %d rows for %d vertices", len(cfg.Init), g.N)
+		}
+		for v, row := range cfg.Init {
+			if row != nil && len(row) != cfg.Dim {
+				return nil, fmt.Errorf("line: Init row %d has dim %d, want %d", v, len(row), cfg.Dim)
+			}
+		}
+	}
 
+	orders := 1
 	var parts [][][]float64
 	switch cfg.Order {
 	case OrderFirst:
-		part, err := trainOrder(g, cfg, false)
+		part, err := trainOrder(g, cfg, false, 0)
 		if err != nil {
 			return nil, err
 		}
 		parts = [][][]float64{part}
 	case OrderSecond:
-		part, err := trainOrder(g, cfg, true)
+		part, err := trainOrder(g, cfg, true, 0)
 		if err != nil {
 			return nil, err
 		}
 		parts = [][][]float64{part}
 	case OrderBoth:
+		orders = 2
 		half := cfg
 		half.Dim = cfg.Dim / 2
-		p1, err := trainOrder(g, half, false)
+		p1, err := trainOrder(g, half, false, 0)
 		if err != nil {
 			return nil, err
 		}
 		half.Seed = cfg.Seed ^ 0x5bd1e995
-		p2, err := trainOrder(g, half, true)
+		p2, err := trainOrder(g, half, true, half.Dim)
 		if err != nil {
 			return nil, err
 		}
@@ -165,6 +200,9 @@ func Train(g *graph.Weighted, cfg Config) (*Embedding, error) {
 	}
 
 	emb := &Embedding{Dim: cfg.Dim, Vectors: make([][]float64, g.N)}
+	if g.EdgeCount() > 0 {
+		emb.Samples = orders * cfg.Samples
+	}
 	for v := 0; v < g.N; v++ {
 		var vec []float64
 		for _, p := range parts {
@@ -179,12 +217,21 @@ func Train(g *graph.Weighted, cfg Config) (*Embedding, error) {
 // trainOrder runs SGD for one objective. When secondOrder is true, a
 // separate context matrix is used and positives/negatives score against
 // contexts; otherwise vertices score against each other directly.
-func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, error) {
+// initOff is the offset into Config.Init rows where this objective's
+// Dim-sized slice of the warm-start vector begins (nonzero only for the
+// second half of OrderBoth).
+func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool, initOff int) ([][]float64, error) {
 	if g.EdgeCount() == 0 {
-		// No structure to train on; return the random init so callers
-		// still get valid (meaningless) vectors.
+		// No structure to train on; return the random init (overridden by
+		// warm-start rows) so callers still get valid vectors.
 		rng := mathx.NewRNG(cfg.Seed)
-		return randomInit(g.N, cfg.Dim, rng), nil
+		out := randomInit(g.N, cfg.Dim, rng)
+		for v, row := range cfg.Init {
+			if row != nil {
+				copy(out[v], row[initOff:initOff+cfg.Dim])
+			}
+		}
+		return out, nil
 	}
 
 	edgeSampler, err := graph.NewAliasTable(g.EdgesW)
@@ -203,6 +250,11 @@ func trainOrder(g *graph.Weighted, cfg Config, secondOrder bool) ([][]float64, e
 	root := mathx.NewRNG(cfg.Seed)
 	emb := newMatrix(g.N, cfg.Dim)
 	emb.randomize(root)
+	for v, row := range cfg.Init {
+		if row != nil {
+			emb.set(int32(v), row[initOff:initOff+cfg.Dim])
+		}
+	}
 	tgt := emb
 	if secondOrder {
 		tgt = newMatrix(g.N, cfg.Dim) // context matrix starts at zero
@@ -298,6 +350,11 @@ const (
 	// graphs (where the noise distribution nearly always returns the
 	// positive pair) cannot stall a worker.
 	negRetries = 3
+	// warmSampleScale shrinks the automatic sample budget (and its
+	// clamps) when Config.Init warm-starts training: seeded vertices
+	// start near their converged positions, so a fraction of the cold
+	// budget suffices to absorb new vertices and drift.
+	warmSampleScale = 0.4
 )
 
 // randomInit mirrors matrix.randomize for the no-edge early path,

@@ -273,6 +273,82 @@ func TestWeightsInfluenceEmbedding(t *testing.T) {
 	}
 }
 
+func TestWarmStartInitValidation(t *testing.T) {
+	g := twoCliques(3)
+	if _, err := Train(g, Config{Dim: 8, Order: OrderFirst, Samples: 1000, Init: make([][]float64, 2)}); err == nil {
+		t.Fatal("Init with wrong vertex count accepted")
+	}
+	bad := make([][]float64, 6)
+	bad[0] = make([]float64, 5)
+	if _, err := Train(g, Config{Dim: 8, Order: OrderFirst, Samples: 1000, Init: bad}); err == nil {
+		t.Fatal("Init row with wrong dim accepted")
+	}
+}
+
+func TestWarmStartSeedsVectors(t *testing.T) {
+	// With zero effective training (Samples so small each worker does ~1
+	// step) a warm-started vertex must stay near its init direction while
+	// differing from the cold run, proving the rows were applied.
+	g := twoCliques(4)
+	cold, err := Train(g, Config{Dim: 8, Order: OrderBoth, Samples: 8, Seed: 9, Workers: 1, Negatives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([][]float64, len(cold.Vectors))
+	for v := range init {
+		row := make([]float64, 8)
+		// A distinctive direction: all mass on one component per half.
+		row[v%4] = 1
+		row[4+(v+1)%4] = 1
+		init[v] = row
+	}
+	warm, err := Train(g, Config{Dim: 8, Order: OrderBoth, Samples: 8, Seed: 9, Workers: 1, Negatives: 1, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range warm.Vectors {
+		if c := cosine(warm.Vectors[v], init[v]); c < 0.9 {
+			t.Errorf("vertex %d drifted from its warm init: cos %.3f", v, c)
+		}
+	}
+	same := true
+	for v := range warm.Vectors {
+		for i := range warm.Vectors[v] {
+			if warm.Vectors[v][i] != cold.Vectors[v][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("warm-started embedding identical to cold start")
+	}
+}
+
+func TestWarmStartShrinksAutoSamples(t *testing.T) {
+	g := twoCliques(4)
+	cold, err := Train(g, Config{Dim: 8, Order: OrderFirst, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([][]float64, len(cold.Vectors))
+	copy(init, cold.Vectors)
+	warm, err := Train(g, Config{Dim: 8, Order: OrderFirst, Seed: 1, Workers: 1, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Samples >= cold.Samples {
+		t.Errorf("warm auto budget %d not below cold %d", warm.Samples, cold.Samples)
+	}
+	// An explicit Samples value must be respected exactly in both modes.
+	explicit, err := Train(g, Config{Dim: 8, Order: OrderFirst, Samples: 12_345, Seed: 1, Workers: 1, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Samples != 12_345 {
+		t.Errorf("explicit sample count overridden: %d", explicit.Samples)
+	}
+}
+
 func BenchmarkTrainFirstOrder(b *testing.B) {
 	g := twoCliques(20)
 	for i := 0; i < b.N; i++ {

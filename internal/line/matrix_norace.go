@@ -59,6 +59,12 @@ func (m *matrix) addScaled(v int32, s float64, x []float64) {
 	}
 }
 
+// set copies vals into row v. Called only before workers start (warm
+// start), so plain stores are safe in every build.
+func (m *matrix) set(v int32, vals []float64) {
+	copy(m.data[int(v)*m.dim:(int(v)+1)*m.dim], vals)
+}
+
 // rows converts the matrix to per-vertex slices once training finished;
 // the caller owns the result.
 func (m *matrix) rows() [][]float64 {

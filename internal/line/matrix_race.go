@@ -59,6 +59,16 @@ func (m *matrix) addScaled(v int32, s float64, x []float64) {
 	}
 }
 
+// set copies vals into row v. Called only before workers start (warm
+// start); the atomic stores keep the race detector satisfied if that
+// ever changes.
+func (m *matrix) set(v int32, vals []float64) {
+	base := int(v) * m.dim
+	for i, x := range vals {
+		atomic.StoreUint64(&m.bits[base+i], math.Float64bits(x))
+	}
+}
+
 // rows converts the matrix to per-vertex slices once training finished;
 // the caller owns the result.
 func (m *matrix) rows() [][]float64 {

@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/dhcp"
@@ -230,6 +231,143 @@ func (p *Processor) bucketIndex(t time.Time) int {
 // Stats returns the per-domain aggregates, keyed by e2LD. The returned
 // map is the processor's live state; treat it as read-only.
 func (p *Processor) Stats() map[string]*DomainStats { return p.stats }
+
+// Config returns the processor's effective (defaulted) configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Merge combines the aggregates of several processors into one new
+// processor, leaving the inputs untouched (their state is deep-copied,
+// never aliased). It is how sharded aggregation composes: the streaming
+// mode keeps one processor per day and merges the current window at
+// each remodel instead of replaying raw observations.
+//
+// All inputs must share the same Start, Bucket, and Suffixes so minute,
+// day, and bucket indices mean the same thing in every shard; Days may
+// differ (the merged processor takes the maximum) and DHCP is not
+// consulted (device pinning already happened at Consume time). The
+// merge is deterministic: every combination step — set unions, count
+// sums, min/max folds — is commutative and associative, so the merged
+// aggregates are identical regardless of argument order or internal map
+// iteration order.
+func Merge(ps ...*Processor) (*Processor, error) {
+	if len(ps) == 0 {
+		return nil, errors.New("pipeline: Merge needs at least one processor")
+	}
+	base := ps[0].cfg
+	days := base.Days
+	for _, p := range ps[1:] {
+		if !p.cfg.Start.Equal(base.Start) || p.cfg.Bucket != base.Bucket || p.cfg.Suffixes != base.Suffixes {
+			return nil, errors.New("pipeline: Merge needs identical Start, Bucket, and Suffixes")
+		}
+		if p.cfg.Days > days {
+			days = p.cfg.Days
+		}
+	}
+	cfg := base
+	cfg.Days = days
+	out := NewProcessor(cfg)
+	for _, p := range ps {
+		out.absorb(p)
+	}
+	return out, nil
+}
+
+// absorb folds o's aggregates into p, deep-copying every container.
+func (p *Processor) absorb(o *Processor) {
+	p.totalQueries += o.totalQueries
+	p.skipped += o.skipped
+	for d := range o.devices {
+		p.devices[d] = struct{}{}
+	}
+	for e2, st := range o.stats {
+		dst := p.stats[e2]
+		if dst == nil {
+			dst = &DomainStats{
+				E2LD:    e2,
+				Hosts:   make(map[string]struct{}, len(st.Hosts)),
+				IPs:     make(map[string]struct{}, len(st.IPs)),
+				Minutes: make(map[int]struct{}, len(st.Minutes)),
+				FQDNs:   make(map[string]struct{}, len(st.FQDNs)),
+				TTLVals: make(map[uint32]struct{}, len(st.TTLVals)),
+				PerDay:  make([]int, p.cfg.Days),
+			}
+			p.stats[e2] = dst
+		}
+		dst.mergeFrom(st)
+	}
+	for i, ob := range o.buckets {
+		b := p.buckets[i]
+		if b == nil {
+			b = &bucketAccum{
+				fqdns: make(map[string]struct{}, len(ob.fqdns)),
+				e2lds: make(map[string]struct{}, len(ob.e2lds)),
+			}
+			p.buckets[i] = b
+		}
+		b.queries += ob.queries
+		for f := range ob.fqdns {
+			b.fqdns[f] = struct{}{}
+		}
+		for e := range ob.e2lds {
+			b.e2lds[e] = struct{}{}
+		}
+	}
+}
+
+// mergeFrom folds o's observations into s. A fresh s (QueryCount 0 —
+// Consume never stores a zero-count domain) adopts o's sighting window;
+// otherwise windows, counts, and sets combine commutatively.
+func (s *DomainStats) mergeFrom(o *DomainStats) {
+	if s.QueryCount == 0 {
+		s.FirstSeen, s.LastSeen = o.FirstSeen, o.LastSeen
+	} else {
+		if o.FirstSeen.Before(s.FirstSeen) {
+			s.FirstSeen = o.FirstSeen
+		}
+		if o.LastSeen.After(s.LastSeen) {
+			s.LastSeen = o.LastSeen
+		}
+	}
+	s.QueryCount += o.QueryCount
+	s.NXCount += o.NXCount
+	s.AnswerCountSum += o.AnswerCountSum
+	for h := range o.Hosts {
+		s.Hosts[h] = struct{}{}
+	}
+	for ip := range o.IPs {
+		s.IPs[ip] = struct{}{}
+	}
+	for m := range o.Minutes {
+		s.Minutes[m] = struct{}{}
+	}
+	for f := range o.FQDNs {
+		s.FQDNs[f] = struct{}{}
+	}
+	if len(o.TTLVals) > 0 {
+		if len(s.TTLVals) == 0 {
+			s.TTLMin, s.TTLMax = o.TTLMin, o.TTLMax
+		} else {
+			if o.TTLMin < s.TTLMin {
+				s.TTLMin = o.TTLMin
+			}
+			if o.TTLMax > s.TTLMax {
+				s.TTLMax = o.TTLMax
+			}
+		}
+		for v := range o.TTLVals {
+			s.TTLVals[v] = struct{}{}
+		}
+	}
+	s.TTLSum += o.TTLSum
+	for i, c := range o.PerDay {
+		if i < len(s.PerDay) {
+			s.PerDay[i] += c
+		}
+	}
+	for h, c := range o.Hours {
+		s.Hours[h] += c
+	}
+}
 
 // DeviceCount returns the number of distinct device identities observed.
 func (p *Processor) DeviceCount() int { return len(p.devices) }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/dhcp"
 	"repro/internal/dnssim"
 	"repro/internal/dnswire"
+	"repro/internal/etld"
 	"repro/internal/mathx"
 )
 
@@ -255,6 +257,111 @@ func TestProcessorDefaultBucketIsDaily(t *testing.T) {
 	p.Consume(in(t0.Add(25*time.Hour), "10.0.0.1", "www.x-example.com", []string{"1.1.1.1"}, 60))
 	if got := len(p.Series()); got != 2 {
 		t.Fatalf("daily series length = %d, want 2", got)
+	}
+}
+
+// mergeFixture is a day-spanning observation mix covering every
+// aggregate Merge must fold: NOERROR and NXDOMAIN, several hosts and
+// resolved IPs, TTL extremes, bare-suffix skips, and multiple buckets.
+func mergeFixture() []Input {
+	return []Input{
+		in(t0, "10.0.0.1", "www.example.com", []string{"1.2.3.4"}, 300),
+		in(t0.Add(time.Minute), "10.0.0.2", "mail.example.com", []string{"1.2.3.5", "1.2.3.6"}, 30),
+		in(t0.Add(2*time.Minute), "10.0.0.1", "xyz.example.com", nil, 0),
+		in(t0.Add(3*time.Minute), "10.0.0.3", "com", []string{"9.9.9.9"}, 1), // skipped
+		in(t0.Add(26*time.Hour), "10.0.0.1", "www.example.com", []string{"1.2.3.4"}, 7200),
+		in(t0.Add(26*time.Hour+time.Minute), "10.0.0.4", "cdn.other-example.org", []string{"5.6.7.8"}, 60),
+		in(t0.Add(27*time.Hour), "10.0.0.4", "api.other-example.org", nil, 0),
+	}
+}
+
+func TestMergeMatchesSingleProcessor(t *testing.T) {
+	cfg := Config{Start: t0, Days: 3}
+	inputs := mergeFixture()
+
+	single := NewProcessor(cfg)
+	for _, i := range inputs {
+		single.Consume(i)
+	}
+
+	// Shard by day, the way the streaming mode does.
+	a, b := NewProcessor(cfg), NewProcessor(cfg)
+	for _, i := range inputs {
+		if i.Time.Sub(t0) < 24*time.Hour {
+			a.Consume(i)
+		} else {
+			b.Consume(i)
+		}
+	}
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(merged.stats, single.stats) {
+		t.Errorf("merged stats differ from single-processor stats:\n%+v\nvs\n%+v",
+			merged.stats["example.com"], single.stats["example.com"])
+	}
+	if !reflect.DeepEqual(merged.devices, single.devices) {
+		t.Errorf("devices %v vs %v", merged.devices, single.devices)
+	}
+	if merged.totalQueries != single.totalQueries || merged.skipped != single.skipped {
+		t.Errorf("totals %d/%d vs %d/%d",
+			merged.totalQueries, merged.skipped, single.totalQueries, single.skipped)
+	}
+	if !reflect.DeepEqual(merged.Series(), single.Series()) {
+		t.Errorf("series %+v vs %+v", merged.Series(), single.Series())
+	}
+
+	// Argument order must not matter.
+	swapped, err := Merge(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(swapped.stats, merged.stats) {
+		t.Error("Merge(b,a) differs from Merge(a,b)")
+	}
+}
+
+func TestMergeTakesMaxDaysAndDeepCopies(t *testing.T) {
+	a := NewProcessor(Config{Start: t0, Days: 1})
+	b := NewProcessor(Config{Start: t0, Days: 3})
+	a.Consume(in(t0, "10.0.0.1", "www.example.com", []string{"1.2.3.4"}, 300))
+	b.Consume(in(t0.Add(48*time.Hour), "10.0.0.2", "www.example.com", []string{"1.2.3.5"}, 600))
+
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Config().Days != 3 {
+		t.Errorf("merged Days = %d, want 3", merged.Config().Days)
+	}
+	st := merged.Stats()["example.com"]
+	if st == nil || st.QueryCount != 2 || len(st.PerDay) != 3 || st.PerDay[0] != 1 || st.PerDay[2] != 1 {
+		t.Fatalf("merged stats wrong: %+v", st)
+	}
+
+	// Mutating the merged output must not leak into the inputs.
+	st.Hosts["mutant"] = struct{}{}
+	st.QueryCount = 99
+	if len(a.Stats()["example.com"].Hosts) != 1 || a.Stats()["example.com"].QueryCount != 1 {
+		t.Error("merged processor aliases input state")
+	}
+}
+
+func TestMergeRejectsMismatchedConfigs(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("Merge() with no processors accepted")
+	}
+	base := NewProcessor(Config{Start: t0})
+	for name, other := range map[string]*Processor{
+		"start":    NewProcessor(Config{Start: t0.Add(time.Hour)}),
+		"bucket":   NewProcessor(Config{Start: t0, Bucket: time.Hour}),
+		"suffixes": NewProcessor(Config{Start: t0, Suffixes: etld.NewTable([]string{"com"})}),
+	} {
+		if _, err := Merge(base, other); err == nil {
+			t.Errorf("Merge accepted mismatched %s", name)
+		}
 	}
 }
 

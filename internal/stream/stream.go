@@ -3,11 +3,17 @@
 //
 // The batch pipeline models a whole capture at once; a deployed system
 // instead observes traffic continuously and must surface newly active
-// malicious domains every day. Rolling keeps a sliding window of recent
-// days, rebuilds the behavioral model at each day boundary (graphs,
-// projections, embeddings — all unsupervised), retrains the SVM on the
-// currently known labels, and emits alerts for domains that newly enter
-// the top of the suspicion ranking. Domains already alerted are not
+// malicious domains every day. Rolling aggregates each day's traffic
+// into its own pipeline.Processor as it arrives, and at each day
+// boundary merges the processors of the current window (pipeline.Merge)
+// and rebuilds the behavioral model — graphs, projections, embeddings —
+// from the merged aggregates, so no raw observations are retained or
+// replayed and the memory footprint is bounded by the aggregate size,
+// not the traffic volume. Each remodel warm-starts LINE with the
+// previous window's vectors for domains that persist across windows,
+// cutting the SGD sample budget. The SVM is retrained on the currently
+// known labels, and alerts are emitted for domains that newly enter the
+// top of the suspicion ranking. Domains already alerted are not
 // re-alerted, so the output is an incident feed rather than a ranking
 // dump.
 package stream
@@ -18,7 +24,9 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/bipartite"
 	"repro/internal/core"
+	"repro/internal/line"
 	"repro/internal/pipeline"
 )
 
@@ -81,9 +89,15 @@ type Alert struct {
 type Rolling struct {
 	cfg Config
 
-	days    map[int][]pipeline.Input
+	days    map[int]*pipeline.Processor
 	lastDay int
 	flagged map[string]bool
+
+	// prevIndex and prevEmb hold the last successful remodel's retained
+	// domain index and per-view embeddings; the next remodel seeds LINE
+	// from them for every domain that persists across windows.
+	prevIndex map[string]int
+	prevEmb   map[bipartite.View]*line.Embedding
 }
 
 // New returns a Rolling detector.
@@ -94,19 +108,36 @@ func New(cfg Config) (*Rolling, error) {
 	}
 	return &Rolling{
 		cfg:     cfg,
-		days:    make(map[int][]pipeline.Input),
+		days:    make(map[int]*pipeline.Processor),
 		lastDay: -1,
 		flagged: make(map[string]bool),
 	}, nil
 }
 
-// Consume buffers one observation into its day bucket.
+// Consume folds one observation into its day's aggregation processor.
+// Observations timestamped before Config.Start are clamped into day 0
+// rather than dropped: captures usually begin mid-flight, and queries
+// from just before the anchor still belong to the first window. No raw
+// observation is retained — each day holds only its processor's
+// aggregates.
 func (r *Rolling) Consume(in pipeline.Input) {
 	day := int(in.Time.Sub(r.cfg.Start) / (24 * time.Hour))
 	if day < 0 {
 		day = 0
 	}
-	r.days[day] = append(r.days[day], in)
+	p := r.days[day]
+	if p == nil {
+		// Every per-day processor shares the window anchor so minute, day,
+		// and bucket indices line up when the window is merged.
+		p = pipeline.NewProcessor(pipeline.Config{
+			Start:    r.cfg.Start,
+			Days:     day + 1,
+			DHCP:     r.cfg.Detector.DHCP,
+			Suffixes: r.cfg.Detector.Suffixes,
+		})
+		r.days[day] = p
+	}
+	p.Consume(in)
 	if day > r.lastDay {
 		r.lastDay = day
 	}
@@ -123,23 +154,87 @@ func (r *Rolling) window(day int) []int {
 	return out
 }
 
-// EndOfDay remodels over the window ending at day and returns alerts for
-// newly flagged domains. Buffers older than the window are released.
-func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
-	window := r.window(day)
-	det := core.NewDetector(withWindow(r.cfg.Detector, r.cfg.Start, day))
-	n := 0
-	for _, d := range window {
-		for _, in := range r.days[d] {
-			det.Consume(in)
-			n++
+// remodel merges the window's per-day aggregates and builds a detector
+// over them, warm-starting the embeddings from the previous remodel.
+func (r *Rolling) remodel(day int) (*core.Detector, error) {
+	var procs []*pipeline.Processor
+	for _, d := range r.window(day) {
+		if p := r.days[d]; p != nil {
+			procs = append(procs, p)
 		}
 	}
-	if n == 0 {
+	if len(procs) == 0 {
 		return nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
 	}
+	merged, err := pipeline.Merge(procs...)
+	if err != nil {
+		return nil, fmt.Errorf("stream: merging window ending day %d: %w", day, err)
+	}
+	if merged.TotalQueries() == 0 {
+		return nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
+	}
+	cfg := withWindow(r.cfg.Detector, r.cfg.Start, day)
+	cfg.EmbedInit = r.embedInit
+	det := core.NewDetectorWith(cfg, merged)
 	if err := det.BuildModel(); err != nil {
 		return nil, fmt.Errorf("stream: remodel at day %d: %w", day, err)
+	}
+	r.rememberModel(det)
+	return det, nil
+}
+
+// embedInit implements core.Config.EmbedInit over the previous remodel's
+// vectors: domains present in the last window keep their embedding as
+// the SGD starting point, new domains start random. A nil return (no
+// previous model, or no overlap) falls back to a cold start.
+func (r *Rolling) embedInit(view bipartite.View, domains []string) [][]float64 {
+	emb := r.prevEmb[view]
+	if emb == nil {
+		return nil
+	}
+	init := make([][]float64, len(domains))
+	hits := 0
+	for i, d := range domains {
+		if j, ok := r.prevIndex[d]; ok {
+			init[i] = emb.Vectors[j]
+			hits++
+		}
+	}
+	if hits == 0 {
+		return nil
+	}
+	return init
+}
+
+// rememberModel stores det's retained domains and embeddings as the warm
+// start for the next remodel.
+func (r *Rolling) rememberModel(det *core.Detector) {
+	domains, err := det.Domains()
+	if err != nil {
+		return
+	}
+	index := make(map[string]int, len(domains))
+	for i, d := range domains {
+		index[d] = i
+	}
+	embs := make(map[bipartite.View]*line.Embedding, len(bipartite.Views))
+	for _, v := range bipartite.Views {
+		emb, err := det.Embedding(v)
+		if err != nil {
+			return
+		}
+		embs[v] = emb
+	}
+	r.prevIndex, r.prevEmb = index, embs
+}
+
+// EndOfDay remodels over the window ending at day and returns alerts for
+// newly flagged domains. Per-day aggregates older than the window are
+// released.
+func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
+	det, err := r.remodel(day)
+	if err != nil {
+		return nil, err
 	}
 	retained, err := det.Domains()
 	if err != nil {
@@ -198,7 +293,8 @@ func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
 	return alerts, nil
 }
 
-// BufferedDays reports how many day buckets are currently retained.
+// BufferedDays reports how many per-day aggregation processors are
+// currently retained.
 func (r *Rolling) BufferedDays() int { return len(r.days) }
 
 // withWindow clamps a detector config to the rolling window.

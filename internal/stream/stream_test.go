@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 	"repro/internal/threatintel"
 )
 
-func rollingFixture(t *testing.T) (*Rolling, *dnssim.Scenario, *threatintel.Service) {
+func rollingFixture(t testing.TB) (*Rolling, *dnssim.Scenario, *threatintel.Service) {
 	t.Helper()
 	cfg := dnssim.SmallScenario(555)
 	cfg.Hosts = 100
@@ -146,5 +147,66 @@ func TestConsumeClampsNegativeDays(t *testing.T) {
 	})
 	if r.BufferedDays() != 1 {
 		t.Fatalf("pre-window observation not clamped into day 0")
+	}
+	// The clamp must land the observation in day 0's aggregates, not a
+	// negative bucket.
+	if p := r.days[0]; p == nil || p.TotalQueries() != 1 {
+		t.Fatalf("day-0 processor missing the clamped observation: %+v", r.days)
+	}
+}
+
+// TestWarmStartStateCarries checks the remodel-to-remodel handoff: after
+// a successful EndOfDay the previous window's embeddings are retained
+// for seeding the next one, and subsequent remodels still succeed.
+func TestWarmStartStateCarries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming end-to-end test")
+	}
+	skipIfRace(t)
+	r, s, _ := rollingFixture(t)
+	s.Generate(func(ev dnssim.Event) { r.Consume(pipeline.Input(ev)) })
+
+	if r.prevEmb != nil {
+		t.Fatal("warm-start state set before any remodel")
+	}
+	if _, err := r.EndOfDay(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.prevEmb) != 3 || len(r.prevIndex) == 0 {
+		t.Fatalf("warm-start state not recorded: %d embeddings, %d domains",
+			len(r.prevEmb), len(r.prevIndex))
+	}
+	dim := r.cfg.Detector.EmbedDim
+	for v, emb := range r.prevEmb {
+		if emb.Dim != dim {
+			t.Errorf("%v warm-start embedding dim %d, want %d", v, emb.Dim, dim)
+		}
+	}
+	// The init hook must produce one row per requested domain, seeded for
+	// exactly the persisting ones.
+	var domains []string
+	for d := range r.prevIndex {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	domains = append(domains, "brand-new.example")
+	for v := range r.prevEmb {
+		init := r.embedInit(v, domains)
+		if len(init) != len(domains) {
+			t.Fatalf("init rows %d, want %d", len(init), len(domains))
+		}
+		if init[len(init)-1] != nil {
+			t.Error("new domain got a warm-start row")
+		}
+		if init[0] == nil {
+			t.Error("persisting domain missing its warm-start row")
+		}
+	}
+	// The second remodel consumes the warm state and records fresh state.
+	if _, err := r.EndOfDay(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.prevEmb) != 3 {
+		t.Fatal("warm-start state lost after second remodel")
 	}
 }

@@ -31,6 +31,8 @@
 package maldomain
 
 import (
+	"io"
+
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/pipeline"
@@ -50,6 +52,18 @@ type Classifier = core.Classifier
 
 // ModelStats summarizes a built model.
 type ModelStats = core.ModelStats
+
+// BuildReport is the per-stage timing and size report recorded by
+// Detector.BuildModel; StageReport is one stage's entry.
+type BuildReport = core.BuildReport
+
+// StageReport records one build stage's cost and output size.
+type StageReport = core.StageReport
+
+// Scorer serves a persisted model (Detector.SaveModel) without any
+// pipeline state: Score/Predict/FeatureVector over the retained
+// domains. Load one with LoadScorer.
+type Scorer = core.Scorer
 
 // Observation is one joined DNS query/response record — the schema the
 // paper's collector extracts from packet captures (§2).
@@ -71,6 +85,10 @@ var Views = bipartite.Views
 
 // NewDetector returns a Detector for cfg.
 func NewDetector(cfg Config) *Detector { return core.NewDetector(cfg) }
+
+// LoadScorer reads a model stream written by Detector.SaveModel and
+// returns a serving-only Scorer.
+func LoadScorer(r io.Reader) (*Scorer, error) { return core.LoadScorer(r) }
 
 // Sentinel errors re-exported from the core implementation.
 var (

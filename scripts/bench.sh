@@ -9,7 +9,12 @@
 # short mode runs each microbenchmark for a single iteration as a smoke
 # test (wired into scripts/check.sh) and emits no JSON.
 #
-# Usage: scripts/bench.sh [full|short]
+# remodel mode runs the streaming warm-vs-cold remodel benchmarks
+# (internal/stream) and converts the log into BENCH_3.json: the measured
+# value of seeding each window's LINE run from the previous window's
+# vectors instead of rebuilding from random initialization.
+#
+# Usage: scripts/bench.sh [full|short|remodel]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,8 +35,13 @@ full)
     go run ./cmd/benchjson <"$log" >BENCH_2.json
     echo "wrote BENCH_2.json"
     ;;
+remodel)
+    go test -run='^$' -bench='^BenchmarkRemodel' -timeout 30m ./internal/stream | tee "$log"
+    go run ./cmd/benchjson <"$log" >BENCH_3.json
+    echo "wrote BENCH_3.json"
+    ;;
 *)
-    echo "usage: scripts/bench.sh [full|short]" >&2
+    echo "usage: scripts/bench.sh [full|short|remodel]" >&2
     exit 1
     ;;
 esac

@@ -2,9 +2,10 @@
 # check.sh — the tier-1+ correctness gate for this repository.
 #
 # Runs, in order: formatting, go vet, build, the maldlint static
-# analyzer, the full test suite under the race detector, and a short
-# fuzz smoke for each native fuzz target. Every step must pass; the
-# script stops at the first failure.
+# analyzer, the full test suite under the race detector, a
+# train/score persistence round trip on a tiny generated trace, and a
+# short fuzz smoke for each native fuzz target. Every step must pass;
+# the script stops at the first failure.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target -fuzztime for the smoke stage (default 10s;
@@ -34,6 +35,18 @@ go run ./cmd/maldlint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> maldetect train/score round trip"
+smokedir="$(mktemp -d)"
+trap 'rm -rf "$smokedir"' EXIT
+go run ./cmd/dnsgen -scale small -seed 7 \
+    -out "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv"
+go run ./cmd/maldetect train -seed 7 \
+    -trace "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv" \
+    -out "$smokedir/model.bin"
+go run ./cmd/maldetect score -model "$smokedir/model.bin" -top 5 \
+    >"$smokedir/scores.txt"
+grep -q '^top 5 suspicious domains:' "$smokedir/scores.txt"
 
 echo "==> benchmark smoke (scripts/bench.sh short)"
 scripts/bench.sh short
