@@ -6,6 +6,7 @@
 //	maldetect -trace trace.tsv -truth truth.tsv [-train-frac 0.7] [-seed N] [-top 25]
 //	maldetect train -trace trace.tsv -truth truth.tsv -out model.bin [-dhcp leases.tsv] [-seed N]
 //	maldetect score -model model.bin [-top 25] [domain ...]
+//	maldetect serve -model model.bin [-addr 127.0.0.1:8953] [-max-inflight 256] [-timeout 5s] [-drain 10s] [-pprof]
 //
 // The default (no subcommand) mode builds the model, trains the SVM on a
 // stratified train-frac fraction of the labeled domains, and scores the
@@ -18,15 +19,27 @@
 // retained domains when none are given — without rebuilding anything.
 // Every model build prints a per-stage report (wall time, vertex/edge/
 // sample counts) to stderr.
+//
+// The serve subcommand runs the scoring daemon (internal/serve) on a
+// persisted model: GET /v1/score/{domain} and POST /v1/score/batch
+// answer scoring queries, SIGHUP or POST /v1/reload hot-swaps the model
+// file without dropping in-flight requests, /healthz and /metrics
+// (Prometheus text) expose operational state, and SIGINT/SIGTERM drain
+// gracefully. The bound address is printed to stderr, so -addr with
+// port 0 works for smoke tests.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -34,6 +47,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/mathx"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -44,8 +58,10 @@ func main() {
 			err = runTrain(os.Args[2:])
 		case "score":
 			err = runScore(os.Args[2:])
+		case "serve":
+			err = runServe(os.Args[2:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want train or score)", os.Args[1])
+			err = fmt.Errorf("unknown subcommand %q (want train, score, or serve)", os.Args[1])
 		}
 	} else {
 		var (
@@ -285,6 +301,70 @@ func runScore(args []string) error {
 		fmt.Printf("%-36s %10.4f\n", r.domain, r.score)
 	}
 	return nil
+}
+
+// runServe starts the model-serving daemon and blocks until a
+// terminating signal drains it. SIGHUP hot-reloads the model file; a
+// failed reload keeps the current model serving.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		modelPath   = fs.String("model", "model.bin", "model file written by train")
+		addr        = fs.String("addr", "127.0.0.1:8953", "listen address (port 0 picks an ephemeral port)")
+		maxInflight = fs.Int("max-inflight", 256, "max concurrent scoring requests before shedding with 503")
+		reqTimeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		maxBatch    = fs.Int("max-batch", 10000, "max domains per batch request")
+		pprofOn     = fs.Bool("pprof", false, "expose /debug/pprof/")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "maldetect: "+format+"\n", a...)
+	}
+	srv, err := serve.New(serve.Config{
+		ModelPath:      *modelPath,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drain,
+		MaxBatch:       *maxBatch,
+		EnablePprof:    *pprofOn,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logf("loaded model %s: %d domains", *modelPath, len(srv.Scorer().Domains()))
+	logf("fingerprint: %s", srv.Scorer().Fingerprint())
+	logf("serving on http://%s", l.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		for sig := range sigs {
+			if sig == syscall.SIGHUP {
+				// Reload logs its own outcome; a failure keeps serving.
+				_ = srv.Reload()
+				continue
+			}
+			logf("received %v", sig)
+			shutdownErr <- srv.Shutdown(context.Background())
+			return
+		}
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		return err
+	}
+	// Serve returned cleanly, meaning Shutdown ran; surface its error
+	// (nil unless the drain deadline expired).
+	return <-shutdownErr
 }
 
 func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, top int) error {

@@ -16,10 +16,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	maldomain "repro"
 	"repro/internal/dnssim"
-	"repro/internal/pipeline"
-	"repro/internal/stream"
 	"repro/internal/threatintel"
 )
 
@@ -39,10 +37,10 @@ func main() {
 		}
 	}
 
-	rolling, err := stream.New(stream.Config{
+	rolling, err := maldomain.NewRolling(maldomain.StreamConfig{
 		Start:      cfg.Start,
 		WindowDays: 2,
-		Detector:   core.Config{Seed: 808, EmbedDim: 16},
+		Detector:   maldomain.Config{Seed: 808, EmbedDim: 16},
 		Labeler: func(candidates []string) ([]string, []int) {
 			domains, labels := ti.LabeledSet(candidates)
 			var outD []string
@@ -62,7 +60,7 @@ func main() {
 	}
 
 	fmt.Printf("streaming %d days of campus traffic...\n", cfg.Days)
-	scenario.Generate(func(ev dnssim.Event) { rolling.Consume(pipeline.Input(ev)) })
+	scenario.Generate(func(ev dnssim.Event) { rolling.Consume(maldomain.Observation(ev)) })
 
 	totalAlerts, hits := 0, 0
 	for day := 0; day < cfg.Days; day++ {

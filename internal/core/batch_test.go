@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/pipeline"
+)
+
+// tinyDetector hand-crafts a trace small enough to build in
+// milliseconds even under the race detector: 10 hosts, 8 domains, with
+// overlapping host, IP, and minute sets so every domain survives
+// pruning and all three projections have edges.
+func tinyDetector(t testing.TB, seed uint64) (*Detector, []string, []int) {
+	t.Helper()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	d := NewDetector(Config{
+		Start:        start,
+		Days:         1,
+		EmbedDim:     4,
+		EmbedSamples: 20_000,
+		Seed:         seed,
+		Workers:      1,
+	})
+	const nDomains, nHosts = 8, 10
+	for i := 0; i < nDomains; i++ {
+		domain := fmt.Sprintf("dom%d.com", i)
+		for h := 0; h < 3; h++ {
+			host := fmt.Sprintf("10.0.0.%d", (i+h)%nHosts)
+			for m := 0; m < 3; m++ {
+				d.Consume(pipeline.Input{
+					Time:     start.Add(time.Duration(2*i+m) * time.Minute),
+					ClientIP: host,
+					QName:    "www." + domain,
+					Answers:  []string{fmt.Sprintf("198.51.100.%d", (i+m)%nDomains)},
+					TTL:      300,
+				})
+			}
+		}
+	}
+	if err := d.BuildModel(); err != nil {
+		t.Fatal(err)
+	}
+	domains, err := d.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) < 4 {
+		t.Fatalf("only %d domains survived pruning", len(domains))
+	}
+	labels := make([]int, len(domains))
+	for i := range domains {
+		labels[i] = i % 2
+	}
+	return d, domains, labels
+}
+
+// tinyScorer persists the tiny detector's model and loads it back.
+func tinyScorer(t testing.TB, seed uint64) *Scorer {
+	t.Helper()
+	d, domains, labels := tinyDetector(t, seed)
+	clf, err := d.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScorer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestScoreBatchMatchesSingles is the batch API's contract: one Result
+// per input in input order, bit-identical to per-domain Score/Predict,
+// Known=false for domains outside the retained set.
+func TestScoreBatchMatchesSingles(t *testing.T) {
+	sc := tinyScorer(t, 5)
+	known := sc.Domains()
+	queries := append([]string{"not-in-model.example"}, known...)
+	queries = append(queries, "also-missing.test")
+	results := sc.ScoreBatch(queries)
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i, q := range queries {
+		want, ok := sc.Score(q)
+		if ok != results[i].Known {
+			t.Fatalf("%s: batch Known=%v, single ok=%v", q, results[i].Known, ok)
+		}
+		if !ok {
+			if results[i].Score != 0 || results[i].Label != 0 {
+				t.Fatalf("%s: unknown domain has non-zero result %+v", q, results[i])
+			}
+			continue
+		}
+		if results[i].Score != want {
+			t.Fatalf("%s: batch score %v != single score %v", q, results[i].Score, want)
+		}
+		if p, _ := sc.Predict(q); p != results[i].Label {
+			t.Fatalf("%s: batch label %d != Predict %d", q, results[i].Label, p)
+		}
+	}
+}
+
+// TestLookupErrorForm checks the error-returning lookup: known domains
+// match Score, unknown ones wrap ErrUnknownDomain.
+func TestLookupErrorForm(t *testing.T) {
+	sc := tinyScorer(t, 5)
+	dom := sc.Domains()[0]
+	res, err := sc.Lookup(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := sc.Score(dom); res.Score != want || !res.Known {
+		t.Fatalf("Lookup(%s) = %+v, want score %v", dom, res, want)
+	}
+	_, err = sc.Lookup("never-seen.example")
+	if !errors.Is(err, ErrUnknownDomain) {
+		t.Fatalf("Lookup unknown: err %v, want ErrUnknownDomain", err)
+	}
+	if !strings.Contains(err.Error(), "never-seen.example") {
+		t.Errorf("error %q does not name the domain", err)
+	}
+}
+
+// TestBuildMetrics checks the stage runner's obsv instrumentation: one
+// histogram observation per stage, a completed-builds count, and the
+// retained-domain gauge, in the shared maldomain_* vocabulary.
+func TestBuildMetrics(t *testing.T) {
+	reg := obsv.NewRegistry()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	d := NewDetector(Config{
+		Start:        start,
+		Days:         1,
+		EmbedDim:     4,
+		EmbedSamples: 20_000,
+		Workers:      1,
+		Metrics:      reg,
+	})
+	for i := 0; i < 8; i++ {
+		for h := 0; h < 3; h++ {
+			for m := 0; m < 3; m++ {
+				d.Consume(pipeline.Input{
+					Time:     start.Add(time.Duration(2*i+m) * time.Minute),
+					ClientIP: fmt.Sprintf("10.0.0.%d", (i+h)%10),
+					QName:    fmt.Sprintf("www.dom%d.com", i),
+					Answers:  []string{fmt.Sprintf("198.51.100.%d", (i+m)%8)},
+				})
+			}
+		}
+	}
+	if err := d.BuildModel(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.BuildReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, st := range rep.Stages {
+		want := fmt.Sprintf(`maldomain_build_stage_seconds_count{stage="%s"} 1`, st.Name)
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "maldomain_builds_total 1") {
+		t.Errorf("exposition missing builds_total:\n%s", out)
+	}
+	domains, _ := d.Domains()
+	if want := fmt.Sprintf("maldomain_build_retained_domains %d", len(domains)); !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dhcp"
 	"repro/internal/etld"
 	"repro/internal/line"
+	"repro/internal/obsv"
 	"repro/internal/pipeline"
 	"repro/internal/svm"
 	"repro/internal/xmeans"
@@ -71,6 +72,15 @@ type Config struct {
 	// streaming mode uses it to seed each remodel with the previous
 	// window's vectors for persisting domains.
 	EmbedInit func(view bipartite.View, domains []string) [][]float64
+
+	// Metrics, when set, receives build instrumentation: each stage's
+	// wall time lands in the maldomain_build_stage_seconds{stage=...}
+	// histogram, maldomain_builds_total counts completed builds, and
+	// maldomain_build_retained_domains records the last build's vertex
+	// count. The serving daemon (internal/serve) exposes the same
+	// registry vocabulary on /metrics, so batch builds and the online
+	// scoring path report through one namespace.
+	Metrics *obsv.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -145,11 +155,33 @@ func NewDetectorWith(cfg Config, proc *pipeline.Processor) *Detector {
 	return &Detector{cfg: cfg.withDefaults(), proc: proc}
 }
 
-// Errors returned by Detector methods.
+// Lookup conventions. The surface distinguishes two failure shapes and
+// keeps them consistent across Detector, Classifier, and Scorer:
+//
+//   - Per-domain lookups on the hot path — FeatureVector, Score,
+//     Predict, ScoreBatch — use the (value, ok) comma-ok form. An
+//     unknown domain is an expected, per-item outcome (most domains a
+//     deployment is asked about were never retained), not an
+//     exceptional condition, and the comma-ok form keeps these calls
+//     allocation-free.
+//   - Whole-call failures — using an accessor before BuildModel,
+//     building twice, ending up with an empty vertex set — return
+//     errors, always wrapping one of the sentinels below so callers can
+//     errors.Is them.
+//
+// Scorer.Lookup bridges the two for callers that need an error value
+// for the unknown-domain case (the serving layer maps it to HTTP 404):
+// it reports the same condition as ok=false, wrapped around
+// ErrUnknownDomain.
 var (
 	ErrAlreadyBuilt = errors.New("core: model already built")
 	ErrNotBuilt     = errors.New("core: call BuildModel first")
 	ErrNoDomains    = errors.New("core: no domains survived pruning")
+	// ErrUnknownDomain reports a per-domain lookup for a domain outside
+	// the model's retained vertex set. Only the error-returning lookup
+	// forms (Scorer.Lookup) wrap it; the comma-ok forms report the same
+	// condition as ok=false.
+	ErrUnknownDomain = errors.New("core: domain not in model")
 )
 
 // Consume folds one joined DNS observation into the pipeline aggregates.

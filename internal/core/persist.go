@@ -221,3 +221,58 @@ func (s *Scorer) Predict(domain string) (int, bool) {
 	}
 	return 0, true
 }
+
+// Result is one domain's scoring outcome in a batch or error-form
+// lookup: the SVM decision value, the thresholded label (1 =
+// malicious), and whether the domain was in the retained set at all.
+// Known=false zero-values the other fields.
+type Result struct {
+	Score float64
+	Label int
+	Known bool
+}
+
+// ScoreBatch scores many domains in one call, returning one Result per
+// input in input order (Known=false for domains outside the retained
+// set). Scores and labels are bit-identical to per-domain Score and
+// Predict calls; the batch form replaces the three parallel
+// single-domain lookups a caller would otherwise chain per domain, and
+// reuses one feature buffer across the whole batch so the only
+// per-call allocation is the result slice.
+func (s *Scorer) ScoreBatch(domains []string) []Result {
+	out := make([]Result, len(domains))
+	buf := make([]float64, 0, len(s.views)*s.dim)
+	for i, d := range domains {
+		j, ok := s.index[d]
+		if !ok {
+			continue
+		}
+		buf = buf[:0]
+		for _, v := range s.views {
+			buf = append(buf, s.embeddings[v].Vectors[j]...)
+		}
+		sc := s.model.Decision(buf)
+		label := 0
+		if sc > 0 {
+			label = 1
+		}
+		out[i] = Result{Score: sc, Label: label, Known: true}
+	}
+	return out
+}
+
+// Lookup is the error-returning form of Score/Predict for callers that
+// propagate failures as errors: it returns the domain's Result, or an
+// error wrapping ErrUnknownDomain when the domain is outside the
+// retained set. The serving layer maps that sentinel to HTTP 404.
+func (s *Scorer) Lookup(domain string) (Result, error) {
+	if _, ok := s.index[domain]; !ok {
+		return Result{}, fmt.Errorf("%q: %w", domain, ErrUnknownDomain)
+	}
+	sc, _ := s.Score(domain)
+	label := 0
+	if sc > 0 {
+		label = 1
+	}
+	return Result{Score: sc, Label: label, Known: true}, nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/graph"
 	"repro/internal/line"
+	"repro/internal/obsv"
 )
 
 // StageReport records one build stage's cost and output size. Zero
@@ -91,11 +92,19 @@ func (d *Detector) buildStages() []buildStage {
 }
 
 // runBuild executes the stages in order, timing each, and returns the
-// artifacts and report. It does not mutate the Detector.
+// artifacts and report. It does not mutate the Detector. When
+// Config.Metrics is set, every stage's wall time is also observed into
+// the shared obsv registry under the same vocabulary the serving
+// daemon exposes.
 func (d *Detector) runBuild(stages []buildStage) (*buildArtifacts, BuildReport, error) {
 	a := &buildArtifacts{
 		projections: make(map[bipartite.View]*bipartite.Projection, len(bipartite.Views)),
 		embeddings:  make(map[bipartite.View]*line.Embedding, len(bipartite.Views)),
+	}
+	var stageSeconds *obsv.HistogramVec
+	if reg := d.cfg.Metrics; reg != nil {
+		stageSeconds = reg.HistogramVec("maldomain_build_stage_seconds",
+			"Wall time of one model-build stage.", "stage")
 	}
 	var report BuildReport
 	start := time.Now()
@@ -107,8 +116,19 @@ func (d *Detector) runBuild(stages []buildStage) (*buildArtifacts, BuildReport, 
 		}
 		rep.Duration = time.Since(s0)
 		report.Stages = append(report.Stages, rep)
+		if stageSeconds != nil {
+			stageSeconds.With(st.name).Observe(rep.Duration.Seconds())
+		}
 	}
 	report.Total = time.Since(start)
+	if reg := d.cfg.Metrics; reg != nil {
+		reg.Histogram("maldomain_build_seconds",
+			"End-to-end wall time of BuildModel.").Observe(report.Total.Seconds())
+		reg.Counter("maldomain_builds_total",
+			"Completed model builds.").Inc()
+		reg.Gauge("maldomain_build_retained_domains",
+			"Retained domain vertex count of the last completed build.").Set(float64(len(a.domains)))
+	}
 	return a, report, nil
 }
 

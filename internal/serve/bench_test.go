@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchServer builds one Server over the tiny fixture model for the
+// throughput benchmarks. Measuring at the handler level (httptest
+// recorders, no sockets) isolates the serving hot path — routing,
+// gate, timeout wrapper, scoring, JSON encoding — from kernel
+// networking noise.
+func benchServer(b *testing.B) *Server {
+	modelA, _, _, _ := models(b)
+	s, _ := newTestServer(b, modelA, nil)
+	return s
+}
+
+// BenchmarkServeScore measures single-domain GETs through the full
+// middleware stack.
+func BenchmarkServeScore(b *testing.B) {
+	s := benchServer(b)
+	dom := s.Scorer().Domains()[0]
+	target := "/v1/score/" + dom
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
+// BenchmarkServeBatch measures batch POSTs; throughput is reported in
+// scored domains per second.
+func BenchmarkServeBatch(b *testing.B) {
+	s := benchServer(b)
+	domains := s.Scorer().Domains()
+	body, err := json.Marshal(BatchRequest{Domains: domains})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/score/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.N*len(domains))/b.Elapsed().Seconds(), "domains/sec")
+}
+
+// BenchmarkServeScoreParallel drives the handler from all procs — the
+// many-clients shape the concurrency gate and atomic model pointer are
+// built for.
+func BenchmarkServeScoreParallel(b *testing.B) {
+	s := benchServer(b)
+	domains := s.Scorer().Domains()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			target := fmt.Sprintf("/v1/score/%s", domains[i%len(domains)])
+			i++
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}

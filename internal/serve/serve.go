@@ -1,0 +1,455 @@
+// Package serve is the model-serving daemon: the online half of the
+// train/serve split that core.SaveModel/LoadScorer opened. A Server
+// holds one persisted model in an atomically swappable pointer and
+// answers scoring queries over HTTP (stdlib net/http only):
+//
+//	GET  /v1/score/{domain}  one domain's decision value and label
+//	POST /v1/score/batch     {"domains": [...]} scored in one call
+//	POST /v1/reload          re-read the model file and swap atomically
+//	GET  /healthz            liveness + loaded-model identity
+//	GET  /metrics            Prometheus text exposition (internal/obsv)
+//	GET  /debug/pprof/...    profiling (when Config.EnablePprof)
+//
+// The lifecycle is production-shaped. Reload (also triggered by SIGHUP
+// in cmd/maldetect) loads the replacement model fully before swapping
+// the pointer, so in-flight requests keep scoring against the old
+// model and a corrupt or truncated replacement file leaves the old
+// model serving with the error reported to the caller. Scoring
+// endpoints sit behind a bounded-concurrency gate that sheds excess
+// load with 503 + Retry-After instead of queueing unboundedly, and
+// behind a per-request timeout. Shutdown drains in-flight requests up
+// to a deadline before returning.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obsv"
+)
+
+// Config parameterizes a Server. The zero value needs only ModelPath.
+type Config struct {
+	// ModelPath is the model file written by maldetect train
+	// (core.SaveModel); Reload re-reads the same path.
+	ModelPath string
+	// MaxInFlight bounds concurrently executing scoring requests;
+	// excess requests are shed with 503 + Retry-After (default 256).
+	MaxInFlight int
+	// RequestTimeout bounds one scoring request end to end, including
+	// reading the body (default 5s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight requests when
+	// the caller's context has no deadline of its own (default 10s).
+	DrainTimeout time.Duration
+	// MaxBatch bounds the domain count of one batch request (default
+	// 10000); larger batches are rejected with 413.
+	MaxBatch int
+	// Metrics receives request instrumentation and backs /metrics. A
+	// private registry is created when nil; pass the registry used for
+	// model builds to expose both vocabularies on one endpoint.
+	Metrics *obsv.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logf, when set, receives operational log lines (reloads,
+	// shutdown); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 10_000
+	}
+	return c
+}
+
+// modelState is one loaded model generation; the Server swaps whole
+// states so every request sees a consistent (scorer, metadata) pair.
+type modelState struct {
+	scorer   *core.Scorer
+	loadedAt time.Time
+}
+
+// Server serves one model file over HTTP. Create with New, expose with
+// Serve (or mount Handler in a test server), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obsv.Registry
+	model atomic.Pointer[modelState]
+	gate  chan struct{}
+
+	handler  http.Handler
+	httpSrv  *http.Server
+	reloadMu sync.Mutex // serializes Reload; requests never block on it
+
+	requests *obsv.CounterVec   // path, code
+	latency  *obsv.HistogramVec // path
+	inflight *obsv.Gauge
+	shed     *obsv.Counter
+	reloads  *obsv.CounterVec // result
+	scored   *obsv.Counter
+	unknown  *obsv.Counter
+	modelDom *obsv.Gauge
+	modelTS  *obsv.Gauge
+}
+
+// New loads the model at cfg.ModelPath and returns a ready Server. A
+// missing or corrupt initial model is a startup error: a daemon that
+// never had a model has nothing to keep serving.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	s := &Server{
+		cfg:  cfg,
+		reg:  reg,
+		gate: make(chan struct{}, cfg.MaxInFlight),
+
+		requests: reg.CounterVec("maldomain_http_requests_total",
+			"HTTP requests served, by route and status code.", "path", "code"),
+		latency: reg.HistogramVec("maldomain_http_request_seconds",
+			"HTTP request latency, by route.", "path"),
+		inflight: reg.Gauge("maldomain_http_inflight",
+			"Scoring requests currently executing."),
+		shed: reg.Counter("maldomain_http_shed_total",
+			"Scoring requests shed with 503 at the concurrency gate."),
+		reloads: reg.CounterVec("maldomain_model_reloads_total",
+			"Model reload attempts, by result.", "result"),
+		scored: reg.Counter("maldomain_scores_total",
+			"Domains scored (single and batch, known domains only)."),
+		unknown: reg.Counter("maldomain_score_unknown_total",
+			"Score lookups for domains outside the model."),
+		modelDom: reg.Gauge("maldomain_model_domains",
+			"Retained domain count of the currently served model."),
+		modelTS: reg.Gauge("maldomain_model_loaded_timestamp_seconds",
+			"Unix time the current model generation was loaded."),
+	}
+	st, err := s.loadModel()
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading initial model: %w", err)
+	}
+	s.install(st)
+	s.handler = s.buildMux()
+	s.httpSrv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s, nil
+}
+
+// loadModel reads cfg.ModelPath into a fresh modelState without
+// touching the served pointer. The bufio wrapper matters: the model
+// stream holds several gob streams back to back, and a reader without
+// io.ByteReader would make each decoder buffer (and lose) the next
+// stream's prefix.
+func (s *Server) loadModel() (*modelState, error) {
+	f, err := os.Open(s.cfg.ModelPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := core.LoadScorer(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &modelState{scorer: sc, loadedAt: time.Now()}, nil
+}
+
+// install publishes a loaded state and its gauges.
+func (s *Server) install(st *modelState) {
+	s.model.Store(st)
+	s.modelDom.Set(float64(len(st.scorer.Domains())))
+	s.modelTS.Set(float64(st.loadedAt.UnixNano()) / 1e9)
+}
+
+// Reload re-reads the model file and swaps it in atomically. The new
+// model is fully decoded and validated before the pointer moves, so
+// concurrent requests always score against a complete model; on any
+// error the previous model keeps serving and the error is returned.
+// Concurrent Reload calls are serialized.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	st, err := s.loadModel()
+	if err != nil {
+		s.reloads.With("error").Inc()
+		s.logf("reload failed, keeping current model: %v", err)
+		return err
+	}
+	s.install(st)
+	s.reloads.With("ok").Inc()
+	s.logf("reloaded model %s: %d domains, fingerprint %s",
+		s.cfg.ModelPath, len(st.scorer.Domains()), st.scorer.Fingerprint())
+	return nil
+}
+
+// Scorer returns the currently served model generation. The scorer is
+// immutable; it remains valid (but possibly superseded) after a
+// reload.
+func (s *Server) Scorer() *core.Scorer {
+	return s.model.Load().scorer
+}
+
+// Handler returns the daemon's full route table, for tests and
+// embedding.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on l until Shutdown. It returns nil after
+// a clean Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish. When ctx carries no deadline, Config.DrainTimeout
+// bounds the wait; on deadline expiry remaining connections are closed
+// and the context error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
+	}
+	s.logf("shutting down, draining in-flight requests")
+	return s.httpSrv.Shutdown(ctx)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ---- routing and middleware ----
+
+func (s *Server) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	score := func(h http.HandlerFunc) http.Handler {
+		// Gate outside the timeout wrapper: a shed request must not
+		// consume a timeout goroutine, and a timed-out handler keeps its
+		// slot until it actually finishes, so MaxInFlight stays a true
+		// bound on executing handlers.
+		return s.gated(http.TimeoutHandler(h, s.cfg.RequestTimeout,
+			`{"error":"request timed out"}`))
+	}
+	mux.Handle("GET /v1/score/{domain}", s.instrument("/v1/score", score(s.handleScore)))
+	mux.Handle("POST /v1/score/batch", s.instrument("/v1/score/batch", score(s.handleBatch)))
+	mux.Handle("POST /v1/reload", s.instrument("/v1/reload", http.HandlerFunc(s.handleReload)))
+	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// statusWriter captures the status code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument records the request count (by final status) and latency
+// of every request under route's label.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		s.latency.With(route).Observe(time.Since(start).Seconds())
+		s.requests.With(route, strconv.Itoa(sw.code)).Inc()
+	})
+}
+
+// gated admits at most MaxInFlight concurrent executions; everything
+// beyond that is shed immediately with 503 + Retry-After rather than
+// queued, so overload degrades with fast rejections instead of
+// building an unbounded backlog of slow ones.
+func (s *Server) gated(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+			s.inflight.Add(1)
+			defer func() {
+				s.inflight.Add(-1)
+				<-s.gate
+			}()
+			h.ServeHTTP(w, r)
+		default:
+			s.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusServiceUnavailable, "server at capacity")
+		}
+	})
+}
+
+// ---- handlers ----
+
+// ScoreResponse is the body of GET /v1/score/{domain}.
+type ScoreResponse struct {
+	Domain string  `json:"domain"`
+	Score  float64 `json:"score"`
+	Label  int     `json:"label"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	domain := r.PathValue("domain")
+	res, err := s.Scorer().Lookup(domain)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownDomain) {
+			s.unknown.Inc()
+			writeJSONError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.scored.Inc()
+	writeJSON(w, http.StatusOK, ScoreResponse{Domain: domain, Score: res.Score, Label: res.Label})
+}
+
+// BatchRequest is the body of POST /v1/score/batch.
+type BatchRequest struct {
+	Domains []string `json:"domains"`
+}
+
+// BatchResult is one entry of BatchResponse.Results, aligned with the
+// request's domain order. Known=false marks domains outside the model.
+type BatchResult struct {
+	Domain string  `json:"domain"`
+	Score  float64 `json:"score"`
+	Label  int     `json:"label"`
+	Known  bool    `json:"known"`
+}
+
+// BatchResponse is the body of POST /v1/score/batch.
+type BatchResponse struct {
+	Results     []BatchResult `json:"results"`
+	Fingerprint string        `json:"fingerprint"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
+		return
+	}
+	if len(req.Domains) > s.cfg.MaxBatch {
+		writeJSONError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d domains exceeds limit %d", len(req.Domains), s.cfg.MaxBatch))
+		return
+	}
+	sc := s.Scorer()
+	results := sc.ScoreBatch(req.Domains)
+	resp := BatchResponse{
+		Results:     make([]BatchResult, len(results)),
+		Fingerprint: sc.Fingerprint(),
+	}
+	var known uint64
+	for i, res := range results {
+		resp.Results[i] = BatchResult{
+			Domain: req.Domains[i],
+			Score:  res.Score,
+			Label:  res.Label,
+			Known:  res.Known,
+		}
+		if res.Known {
+			known++
+		}
+	}
+	s.scored.Add(known)
+	s.unknown.Add(uint64(len(results)) - known)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReloadResponse is the body of a successful POST /v1/reload.
+type ReloadResponse struct {
+	Fingerprint string    `json:"fingerprint"`
+	Domains     int       `json:"domains"`
+	LoadedAt    time.Time `json:"loaded_at"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.Reload(); err != nil {
+		// The old model is still serving; report both facts.
+		writeJSON(w, http.StatusInternalServerError, map[string]string{
+			"error":   err.Error(),
+			"serving": s.Scorer().Fingerprint(),
+		})
+		return
+	}
+	st := s.model.Load()
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Fingerprint: st.scorer.Fingerprint(),
+		Domains:     len(st.scorer.Domains()),
+		LoadedAt:    st.loadedAt,
+	})
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status      string    `json:"status"`
+	Domains     int       `json:"domains"`
+	Fingerprint string    `json:"fingerprint"`
+	LoadedAt    time.Time `json:"loaded_at"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.model.Load()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		Domains:     len(st.scorer.Domains()),
+		Fingerprint: st.scorer.Fingerprint(),
+		LoadedAt:    st.loadedAt,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Handlers marshal small fixed-shape values; an encode failure here
+	// means the response is already half-written, so there is nothing
+	// better to do than stop.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

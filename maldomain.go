@@ -36,6 +36,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/stream"
 )
 
 // Config parameterizes a Detector; see the field documentation in
@@ -61,9 +62,14 @@ type BuildReport = core.BuildReport
 type StageReport = core.StageReport
 
 // Scorer serves a persisted model (Detector.SaveModel) without any
-// pipeline state: Score/Predict/FeatureVector over the retained
-// domains. Load one with LoadScorer.
+// pipeline state: Score/Predict/FeatureVector/ScoreBatch over the
+// retained domains. Load one with LoadScorer.
 type Scorer = core.Scorer
+
+// Result is one domain's scoring outcome from Scorer.ScoreBatch or
+// Scorer.Lookup: decision value, thresholded label (1 = malicious),
+// and whether the domain was in the model at all.
+type Result = core.Result
 
 // Observation is one joined DNS query/response record — the schema the
 // paper's collector extracts from packet captures (§2).
@@ -90,7 +96,12 @@ func NewDetector(cfg Config) *Detector { return core.NewDetector(cfg) }
 // returns a serving-only Scorer.
 func LoadScorer(r io.Reader) (*Scorer, error) { return core.LoadScorer(r) }
 
-// Sentinel errors re-exported from the core implementation.
+// Sentinel errors re-exported from the core implementation. The
+// surface follows one convention throughout: per-domain lookups on hot
+// paths (FeatureVector, Score, Predict, ScoreBatch) use the
+// (value, ok) comma-ok form, whole-call failures return errors
+// wrapping these sentinels, and Scorer.Lookup bridges the two by
+// reporting an unknown domain as an error wrapping ErrUnknownDomain.
 var (
 	// ErrNotBuilt is returned by model accessors before BuildModel.
 	ErrNotBuilt = core.ErrNotBuilt
@@ -99,4 +110,30 @@ var (
 	// ErrNoDomains is returned when no domains survive pruning or no
 	// labeled domain is in the retained vertex set.
 	ErrNoDomains = core.ErrNoDomains
+	// ErrUnknownDomain is wrapped by Scorer.Lookup for domains outside
+	// the model's retained set; the serving daemon maps it to HTTP 404.
+	ErrUnknownDomain = core.ErrUnknownDomain
 )
+
+// The streaming deployment layer (the real-time mode of the paper's
+// introduction), re-exported so deployments need only this package.
+
+// Rolling is the streaming detector: feed observations with Consume,
+// call EndOfDay at each day boundary to remodel the sliding window and
+// collect alerts.
+type Rolling = stream.Rolling
+
+// StreamConfig parameterizes a Rolling detector (window length, alert
+// budget, model configuration, label source).
+type StreamConfig = stream.Config
+
+// Alert is one newly surfaced suspicious domain from a Rolling
+// detector's remodel.
+type Alert = stream.Alert
+
+// Labeler supplies the currently known labels when a streaming remodel
+// retrains the classifier.
+type Labeler = stream.Labeler
+
+// NewRolling returns a streaming detector for cfg.
+func NewRolling(cfg StreamConfig) (*Rolling, error) { return stream.New(cfg) }

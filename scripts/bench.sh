@@ -14,7 +14,11 @@
 # value of seeding each window's LINE run from the previous window's
 # vectors instead of rebuilding from random initialization.
 #
-# Usage: scripts/bench.sh [full|short|remodel]
+# serve mode runs the scoring-daemon throughput benchmarks
+# (internal/serve: single, batch, and parallel request paths through
+# the full middleware stack) and converts the log into BENCH_4.json.
+#
+# Usage: scripts/bench.sh [full|short|remodel|serve]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,7 +27,7 @@ mode="${1:-full}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
-micro_pkgs=(./internal/bipartite ./internal/line ./internal/svm)
+micro_pkgs=(./internal/bipartite ./internal/line ./internal/svm ./internal/serve)
 
 case "$mode" in
 short)
@@ -40,8 +44,13 @@ remodel)
     go run ./cmd/benchjson <"$log" >BENCH_3.json
     echo "wrote BENCH_3.json"
     ;;
+serve)
+    go test -run='^$' -bench='^BenchmarkServe' -benchmem ./internal/serve | tee "$log"
+    go run ./cmd/benchjson <"$log" >BENCH_4.json
+    echo "wrote BENCH_4.json"
+    ;;
 *)
-    echo "usage: scripts/bench.sh [full|short|remodel]" >&2
+    echo "usage: scripts/bench.sh [full|short|remodel|serve]" >&2
     exit 1
     ;;
 esac

@@ -3,9 +3,11 @@
 #
 # Runs, in order: formatting, go vet, build, the maldlint static
 # analyzer, the full test suite under the race detector, a
-# train/score persistence round trip on a tiny generated trace, and a
-# short fuzz smoke for each native fuzz target. Every step must pass;
-# the script stops at the first failure.
+# train/score persistence round trip on a tiny generated trace, a
+# serving-daemon smoke (score/batch/404/healthz/metrics over HTTP,
+# SIGHUP hot reload, graceful SIGTERM shutdown), and a short fuzz
+# smoke for each native fuzz target. Every step must pass; the script
+# stops at the first failure.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target -fuzztime for the smoke stage (default 10s;
@@ -38,15 +40,65 @@ go test -race ./...
 
 echo "==> maldetect train/score round trip"
 smokedir="$(mktemp -d)"
-trap 'rm -rf "$smokedir"' EXIT
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$smokedir"
+}
+trap cleanup EXIT
 go run ./cmd/dnsgen -scale small -seed 7 \
     -out "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv"
-go run ./cmd/maldetect train -seed 7 \
+go build -o "$smokedir/maldetect" ./cmd/maldetect
+"$smokedir/maldetect" train -seed 7 \
     -trace "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv" \
     -out "$smokedir/model.bin"
-go run ./cmd/maldetect score -model "$smokedir/model.bin" -top 5 \
+"$smokedir/maldetect" score -model "$smokedir/model.bin" -top 5 \
     >"$smokedir/scores.txt"
 grep -q '^top 5 suspicious domains:' "$smokedir/scores.txt"
+
+echo "==> maldetect serve smoke"
+# Start the daemon on an ephemeral port and parse the bound address
+# from its startup log.
+"$smokedir/maldetect" serve -model "$smokedir/model.bin" \
+    -addr 127.0.0.1:0 2>"$smokedir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's|.*serving on http://\([^ ]*\)$|\1|p' "$smokedir/serve.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve daemon did not start:" >&2
+    cat "$smokedir/serve.log" >&2
+    exit 1
+fi
+# One known domain (first ranked row of the score output) and one
+# unknown domain; then batch, health, and metrics. Curl output is
+# captured into variables — piping straight into `grep -q` would close
+# the pipe at the first match and fail curl under pipefail.
+known="$(awk 'NR==3 {print $1}' "$smokedir/scores.txt")"
+grep -q '"score"' <<<"$(curl -fsS "http://$addr/v1/score/$known")"
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/score/not-a-real-domain.invalid")"
+[ "$code" = 404 ]
+grep -q '"known":true' <<<"$(curl -fsS -X POST \
+    -d '{"domains":["'"$known"'","not-a-real-domain.invalid"]}' \
+    "http://$addr/v1/score/batch")"
+grep -q '"status":"ok"' <<<"$(curl -fsS "http://$addr/healthz")"
+grep -q '^maldomain_http_requests_total' <<<"$(curl -fsS "http://$addr/metrics")"
+# SIGHUP hot reload must keep the daemon serving.
+kill -HUP "$serve_pid"
+for _ in $(seq 1 100); do
+    grep -q 'reloaded model' "$smokedir/serve.log" && break
+    sleep 0.1
+done
+grep -q 'reloaded model' "$smokedir/serve.log"
+grep -q '"score"' <<<"$(curl -fsS "http://$addr/v1/score/$known")"
+grep -q 'maldomain_model_reloads_total{result="ok"} 1' <<<"$(curl -fsS "http://$addr/metrics")"
+# Graceful shutdown: SIGTERM must end the process with status 0.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
 
 echo "==> benchmark smoke (scripts/bench.sh short)"
 scripts/bench.sh short
