@@ -7,6 +7,7 @@
 //	maldetect train -trace trace.tsv -truth truth.tsv -out model.bin [-dhcp leases.tsv] [-seed N]
 //	maldetect score -model model.bin [-top 25] [domain ...]
 //	maldetect serve -model model.bin [-addr 127.0.0.1:8953] [-max-inflight 256] [-timeout 5s] [-drain 10s] [-pprof]
+//	maldetect stream -trace trace.tsv -truth truth.tsv [-window 2] [-dim 16] [-feed alerts.tsv] [-checkpoint stream.ckpt]
 //
 // The default (no subcommand) mode builds the model, trains the SVM on a
 // stratified train-frac fraction of the labeled domains, and scores the
@@ -27,6 +28,12 @@
 // (Prometheus text) expose operational state, and SIGINT/SIGTERM drain
 // gracefully. The bound address is printed to stderr, so -addr with
 // port 0 works for smoke tests.
+//
+// The stream subcommand runs the crash-safe rolling detector
+// (internal/stream) day by day over the trace, appending alerts to a
+// feed file. With -checkpoint, a checkpoint is written atomically after
+// every day boundary and a restart resumes from it, reproducing the
+// feed byte-identically (see stream.go).
 package main
 
 import (
@@ -60,8 +67,10 @@ func main() {
 			err = runScore(os.Args[2:])
 		case "serve":
 			err = runServe(os.Args[2:])
+		case "stream":
+			err = runStream(os.Args[2:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want train, score, or serve)", os.Args[1])
+			err = fmt.Errorf("unknown subcommand %q (want train, score, serve, or stream)", os.Args[1])
 		}
 	} else {
 		var (
@@ -85,50 +94,22 @@ func main() {
 // window, one to consume), builds the model, and prints the per-stage
 // build report.
 func loadDetector(tracePath, dhcpPath string, seed uint64) (*core.Detector, error) {
+	start, days, n, err := traceWindow(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	resolver, err := loadResolver(dhcpPath)
+	if err != nil {
+		return nil, err
+	}
+
+	det := core.NewDetector(core.Config{Start: start, Days: days, DHCP: resolver, Seed: seed})
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-
-	// First pass: discover the capture window so the detector's minute
-	// and day indices are anchored correctly.
-	var first, last time.Time
-	n := 0
-	if err := pipeline.ReadLog(bufio.NewReaderSize(f, 1<<20), func(in pipeline.Input) {
-		if n == 0 || in.Time.Before(first) {
-			first = in.Time
-		}
-		if in.Time.After(last) {
-			last = in.Time
-		}
-		n++
-	}); err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		return nil, fmt.Errorf("trace %s is empty", tracePath)
-	}
-	days := int(last.Sub(first).Hours()/24) + 1
-	start := first.Truncate(24 * time.Hour)
-
-	var resolver *dhcp.Resolver
-	if dhcpPath != "" {
-		leases, err := readLeases(dhcpPath)
-		if err != nil {
-			return nil, err
-		}
-		resolver = dhcp.NewResolver(leases)
-		fmt.Fprintf(os.Stderr, "maldetect: loaded %d DHCP leases\n", len(leases))
-	}
-
-	det := core.NewDetector(core.Config{Start: start, Days: days, DHCP: resolver, Seed: seed})
-	if _, err := f.Seek(0, 0); err != nil {
-		return nil, err
-	}
-	if err := pipeline.ReadLog(bufio.NewReaderSize(f, 1<<20), func(in pipeline.Input) {
-		det.Consume(in)
-	}); err != nil {
+	if err := pipeline.ReadLog(bufio.NewReaderSize(f, 1<<20), det.Consume); err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "maldetect: consumed %d observations over %d days\n", n, days)

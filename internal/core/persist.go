@@ -17,6 +17,7 @@ import (
 	"io"
 
 	"repro/internal/bipartite"
+	"repro/internal/crcio"
 	"repro/internal/line"
 	"repro/internal/svm"
 )
@@ -26,7 +27,9 @@ const (
 	// example a bare embedding or SVM file) to LoadScorer.
 	modelMagic = "maldomain-model"
 	// modelVersion is bumped on any incompatible layout change.
-	modelVersion = 1
+	// Version 2 appends a CRC-32 integrity trailer (crcio) over the
+	// whole stream; version-1 files (no trailer) are still readable.
+	modelVersion = 2
 )
 
 // modelHeader is the leading gob value of a saved model; the three
@@ -85,16 +88,20 @@ func (d *Detector) SaveModel(w io.Writer, clf *Classifier) error {
 		Domains:     d.domains,
 		Views:       clf.views,
 	}
-	if err := gob.NewEncoder(w).Encode(hdr); err != nil {
+	cw := crcio.NewWriter(w)
+	if err := gob.NewEncoder(cw).Encode(hdr); err != nil {
 		return fmt.Errorf("core: encoding model header: %w", err)
 	}
 	for _, v := range bipartite.Views {
-		if err := d.embeddings[v].Save(w); err != nil {
+		if err := d.embeddings[v].Save(cw); err != nil {
 			return fmt.Errorf("core: saving %v embedding: %w", v, err)
 		}
 	}
-	if err := clf.model.Save(w); err != nil {
+	if err := clf.model.Save(cw); err != nil {
 		return fmt.Errorf("core: saving classifier: %w", err)
+	}
+	if err := cw.WriteTrailer(); err != nil {
+		return fmt.Errorf("core: sealing model: %w", err)
 	}
 	return nil
 }
@@ -114,17 +121,22 @@ type Scorer struct {
 }
 
 // LoadScorer reads a model written by SaveModel. Corrupt, truncated, or
-// foreign streams are rejected with an error.
+// foreign streams are rejected with an error: version-2 streams carry a
+// CRC-32 trailer that is verified over every byte, so bit-rot anywhere
+// in the file is detected deterministically. Legacy version-1 streams
+// (written before the trailer existed) still load.
 func LoadScorer(r io.Reader) (*Scorer, error) {
+	cr := crcio.NewReader(r)
 	var hdr modelHeader
-	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+	if err := gob.NewDecoder(cr).Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("core: decoding model header: %w", err)
 	}
 	if hdr.Magic != modelMagic {
 		return nil, fmt.Errorf("core: not a model stream (magic %q)", hdr.Magic)
 	}
-	if hdr.Version != modelVersion {
-		return nil, fmt.Errorf("core: model version %d, this build reads %d", hdr.Version, modelVersion)
+	if hdr.Version != modelVersion && hdr.Version != 1 {
+		return nil, fmt.Errorf("core: model version %d, this build reads %d (and legacy 1)",
+			hdr.Version, modelVersion)
 	}
 	if hdr.EmbedDim <= 0 || len(hdr.Domains) == 0 {
 		return nil, errors.New("core: corrupt model: empty domain set or dimension")
@@ -149,7 +161,7 @@ func LoadScorer(r io.Reader) (*Scorer, error) {
 		s.index[d] = i
 	}
 	for _, v := range bipartite.Views {
-		emb, err := line.LoadEmbedding(r)
+		emb, err := line.LoadEmbedding(cr)
 		if err != nil {
 			return nil, fmt.Errorf("core: loading %v embedding: %w", v, err)
 		}
@@ -162,11 +174,16 @@ func LoadScorer(r io.Reader) (*Scorer, error) {
 		}
 		s.embeddings[v] = emb
 	}
-	model, err := svm.LoadModel(r)
+	model, err := svm.LoadModel(cr)
 	if err != nil {
 		return nil, fmt.Errorf("core: loading classifier: %w", err)
 	}
 	s.model = model
+	if hdr.Version >= 2 {
+		if err := cr.VerifyTrailer(); err != nil {
+			return nil, fmt.Errorf("core: model integrity check: %w", err)
+		}
+	}
 	return s, nil
 }
 

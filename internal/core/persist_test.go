@@ -2,10 +2,14 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/bipartite"
+	"repro/internal/crcio"
+	"repro/internal/faultio"
 )
 
 // TestSaveModelLoadScorerRoundTrip is the train-once/serve-many
@@ -145,5 +149,131 @@ func TestLoadScorerRejectsCorruptStreams(t *testing.T) {
 	}
 	if _, err := LoadScorer(bytes.NewReader(embBuf.Bytes())); err == nil {
 		t.Fatal("bare embedding stream accepted as a model")
+	}
+}
+
+// TestLoadScorerReadsLegacyV1 pins the compatibility promise: model
+// files written before the CRC trailer existed (version 1, no trailer)
+// must keep loading and score identically to a current save.
+func TestLoadScorerReadsLegacyV1(t *testing.T) {
+	d, _, ti := buildDetector(t, 21)
+	domains, labels := labeledSet(t, d, ti)
+	clf, err := d.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write the version-1 layout: header + three embeddings + SVM,
+	// no trailer.
+	var v1 bytes.Buffer
+	hdr := modelHeader{
+		Magic:       modelMagic,
+		Version:     1,
+		Fingerprint: d.cfg.Fingerprint(),
+		EmbedDim:    d.cfg.EmbedDim,
+		Domains:     d.domains,
+		Views:       clf.views,
+	}
+	if err := gob.NewEncoder(&v1).Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bipartite.Views {
+		if err := d.embeddings[v].Save(&v1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := clf.model.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := LoadScorer(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy v1 stream refused: %v", err)
+	}
+	for _, dom := range sc.Domains() {
+		want, _ := clf.Score(dom)
+		if got, ok := sc.Score(dom); !ok || got != want {
+			t.Fatalf("%s: legacy scorer decision %v, want %v", dom, got, want)
+		}
+	}
+}
+
+// TestModelTrailerDetectsCorruption: a current save carries a CRC-32
+// trailer, so corruption the gob layer would happily decode — flipped
+// trailer bytes, bit-rot in the float payload — is refused.
+func TestModelTrailerDetectsCorruption(t *testing.T) {
+	d, _, ti := buildDetector(t, 21)
+	domains, labels := labeledSet(t, d, ti)
+	clf, err := d.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Flips inside the trailer itself always surface as ErrChecksum:
+	// the payload decodes fine, the seal does not match.
+	for i := len(full) - 4; i < len(full); i++ {
+		flipped := bytes.Clone(full)
+		flipped[i] ^= 0x08
+		if _, err := LoadScorer(bytes.NewReader(flipped)); !errors.Is(err, crcio.ErrChecksum) {
+			t.Fatalf("trailer flip at byte %d: err = %v, want ErrChecksum", i, err)
+		}
+	}
+	// Flips sampled across the whole payload must be refused one way or
+	// another: either the gob layer chokes or the trailer check does.
+	for i := 0; i < len(full)-4; i += 97 {
+		flipped := bytes.Clone(full)
+		flipped[i] ^= 0x08
+		if _, err := LoadScorer(bytes.NewReader(flipped)); err == nil {
+			t.Fatalf("payload flip at byte %d accepted", i)
+		}
+	}
+	// Truncation that removes only the trailer is no longer silent.
+	if _, err := LoadScorer(bytes.NewReader(full[:len(full)-4])); err == nil {
+		t.Fatal("stream with amputated trailer accepted")
+	}
+}
+
+// TestModelPersistFaultInjection drives save and load through the
+// faultio seam: a writer that dies mid-stream fails the save, a reader
+// that dies mid-stream fails the load, and both surface the injected
+// cause.
+func TestModelPersistFaultInjection(t *testing.T) {
+	d, _, ti := buildDetector(t, 21)
+	domains, labels := labeledSet(t, d, ti)
+	clf, err := d.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	for _, limit := range []int64{0, 10, int64(len(full) / 2), int64(len(full) - 2)} {
+		var sink bytes.Buffer
+		if err := d.SaveModel(faultio.FailWriter(&sink, limit), clf); !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("save with writer failing after %d bytes: err = %v, want ErrInjected", limit, err)
+		}
+		if _, err := LoadScorer(faultio.FailReader(bytes.NewReader(full), limit)); !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("load with reader failing after %d bytes: err = %v, want ErrInjected", limit, err)
+		}
+	}
+	// A torn write that lands on disk is caught at load time by the
+	// trailer (the torn prefix reads as a truncated stream).
+	var torn bytes.Buffer
+	_ = d.SaveModel(faultio.TornWriter(&torn, int64(len(full)/2)), clf)
+	if _, err := LoadScorer(bytes.NewReader(torn.Bytes())); err == nil {
+		t.Fatal("torn model stream accepted")
+	}
+	// Short-write detection: SaveModel's writes go through the caller's
+	// writer directly, so a lying writer shows up as an encode error.
+	var short bytes.Buffer
+	if err := d.SaveModel(faultio.ShortWriter(&short, 10), clf); err == nil {
+		t.Fatal("save through a short writer reported success")
 	}
 }

@@ -1,0 +1,127 @@
+package crcio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+func sealed(t *testing.T, payload string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := io.WriteString(w, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrailer(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := sealed(t, "hello, stream")
+	r := NewReader(bytes.NewReader(data))
+	got := make([]byte, len("hello, stream"))
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VerifyTrailer(); err != nil {
+		t.Fatalf("verify failed on intact stream: %v", err)
+	}
+}
+
+func TestEveryBitFlipDetected(t *testing.T) {
+	data := sealed(t, "payload under test")
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			flipped := bytes.Clone(data)
+			flipped[i] ^= 1 << bit
+			r := NewReader(bytes.NewReader(flipped))
+			buf := make([]byte, len(data)-4)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				t.Fatalf("payload read failed: %v", err)
+			}
+			if err := r.VerifyTrailer(); !errors.Is(err, ErrChecksum) {
+				t.Fatalf("flip at byte %d bit %d: err = %v, want ErrChecksum", i, bit, err)
+			}
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	data := sealed(t, "payload under test")
+	// Cut inside the trailer: the payload reads fine, the trailer is
+	// short.
+	cut := data[:len(data)-2]
+	r := NewReader(bytes.NewReader(cut))
+	buf := make([]byte, len(data)-4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VerifyTrailer(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated trailer: err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestReadErrorPropagates(t *testing.T) {
+	data := sealed(t, "payload under test")
+	r := NewReader(faultio.FailReader(bytes.NewReader(data), int64(len(data)-3)))
+	buf := make([]byte, len(data)-4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VerifyTrailer(); !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("injected read error lost: %v", err)
+	}
+}
+
+// TestGobBoundaries is the property the model and checkpoint formats
+// rely on: stacked gob decoders over one Reader consume exactly their
+// own messages, leaving the trailer in place and the checksum
+// well-defined.
+func TestGobBoundaries(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := gob.NewEncoder(w).Encode("first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(w).Encode([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrailer(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	var s string
+	if err := gob.NewDecoder(r).Decode(&s); err != nil || s != "first" {
+		t.Fatalf("first part: %q err=%v", s, err)
+	}
+	var ints []int
+	if err := gob.NewDecoder(r).Decode(&ints); err != nil || len(ints) != 3 {
+		t.Fatalf("second part: %v err=%v", ints, err)
+	}
+	if err := r.VerifyTrailer(); err != nil {
+		t.Fatalf("trailer after gob parts: %v", err)
+	}
+}
+
+// TestNonByteReaderSource checks the bufio fallback path for readers
+// that cannot hand out single bytes.
+func TestNonByteReaderSource(t *testing.T) {
+	data := sealed(t, "abc")
+	r := NewReader(struct{ io.Reader }{strings.NewReader(string(data))})
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VerifyTrailer(); err != nil {
+		t.Fatal(err)
+	}
+}

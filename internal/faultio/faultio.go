@@ -1,0 +1,260 @@
+// Package faultio is the injectable I/O fault seam used by every
+// persistence test in the repository: writers that fail cleanly, tear,
+// or silently shorten mid-stream, readers that error after N bytes, and
+// a small filesystem abstraction whose fault-wrapping implementation
+// injects create/sync/rename/close failures into atomic-write code
+// paths.
+//
+// Production code depends only on the FS interface (through the OS
+// implementation); tests substitute Faults to prove that a persistence
+// layer survives torn writes, full disks, and crashed renames without
+// corrupting the previous on-disk state.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrInjected is the sentinel returned (possibly wrapped) by every
+// injected fault, so tests can errors.Is their way to the cause.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// FailWriter returns a writer that passes through the first limit bytes
+// and then fails every subsequent call with ErrInjected, writing
+// nothing more: a clean write error at a byte boundary (disk full,
+// revoked descriptor).
+func FailWriter(w io.Writer, limit int64) io.Writer {
+	return &limitWriter{w: w, left: limit, torn: false}
+}
+
+// TornWriter is like FailWriter, but the failing call first writes
+// whatever budget remains before reporting ErrInjected: part of the
+// buffer lands in the file, the rest is lost — a torn write, the shape a
+// power cut leaves behind.
+func TornWriter(w io.Writer, limit int64) io.Writer {
+	return &limitWriter{w: w, left: limit, torn: true}
+}
+
+type limitWriter struct {
+	w    io.Writer
+	left int64
+	torn bool
+}
+
+func (lw *limitWriter) Write(p []byte) (int, error) {
+	if int64(len(p)) <= lw.left {
+		n, err := lw.w.Write(p)
+		lw.left -= int64(n)
+		return n, err
+	}
+	n := 0
+	if lw.torn && lw.left > 0 {
+		var err error
+		n, err = lw.w.Write(p[:lw.left])
+		lw.left -= int64(n)
+		if err != nil {
+			return n, err
+		}
+	} else {
+		lw.left = 0
+	}
+	return n, ErrInjected
+}
+
+// ShortWriter returns a writer that passes through the first limit
+// bytes, then performs one contract-violating short write (n < len(p)
+// with a nil error — the shape of a buggy or lying device driver) and
+// hard-fails every call after that with ErrInjected. Robust callers
+// must detect the shortfall (bufio.Writer turns a short flush into
+// io.ErrShortWrite); the trailing hard failure keeps retry loops from
+// spinning forever on a writer that never makes progress.
+func ShortWriter(w io.Writer, limit int64) io.Writer {
+	return &shortWriter{w: w, left: limit}
+}
+
+type shortWriter struct {
+	w    io.Writer
+	left int64 // -1 once the short write has happened
+}
+
+func (sw *shortWriter) Write(p []byte) (int, error) {
+	if sw.left < 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) <= sw.left {
+		n, err := sw.w.Write(p)
+		sw.left -= int64(n)
+		return n, err
+	}
+	n := int(sw.left)
+	if n > 0 {
+		var err error
+		n, err = sw.w.Write(p[:n])
+		if err != nil {
+			sw.left -= int64(n)
+			return n, err
+		}
+	}
+	sw.left = -1
+	return n, nil
+}
+
+// FailReader returns a reader that yields the first limit bytes of r
+// and then fails with ErrInjected: mid-stream I/O error, the read-side
+// twin of FailWriter. Truncation (EOF instead of an error) is modeled
+// by plain io.LimitReader.
+func FailReader(r io.Reader, limit int64) io.Reader {
+	return &failReader{r: r, left: limit}
+}
+
+type failReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (fr *failReader) Read(p []byte) (int, error) {
+	if fr.left == 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > fr.left {
+		p = p[:fr.left]
+	}
+	n, err := fr.r.Read(p)
+	fr.left -= int64(n)
+	if err == io.EOF && fr.left > 0 {
+		// The underlying stream ended before the injection point; let
+		// EOF through so short underlying data still reads normally.
+		return n, err
+	}
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// FS abstracts the filesystem operations an atomic temp-file-and-rename
+// persistence path needs. Production code uses OS; tests wrap it in
+// Faults to inject failures at any step.
+type FS interface {
+	// CreateTemp creates a new unique file in dir (os.CreateTemp
+	// semantics: pattern's final "*" is replaced by a random string).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; used for cleanup after failed writes.
+	Remove(name string) error
+}
+
+// File is the write handle CreateTemp returns.
+type File interface {
+	io.Writer
+	// Name returns the file's path.
+	Name() string
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+// Faults wraps an inner FS (default OS) and injects failures. Each
+// boolean arms one failure site; WrapWriter, when set, wraps every
+// created file's write path (compose with FailWriter, TornWriter, or
+// ShortWriter to fail mid-stream).
+type Faults struct {
+	// Inner is the filesystem faults are injected into; nil means OS.
+	Inner FS
+	// FailCreate makes CreateTemp fail.
+	FailCreate bool
+	// FailRename makes Rename fail, leaving oldpath in place.
+	FailRename bool
+	// FailSync makes File.Sync fail.
+	FailSync bool
+	// FailClose makes File.Close fail (after closing the real file, so
+	// no descriptors leak in tests).
+	FailClose bool
+	// WrapWriter, when non-nil, wraps each created file's writes.
+	WrapWriter func(io.Writer) io.Writer
+
+	// Renames counts successful Rename calls, so tests can assert
+	// whether a failed persistence attempt ever reached the commit step.
+	Renames int
+}
+
+func (f *Faults) inner() FS {
+	if f.Inner == nil {
+		return OS
+	}
+	return f.Inner
+}
+
+// CreateTemp implements FS.
+func (f *Faults) CreateTemp(dir, pattern string) (File, error) {
+	if f.FailCreate {
+		return nil, ErrInjected
+	}
+	file, err := f.inner().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	ff := &faultFile{File: file, w: io.Writer(file), faults: f}
+	if f.WrapWriter != nil {
+		ff.w = f.WrapWriter(file)
+	}
+	return ff, nil
+}
+
+// Rename implements FS.
+func (f *Faults) Rename(oldpath, newpath string) error {
+	if f.FailRename {
+		return ErrInjected
+	}
+	if err := f.inner().Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.Renames++
+	return nil
+}
+
+// Remove implements FS.
+func (f *Faults) Remove(name string) error { return f.inner().Remove(name) }
+
+type faultFile struct {
+	File
+	w      io.Writer
+	faults *Faults
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) { return ff.w.Write(p) }
+
+func (ff *faultFile) Sync() error {
+	if ff.faults.FailSync {
+		return ErrInjected
+	}
+	return ff.File.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	err := ff.File.Close()
+	if ff.faults.FailClose {
+		return ErrInjected
+	}
+	return err
+}

@@ -1,0 +1,177 @@
+package faultio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFailWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := FailWriter(&buf, 5)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	// The crossing call fails cleanly: nothing of it is written.
+	if n, err := w.Write([]byte("defg")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing call: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("h")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault call: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "abc" {
+		t.Fatalf("underlying got %q, want %q", got, "abc")
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := TornWriter(&buf, 5)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	// The crossing call writes the remaining budget, then fails.
+	if n, err := w.Write([]byte("defg")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing call: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Fatalf("underlying got %q, want %q", got, "abcde")
+	}
+	if n, err := w.Write([]byte("h")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault call: n=%d err=%v", n, err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := ShortWriter(&buf, 5)
+	// The crossing call lies: partial write, nil error.
+	if n, err := w.Write([]byte("abcdefg")); n != 5 || err != nil {
+		t.Fatalf("crossing call: n=%d err=%v", n, err)
+	}
+	// After the lie, the writer hard-fails so callers can't spin.
+	if n, err := w.Write([]byte("h")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget call: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Fatalf("underlying got %q, want %q", got, "abcde")
+	}
+}
+
+func TestFailReader(t *testing.T) {
+	r := FailReader(strings.NewReader("abcdefgh"), 5)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "abcde" {
+		t.Fatalf("read %q before fault, want %q", got, "abcde")
+	}
+
+	// Underlying data shorter than the injection point: plain EOF.
+	r = FailReader(strings.NewReader("ab"), 5)
+	got, err = io.ReadAll(r)
+	if err != nil || string(got) != "ab" {
+		t.Fatalf("short underlying: got %q err=%v", got, err)
+	}
+}
+
+// writeVia runs the canonical atomic-write sequence (create temp,
+// write, sync, close, rename) against fs, the sequence the fault cases
+// below interrupt at every step.
+func writeVia(fs FS, path string, data []byte) error {
+	f, err := fs.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(f.Name())
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(f.Name())
+		return err
+	}
+	if err := fs.Rename(f.Name(), path); err != nil {
+		_ = fs.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+func TestOSFSAtomicWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := writeVia(OS, path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q err=%v", got, err)
+	}
+}
+
+func TestFaultsEachStep(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults *Faults
+	}{
+		{"create", &Faults{FailCreate: true}},
+		{"write", &Faults{WrapWriter: func(w io.Writer) io.Writer { return FailWriter(w, 1) }}},
+		{"torn", &Faults{WrapWriter: func(w io.Writer) io.Writer { return TornWriter(w, 1) }}},
+		{"sync", &Faults{FailSync: true}},
+		{"close", &Faults{FailClose: true}},
+		{"rename", &Faults{FailRename: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.bin")
+			if err := writeVia(OS, path, []byte("previous")); err != nil {
+				t.Fatal(err)
+			}
+			err := writeVia(tc.faults, path, []byte("next-generation"))
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("fault not surfaced: err=%v", err)
+			}
+			if tc.faults.Renames != 0 {
+				t.Error("failed write still reached the rename step")
+			}
+			// The previous generation survives every fault.
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != "previous" {
+				t.Fatalf("previous state damaged: %q err=%v", got, rerr)
+			}
+			// No temp litter except where cleanup itself was impossible.
+			ents, _ := os.ReadDir(dir)
+			if len(ents) != 1 {
+				t.Errorf("temp file leaked: %d entries in dir", len(ents))
+			}
+		})
+	}
+}
+
+// TestShortWriteDetectedByBufio documents the contract the checkpoint
+// writer relies on: a lying short writer is surfaced as
+// io.ErrShortWrite by bufio at flush time.
+func TestShortWriteDetectedByBufio(t *testing.T) {
+	var sink bytes.Buffer
+	sw := ShortWriter(&sink, 3)
+	bw := bufio.NewWriterSize(sw, 16)
+	if _, err := bw.Write([]byte("xxxxxxxx")); err != nil {
+		t.Fatalf("buffered write failed early: %v", err)
+	}
+	if err := bw.Flush(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("flush err = %v, want io.ErrShortWrite", err)
+	}
+}

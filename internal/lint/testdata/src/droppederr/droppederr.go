@@ -26,6 +26,34 @@ func badFprintfToFile(f *os.File) {
 	fmt.Fprintf(f, "ok\n") // want droppederr
 }
 
+// The checkpoint-write shapes: an atomic temp-file-and-rename sequence
+// where any dropped error (flush, sync, close, rename) can silently
+// persist a torn or unsynced file. None of these are exempt.
+func badCheckpointWritePath(f *os.File) {
+	f.Sync()                         // want droppederr
+	f.Close()                        // want droppederr
+	os.Rename("ckpt.tmp", "ckpt")    // want droppederr
+	os.Remove("ckpt.tmp")            // want droppederr
+	os.WriteFile("ckpt", nil, 0o644) // want droppederr
+	f.Truncate(0)                    // want droppederr
+}
+
+func goodCheckpointWritePath(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename("ckpt.tmp", "ckpt"); err != nil {
+		// Best-effort cleanup on the failure path is fine when blanked
+		// explicitly.
+		_ = os.Remove("ckpt.tmp")
+		return err
+	}
+	return nil
+}
+
 func goodHandled() error {
 	if err := mayFail(); err != nil {
 		return err

@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+func snapshotFixture(t *testing.T) (*Processor, []Input) {
+	t.Helper()
+	start := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	p := NewProcessor(Config{Start: start, Days: 3})
+	inputs := []Input{
+		{Time: start.Add(5 * time.Minute), ClientIP: "10.0.0.1", QName: "www.alpha.com",
+			RCode: dnswire.RCodeNoError, Answers: []string{"198.51.100.1"}, TTL: 300},
+		{Time: start.Add(26 * time.Hour), ClientIP: "10.0.0.2", QName: "cdn.alpha.com",
+			RCode: dnswire.RCodeNoError, Answers: []string{"198.51.100.2", "198.51.100.3"}, TTL: 60},
+		{Time: start.Add(30 * time.Hour), ClientIP: "10.0.0.1", QName: "evil.beta.net",
+			RCode: dnswire.RCodeNXDomain},
+		{Time: start.Add(49 * time.Hour), ClientIP: "10.0.0.3", QName: "evil.beta.net",
+			RCode: dnswire.RCodeNoError, Answers: []string{"203.0.113.9"}, TTL: 30},
+		{Time: start.Add(49 * time.Hour), ClientIP: "10.0.0.3", QName: "justtld",
+			RCode: dnswire.RCodeNoError}, // skipped: no e2LD
+	}
+	for _, in := range inputs {
+		p.Consume(in)
+	}
+	return p, inputs
+}
+
+// TestSnapshotRoundTrip is the crash-safety contract: snapshot → gob →
+// restore reproduces a processor whose aggregates, merge behavior, and
+// further consumption are indistinguishable from the original's.
+func TestSnapshotRoundTrip(t *testing.T) {
+	p, _ := snapshotFixture(t)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	q, err := FromSnapshot(&snap, RestoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshots are canonical (sorted slices), so equality of snapshots
+	// is equality of aggregates.
+	if !reflect.DeepEqual(p.Snapshot(), q.Snapshot()) {
+		t.Fatalf("restored snapshot differs:\n orig: %+v\n rest: %+v", p.Snapshot(), q.Snapshot())
+	}
+	if q.TotalQueries() != p.TotalQueries() || q.Skipped() != p.Skipped() ||
+		q.DeviceCount() != p.DeviceCount() {
+		t.Fatalf("counter mismatch after restore")
+	}
+
+	// The restored processor keeps working: consuming the same new
+	// observation into both sides preserves equality.
+	extra := Input{Time: p.cfg.Start.Add(50 * time.Hour), ClientIP: "10.0.0.9",
+		QName: "late.alpha.com", RCode: dnswire.RCodeNoError, Answers: []string{"198.51.100.7"}, TTL: 60}
+	p.Consume(extra)
+	q.Consume(extra)
+	if !reflect.DeepEqual(p.Snapshot(), q.Snapshot()) {
+		t.Fatal("restored processor diverged after further consumption")
+	}
+
+	// And it still merges: a restored processor is a valid Merge input.
+	m1, err := Merge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.Snapshot(), m2.Snapshot()) {
+		t.Fatal("merge of restored processor differs from merge of original")
+	}
+}
+
+// TestSnapshotIsDeepCopy guards the no-aliasing contract both ways.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	p, _ := snapshotFixture(t)
+	snap := p.Snapshot()
+	q, err := FromSnapshot(snap, RestoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the snapshot must not reach the restored processor.
+	snap.Domains[0].PerDay[0] = 999
+	snap.Domains[0].Hosts[0] = "tampered"
+	for _, st := range q.Stats() {
+		if st.PerDay[0] == 999 {
+			t.Fatal("restored processor aliases snapshot PerDay")
+		}
+		if _, ok := st.Hosts["tampered"]; ok {
+			t.Fatal("restored processor aliases snapshot Hosts")
+		}
+	}
+	// And a fresh snapshot of the original is unaffected by the tampering.
+	if reflect.DeepEqual(snap, p.Snapshot()) {
+		t.Fatal("snapshot aliases live processor state")
+	}
+}
+
+func TestFromSnapshotRejectsCorrupt(t *testing.T) {
+	p, _ := snapshotFixture(t)
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"zero days", func(s *Snapshot) { s.Days = 0 }},
+		{"zero bucket", func(s *Snapshot) { s.Bucket = 0 }},
+		{"negative totals", func(s *Snapshot) { s.TotalQueries = -1 }},
+		{"empty e2LD", func(s *Snapshot) { s.Domains[0].E2LD = "" }},
+		{"duplicate domain", func(s *Snapshot) { s.Domains[1].E2LD = s.Domains[0].E2LD }},
+		{"zero query count", func(s *Snapshot) { s.Domains[0].QueryCount = 0 }},
+		{"NX above queries", func(s *Snapshot) { s.Domains[0].NXCount = s.Domains[0].QueryCount + 1 }},
+		{"PerDay length", func(s *Snapshot) { s.Domains[0].PerDay = s.Domains[0].PerDay[:1] }},
+		{"negative bucket index", func(s *Snapshot) { s.Buckets[0].Index = -1 }},
+		{"duplicate bucket", func(s *Snapshot) { s.Buckets[1].Index = s.Buckets[0].Index }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := p.Snapshot()
+			tc.mutate(snap)
+			if _, err := FromSnapshot(snap, RestoreConfig{}); err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			} else if !strings.Contains(err.Error(), "pipeline:") {
+				t.Fatalf("error lacks package context: %v", err)
+			}
+		})
+	}
+	if _, err := FromSnapshot(nil, RestoreConfig{}); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}

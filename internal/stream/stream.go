@@ -27,6 +27,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/line"
+	"repro/internal/obsv"
 	"repro/internal/pipeline"
 )
 
@@ -54,6 +55,12 @@ type Config struct {
 	Detector core.Config
 	// Labeler supplies training labels at each remodel; required.
 	Labeler Labeler
+	// Metrics, when set, receives checkpoint/restore/degradation
+	// instrumentation: maldomain_checkpoints_total{result},
+	// maldomain_checkpoint_bytes, maldomain_checkpoint_last_unix_seconds,
+	// maldomain_checkpoint_write_seconds, maldomain_restores_total{result},
+	// and maldomain_degraded_days_total.
+	Metrics *obsv.Registry
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -93,6 +100,12 @@ type Rolling struct {
 	lastDay int
 	flagged map[string]bool
 
+	// floor is the last day boundary a restored checkpoint covers;
+	// Consume drops observations at or before it (their aggregates are
+	// already represented) and EndOfDay refuses to re-run it. -1 for a
+	// fresh detector.
+	floor int
+
 	// prevIndex and prevEmb hold the last successful remodel's retained
 	// domain index and per-view embeddings; the next remodel seeds LINE
 	// from them for every domain that persists across windows.
@@ -110,6 +123,7 @@ func New(cfg Config) (*Rolling, error) {
 		cfg:     cfg,
 		days:    make(map[int]*pipeline.Processor),
 		lastDay: -1,
+		floor:   -1,
 		flagged: make(map[string]bool),
 	}, nil
 }
@@ -124,6 +138,11 @@ func (r *Rolling) Consume(in pipeline.Input) {
 	day := int(in.Time.Sub(r.cfg.Start) / (24 * time.Hour))
 	if day < 0 {
 		day = 0
+	}
+	if day <= r.floor {
+		// Already represented by the restored checkpoint: a caller
+		// replaying its input stream after Restore need not filter it.
+		return
 	}
 	p := r.days[day]
 	if p == nil {
@@ -228,22 +247,70 @@ func (r *Rolling) rememberModel(det *core.Detector) {
 	r.prevIndex, r.prevEmb = index, embs
 }
 
-// EndOfDay remodels over the window ending at day and returns alerts for
-// newly flagged domains. Per-day aggregates older than the window are
-// released.
+// DegradedError reports a day boundary that could not produce a fresh
+// model: the merge, remodel, or classifier training failed. The
+// detector is still healthy — expired days were evicted, the previous
+// remodel's warm-start state is retained, and traffic can keep flowing
+// into Consume — but no alerts were produced for this day. Callers
+// detect it with errors.As and keep streaming.
+type DegradedError struct {
+	// Day is the day boundary whose remodel failed.
+	Day int
+	// Stage names where the failure happened: "remodel" or "train".
+	Stage string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("stream: day %d degraded (%s failed): %v", e.Day, e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// EndOfDay remodels over the window ending at day and returns alerts
+// for newly flagged domains. Per-day aggregates older than the window
+// are released in every path, including failures: a remodel or training
+// error does not abort the day but surfaces as a *DegradedError, with
+// the previous model's warm-start state intact so the next boundary can
+// recover.
 func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
+	if day <= r.floor {
+		return nil, fmt.Errorf("stream: day %d already covered by the restored checkpoint (through day %d)",
+			day, r.floor)
+	}
+	alerts, stage, err := r.modelDay(day)
+	// Evict in all paths: a bad day must not pin its window in memory
+	// forever (aggregates older than any future window are useless even
+	// to a later retry).
+	r.evict(day)
+	if err != nil {
+		if m := r.cfg.Metrics; m != nil {
+			m.Counter("maldomain_degraded_days_total",
+				"Day boundaries that produced no model (remodel or training failed).").Inc()
+		}
+		return nil, &DegradedError{Day: day, Stage: stage, Err: err}
+	}
+	return alerts, nil
+}
+
+// modelDay runs the remodel → train → rank sequence for one day
+// boundary, returning the failing stage on error.
+func (r *Rolling) modelDay(day int) ([]Alert, string, error) {
 	det, err := r.remodel(day)
 	if err != nil {
-		return nil, err
+		return nil, "remodel", err
 	}
 	retained, err := det.Domains()
 	if err != nil {
-		return nil, err
+		return nil, "remodel", err
 	}
 	domains, labels := r.cfg.Labeler(retained)
 	clf, err := det.TrainClassifier(domains, labels)
 	if err != nil {
-		return nil, fmt.Errorf("stream: training at day %d: %w", day, err)
+		return nil, "train", fmt.Errorf("stream: training at day %d: %w", day, err)
 	}
 
 	type scored struct {
@@ -283,14 +350,17 @@ func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
 		r.flagged[sc.domain] = true
 		alerts = append(alerts, Alert{Day: day, Domain: sc.domain, Score: sc.score})
 	}
+	return alerts, "", nil
+}
 
-	// Evict days that have fallen out of every future window.
+// evict releases per-day aggregates that have fallen out of every
+// window a remodel at or after day could cover.
+func (r *Rolling) evict(day int) {
 	for d := range r.days {
 		if d <= day-r.cfg.WindowDays {
 			delete(r.days, d)
 		}
 	}
-	return alerts, nil
 }
 
 // BufferedDays reports how many per-day aggregation processors are

@@ -137,3 +137,39 @@ type Labeler = stream.Labeler
 
 // NewRolling returns a streaming detector for cfg.
 func NewRolling(cfg StreamConfig) (*Rolling, error) { return stream.New(cfg) }
+
+// Crash safety: a Rolling detector checkpoints its full state at day
+// boundaries (Rolling.WriteCheckpoint) and a restart restores it
+// (RestoreRolling / RestoreRollingFile) and replays the input stream;
+// with a deterministic model configuration the resumed alert feed is
+// byte-identical to an uninterrupted run.
+
+// Cursor locates a checkpoint in the caller's input and output
+// streams: the last completed day boundary and the alert-feed offset.
+type Cursor = stream.Cursor
+
+// DegradedError reports a day boundary whose remodel or training
+// failed; the stream stays healthy and callers keep going (errors.As).
+type DegradedError = stream.DegradedError
+
+// RestoreRolling reads a checkpoint written by Rolling.Checkpoint or
+// Rolling.WriteCheckpoint; cfg must match the writing configuration.
+func RestoreRolling(r io.Reader, cfg StreamConfig) (*Rolling, Cursor, error) {
+	return stream.Restore(r, cfg)
+}
+
+// RestoreRollingFile is RestoreRolling over a checkpoint file; a
+// missing file satisfies os.IsNotExist (treat it as a cold start).
+func RestoreRollingFile(path string, cfg StreamConfig) (*Rolling, Cursor, error) {
+	return stream.RestoreFile(path, cfg)
+}
+
+// Checkpoint-failure sentinels.
+var (
+	// ErrCorruptCheckpoint reports a checkpoint stream that is foreign,
+	// truncated, fails its CRC, or carries inconsistent state.
+	ErrCorruptCheckpoint = stream.ErrCorruptCheckpoint
+	// ErrFingerprintMismatch reports a checkpoint written under a
+	// different configuration.
+	ErrFingerprintMismatch = stream.ErrFingerprintMismatch
+)

@@ -5,9 +5,11 @@
 # analyzer, the full test suite under the race detector, a
 # train/score persistence round trip on a tiny generated trace, a
 # serving-daemon smoke (score/batch/404/healthz/metrics over HTTP,
-# SIGHUP hot reload, graceful SIGTERM shutdown), and a short fuzz
-# smoke for each native fuzz target. Every step must pass; the script
-# stops at the first failure.
+# SIGHUP hot reload, graceful SIGTERM shutdown), a crash-recovery
+# smoke (streaming run SIGKILLed mid-window, resumed from its
+# checkpoint, feed compared byte-for-byte against an uninterrupted
+# run), and a short fuzz smoke for each native fuzz target. Every step
+# must pass; the script stops at the first failure.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target -fuzztime for the smoke stage (default 10s;
@@ -41,8 +43,10 @@ go test -race ./...
 echo "==> maldetect train/score round trip"
 smokedir="$(mktemp -d)"
 serve_pid=""
+stream_pid=""
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    [ -n "$stream_pid" ] && kill -9 "$stream_pid" 2>/dev/null || true
     rm -rf "$smokedir"
 }
 trap cleanup EXIT
@@ -100,6 +104,35 @@ kill -TERM "$serve_pid"
 wait "$serve_pid"
 serve_pid=""
 
+echo "==> maldetect crash-recovery smoke"
+# Reference: an uninterrupted streaming run over the same trace.
+"$smokedir/maldetect" stream -seed 7 \
+    -trace "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv" \
+    -feed "$smokedir/ref-alerts.tsv" 2>"$smokedir/ref-stream.log"
+# Crashy run: SIGKILL it as soon as the first checkpoint lands (the
+# remaining day boundaries are still pending), restart with the same
+# flags, and require the resumed feed to be byte-identical to the
+# uninterrupted run.
+"$smokedir/maldetect" stream -seed 7 \
+    -trace "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv" \
+    -feed "$smokedir/alerts.tsv" -checkpoint "$smokedir/stream.ckpt" \
+    2>"$smokedir/stream.log" &
+stream_pid=$!
+for _ in $(seq 1 300); do
+    [ -f "$smokedir/stream.ckpt" ] && break
+    sleep 0.1
+done
+[ -f "$smokedir/stream.ckpt" ]
+kill -9 "$stream_pid" 2>/dev/null || true
+wait "$stream_pid" 2>/dev/null || true
+stream_pid=""
+"$smokedir/maldetect" stream -seed 7 \
+    -trace "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv" \
+    -feed "$smokedir/alerts.tsv" -checkpoint "$smokedir/stream.ckpt" \
+    2>>"$smokedir/stream.log"
+grep -q 'resumed from' "$smokedir/stream.log"
+cmp "$smokedir/ref-alerts.tsv" "$smokedir/alerts.tsv"
+
 echo "==> benchmark smoke (scripts/bench.sh short)"
 scripts/bench.sh short
 
@@ -107,6 +140,7 @@ if [ "$fuzztime" != "0" ]; then
     echo "==> fuzz smoke (${fuzztime} per target)"
     go test -run='^$' -fuzz='^FuzzDecodeMessage$' -fuzztime="$fuzztime" ./internal/dnswire
     go test -run='^$' -fuzz='^FuzzParseETLD$' -fuzztime="$fuzztime" ./internal/etld
+    go test -run='^$' -fuzz='^FuzzRestore$' -fuzztime="$fuzztime" ./internal/stream
 fi
 
 echo "==> all checks passed"
