@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestJSONReportRoundTrip runs the gate in -json mode over one small
+// package and round-trips the report through encoding/json: the smoke
+// that the schema check.sh consumes stays parseable and carries the
+// full check roster.
+func TestJSONReportRoundTrip(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "maldlint-*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-json", "../../internal/etld"}, out)
+	if code != 0 {
+		t.Fatalf("run -json internal/etld exited %d, want 0", code)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report lint.JSONReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if report.Findings == nil {
+		t.Errorf("findings must be an array, not null")
+	}
+	if len(report.Checks) != len(lint.AllChecks()) {
+		t.Errorf("report lists %d checks, want %d", len(report.Checks), len(lint.AllChecks()))
+	}
+	for i, c := range lint.AllChecks() {
+		if report.Checks[i] != c.Name() {
+			t.Errorf("checks[%d] = %q, want %q", i, report.Checks[i], c.Name())
+		}
+	}
+}
+
+// TestExplainEveryCheck verifies -explain succeeds for the whole
+// roster and fails for unknown names.
+func TestExplainEveryCheck(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, c := range lint.AllChecks() {
+		if c.Explain() == "" {
+			t.Errorf("check %s has an empty Explain", c.Name())
+		}
+		if code := run([]string{"-explain", c.Name()}, devnull); code != 0 {
+			t.Errorf("run -explain %s exited %d, want 0", c.Name(), code)
+		}
+	}
+	if code := run([]string{"-explain", "nosuchcheck"}, devnull); code != 2 {
+		t.Errorf("run -explain nosuchcheck exited %d, want 2", code)
+	}
+}
+
+// TestBaselineGate seeds a baseline from a finding-bearing fixture
+// module and verifies the exit-code contract: 1 without the baseline,
+// 0 with it, 1 again when a new finding appears.
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	writeFixtureModule(t, dir, `package fx
+
+import "io"
+
+func isEOF(err error) bool {
+	return err == io.EOF
+}
+`)
+	restore := chdir(t, dir)
+	defer restore()
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	if code := run([]string{"./..."}, devnull); code != 1 {
+		t.Fatalf("gate over finding-bearing module exited %d, want 1", code)
+	}
+	base := filepath.Join(dir, "baseline.json")
+	if code := run([]string{"-write-baseline", base, "./..."}, devnull); code != 0 {
+		t.Fatalf("-write-baseline exited %d, want 0", code)
+	}
+	if code := run([]string{"-baseline", base, "./..."}, devnull); code != 0 {
+		t.Fatalf("baselined gate exited %d, want 0", code)
+	}
+	// A second, new finding must fail the gate even with the baseline.
+	extra := `package fx
+
+import "os"
+
+func ignore() {
+	os.Remove("x")
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "extra.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", base, "./..."}, devnull); code != 1 {
+		t.Fatalf("gate with new finding exited %d, want 1", code)
+	}
+}
+
+func writeFixtureModule(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fx\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fx.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chdir(t *testing.T, dir string) func() {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,8 @@
 // graphs and one-mode projections, LINE feature learning, SVM
 // classification, and X-Means cluster mining. The root package maldomain
 // re-exports this API; see the repository README for usage.
+//
+//maldlint:deterministic
 package core
 
 import (

@@ -107,10 +107,10 @@ func (d *Detector) runBuild(stages []buildStage) (*buildArtifacts, BuildReport, 
 			"Wall time of one model-build stage.", "stage")
 	}
 	var report BuildReport
-	start := time.Now()
+	start := time.Now() //maldlint:ignore detpath stage timing is observability only, never model state
 	for _, st := range stages {
 		rep := StageReport{Name: st.name}
-		s0 := time.Now()
+		s0 := time.Now() //maldlint:ignore detpath stage timing is observability only, never model state
 		if err := st.run(d, a, &rep); err != nil {
 			return nil, BuildReport{}, err
 		}

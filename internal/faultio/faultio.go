@@ -123,7 +123,7 @@ func (fr *failReader) Read(p []byte) (int, error) {
 	}
 	n, err := fr.r.Read(p)
 	fr.left -= int64(n)
-	if err == io.EOF && fr.left > 0 {
+	if errors.Is(err, io.EOF) && fr.left > 0 {
 		// The underlying stream ended before the injection point; let
 		// EOF through so short underlying data still reads normally.
 		return n, err

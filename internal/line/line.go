@@ -31,6 +31,8 @@
 // the learning rate is recomputed only every lrInterval samples, and
 // negative sampling retries collisions in place instead of dropping the
 // sample.
+//
+//maldlint:deterministic
 package line
 
 import (

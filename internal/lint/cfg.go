@@ -1,0 +1,333 @@
+package lint
+
+// A lightweight intra-procedural control-flow graph for checks that
+// need "on all paths" reasoning (closeleak). One node per statement;
+// edges connect each statement to its possible successors. The builder
+// handles the structured control flow this repository actually uses —
+// if/else, for, range, switch, type switch, select, labeled
+// break/continue, return, and terminating calls (panic, os.Exit,
+// log.Fatal*, testing Fatal*) — and stays deliberately conservative
+// elsewhere: a construct it does not model (goto) routes to the
+// function exit, which makes analyses built on it report fewer, not
+// wrong, findings.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cfgNode is one statement in the graph. The synthetic entry and exit
+// nodes carry a nil Stmt.
+type cfgNode struct {
+	Stmt ast.Stmt
+	Succ []*cfgNode
+	// IsReturn marks an explicit return statement (its successor is the
+	// exit node).
+	IsReturn bool
+	// Terminates marks a statement that stops the goroutine without
+	// returning normally: panic, os.Exit, log.Fatal, t.Fatal. Such nodes
+	// have no successors and do not reach the exit.
+	Terminates bool
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	Entry *cfgNode
+	Exit  *cfgNode
+	Nodes []*cfgNode
+	// byStmt finds the node of a statement, for analyses that locate a
+	// statement of interest syntactically first.
+	byStmt map[ast.Stmt]*cfgNode
+}
+
+// cfgBuilder threads break/continue targets and the exit node through
+// the recursive construction.
+type cfgBuilder struct {
+	g    *funcCFG
+	info *types.Info
+	// label targets for labeled break/continue.
+	labelBreak    map[string]*cfgNode
+	labelContinue map[string]*cfgNode
+	// pendingLabel names the label wrapping the statement currently
+	// being wired (set by LabeledStmt, consumed by withLabel).
+	pendingLabel string
+}
+
+// buildCFG constructs the graph for a function body. info may be nil;
+// it is only used to resolve terminating calls more precisely.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	g := &funcCFG{
+		Entry:  &cfgNode{},
+		Exit:   &cfgNode{},
+		byStmt: make(map[ast.Stmt]*cfgNode),
+	}
+	b := &cfgBuilder{
+		g:             g,
+		info:          info,
+		labelBreak:    make(map[string]*cfgNode),
+		labelContinue: make(map[string]*cfgNode),
+	}
+	entry := b.block(body.List, g.Exit, nil, nil)
+	g.Entry.Succ = []*cfgNode{entry}
+	return g
+}
+
+// node allocates and registers a statement node.
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{Stmt: s}
+	b.g.Nodes = append(b.g.Nodes, n)
+	if s != nil {
+		b.g.byStmt[s] = n
+	}
+	return n
+}
+
+// block wires a statement list; next is where control flows after the
+// last statement, brk/cont are the innermost loop/switch targets (nil
+// outside them). It returns the entry node of the sequence (next when
+// the list is empty).
+func (b *cfgBuilder) block(stmts []ast.Stmt, next, brk, cont *cfgNode) *cfgNode {
+	// Build back to front so each statement knows its successor.
+	for i := len(stmts) - 1; i >= 0; i-- {
+		next = b.stmt(stmts[i], next, brk, cont)
+	}
+	return next
+}
+
+// stmt wires one statement and returns its entry node.
+func (b *cfgBuilder) stmt(s ast.Stmt, next, brk, cont *cfgNode) *cfgNode {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return b.block(x.List, next, brk, cont)
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		thenEntry := b.block(x.Body.List, next, brk, cont)
+		elseEntry := next
+		if x.Else != nil {
+			elseEntry = b.stmt(x.Else, next, brk, cont)
+		}
+		n.Succ = []*cfgNode{thenEntry, elseEntry}
+		if x.Init != nil {
+			return b.stmt(x.Init, n, brk, cont)
+		}
+		return n
+
+	case *ast.ForStmt:
+		header := b.node(s)
+		backEdge := header
+		if x.Post != nil {
+			backEdge = b.stmt(x.Post, header, nil, nil)
+		}
+		// Register the loop's label (if any) before wiring the body, so
+		// labeled break/continue inside it resolve.
+		b.withLabel(s, next, backEdge)
+		bodyEntry := b.block(x.Body.List, backEdge, next, backEdge)
+		header.Succ = []*cfgNode{bodyEntry}
+		if x.Cond != nil {
+			header.Succ = append(header.Succ, next)
+		}
+		// `for { ... }` with no cond only leaves via break/return, which
+		// the body edges already model.
+		if x.Init != nil {
+			return b.stmt(x.Init, header, brk, cont)
+		}
+		return header
+
+	case *ast.RangeStmt:
+		header := b.node(s)
+		b.withLabel(s, next, header)
+		bodyEntry := b.block(x.Body.List, header, next, header)
+		header.Succ = []*cfgNode{bodyEntry, next}
+		return header
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return b.switchStmt(s, next, cont)
+
+	case *ast.SelectStmt:
+		n := b.node(s)
+		for _, c := range x.Body.List {
+			comm := c.(*ast.CommClause)
+			stmts := comm.Body
+			if comm.Comm != nil {
+				// The communication op (`case v := <-ch:`) executes before
+				// the clause body; give it its own node.
+				stmts = append([]ast.Stmt{comm.Comm}, comm.Body...)
+			}
+			n.Succ = append(n.Succ, b.block(stmts, next, next, cont))
+		}
+		if len(n.Succ) == 0 {
+			// `select {}` blocks forever.
+			n.Terminates = true
+		}
+		return n
+
+	case *ast.LabeledStmt:
+		// Record the label so break/continue inside the labeled construct
+		// can resolve it; the inner statement wires itself.
+		b.pendingLabel = x.Label.Name
+		entry := b.stmt(x.Stmt, next, brk, cont)
+		b.pendingLabel = ""
+		return entry
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.IsReturn = true
+		n.Succ = []*cfgNode{b.g.Exit}
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch x.Tok.String() {
+		case "break":
+			target := brk
+			if x.Label != nil {
+				target = b.labelBreak[x.Label.Name]
+			}
+			if target != nil {
+				n.Succ = []*cfgNode{target}
+			} else {
+				n.Succ = []*cfgNode{b.g.Exit}
+			}
+		case "continue":
+			target := cont
+			if x.Label != nil {
+				target = b.labelContinue[x.Label.Name]
+			}
+			if target != nil {
+				n.Succ = []*cfgNode{target}
+			} else {
+				n.Succ = []*cfgNode{b.g.Exit}
+			}
+		default:
+			// goto / fallthrough outside a switch: route to exit so the
+			// analysis stays conservative.
+			n.Succ = []*cfgNode{b.g.Exit}
+		}
+		return n
+
+	default:
+		n := b.node(s)
+		if stmtTerminates(b.info, s) {
+			n.Terminates = true
+			return n
+		}
+		n.Succ = []*cfgNode{next}
+		return n
+	}
+}
+
+// switchStmt wires switch and type-switch statements, including
+// fallthrough chains.
+func (b *cfgBuilder) switchStmt(s ast.Stmt, next, cont *cfgNode) *cfgNode {
+	n := b.node(s)
+	b.withLabel(s, next, nil)
+
+	var body *ast.BlockStmt
+	var initStmt ast.Stmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		body, initStmt = x.Body, x.Init
+	case *ast.TypeSwitchStmt:
+		body, initStmt = x.Body, x.Init
+	}
+
+	clauses := body.List
+	hasDefault := false
+	// Build clause bodies back to front so fallthrough can target the
+	// following clause's entry.
+	entries := make([]*cfgNode, len(clauses))
+	following := next
+	for i := len(clauses) - 1; i >= 0; i-- {
+		cc := clauses[i].(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// A fallthrough as the final statement jumps to the next clause
+		// body; model it by making the clause's "next" the following
+		// clause entry when it ends in fallthrough, else the switch exit.
+		tail := next
+		if endsInFallthrough(cc.Body) {
+			tail = following
+		}
+		entries[i] = b.block(cc.Body, tail, next, cont)
+		following = entries[i]
+	}
+	n.Succ = append(n.Succ, entries...)
+	if !hasDefault {
+		n.Succ = append(n.Succ, next)
+	}
+	if initStmt != nil {
+		return b.stmt(initStmt, n, nil, cont)
+	}
+	return n
+}
+
+// endsInFallthrough reports whether the clause body's final statement
+// is a fallthrough.
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// pendingLabel communicates a label from LabeledStmt to the loop or
+// switch statement it names (set immediately before the inner stmt is
+// wired).
+func (b *cfgBuilder) withLabel(s ast.Stmt, brk, cont *cfgNode) {
+	if b.pendingLabel == "" {
+		return
+	}
+	b.labelBreak[b.pendingLabel] = brk
+	if cont != nil {
+		b.labelContinue[b.pendingLabel] = cont
+	}
+	b.pendingLabel = ""
+	_ = s
+}
+
+// stmtTerminates reports whether s unconditionally stops execution:
+// panic, os.Exit, runtime.Goexit, log.Fatal*, or a testing Fatal*/
+// Skip* method.
+func stmtTerminates(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if info != nil {
+			if obj := info.ObjectOf(fun.Sel); obj != nil {
+				switch objPkgPath(obj) {
+				case "os":
+					return name == "Exit"
+				case "runtime":
+					return name == "Goexit"
+				case "log":
+					return name == "Fatal" || name == "Fatalf" || name == "Fatalln"
+				case "testing":
+					return name == "Fatal" || name == "Fatalf" || name == "FailNow" ||
+						name == "Skip" || name == "Skipf" || name == "SkipNow"
+				}
+				return false
+			}
+		}
+		// Without type info, fall back to the conventional names.
+		switch name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln", "FailNow":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,374 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseLeakCheck finds opened files that are not closed on every
+// control-flow path. It is the first dataflow-aware check: for each
+// `f, err := os.Open(...)`-shaped statement it walks the function's CFG
+// (cfg.go) from the open site and requires that every path to a return
+// (or to the function end) either closes f, defers its close, or hands
+// f off — passing it to another function, returning it, or storing it
+// into longer-lived state all transfer the close obligation and end
+// the analysis conservatively.
+//
+// The error branch of the open itself (`if err != nil { return ... }`)
+// is exempt: there is no file to close when the open failed.
+type CloseLeakCheck struct{}
+
+// Name implements Check.
+func (*CloseLeakCheck) Name() string { return "closeleak" }
+
+// Doc implements Check.
+func (*CloseLeakCheck) Doc() string {
+	return "flag opened files not closed on every control-flow path"
+}
+
+// Explain implements Check.
+func (*CloseLeakCheck) Explain() string {
+	return `A file opened with os.Open/Create/OpenFile/CreateTemp (or an
+io.Closer-returning open method like faultio.FS.CreateTemp) must be
+closed on every path out of the function — including early error
+returns, which is where leaks hide: each leaked descriptor survives
+until GC finalization, and a daemon (maldetect serve reloading models,
+the stream subcommand checkpointing every boundary) turns that into
+descriptor exhaustion.
+
+closeleak builds an intra-procedural CFG and walks every path from the
+open statement. A path is satisfied when it reaches f.Close() or
+defer f.Close() (including inside a deferred closure), or when f
+escapes — returned, passed to a call, or stored — because ownership
+moved with it. The branch guarded by the open's own err != nil check
+is skipped: a failed open yields no file.
+
+Fix with defer f.Close() immediately after the error check, or close
+explicitly on each early return (the write path: check the Close error
+instead of deferring it away).`
+}
+
+// Severity implements Check.
+func (*CloseLeakCheck) Severity() Severity { return SeverityError }
+
+// Run implements Check.
+func (c *CloseLeakCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			body := funcBody(n)
+			if body == nil {
+				return true
+			}
+			c.checkFunc(p, body)
+			return true
+		})
+	}
+}
+
+// checkFunc analyzes one function body (nested function literals are
+// visited as their own functions by Run's Inspect).
+func (c *CloseLeakCheck) checkFunc(p *Pass, body *ast.BlockStmt) {
+	opens := findOpens(p, body)
+	if len(opens) == 0 {
+		return
+	}
+	g := buildCFG(body, p.Info)
+	for _, o := range opens {
+		node, ok := g.byStmt[o.stmt]
+		if !ok {
+			continue
+		}
+		if leak := findLeakPath(p, g, node, o); leak != nil {
+			where := "the function end"
+			if leak.Stmt != nil {
+				where = p.Fset.Position(leak.Stmt.Pos()).String()
+			}
+			p.Reportf(o.stmt.Pos(),
+				"%s opened here is not closed on the path reaching %s: close it, defer its close, or hand it off",
+				o.file.Name(), where)
+		}
+	}
+}
+
+// openSite is one tracked open: the statement, the file variable, and
+// the error variable of the same assignment (nil when single-valued).
+type openSite struct {
+	stmt ast.Stmt
+	file types.Object
+	err  types.Object
+}
+
+// openerNames are the os-package functions (and method names on any
+// receiver whose first result is a closer) that transfer a close
+// obligation to the caller.
+var openerNames = map[string]bool{
+	"Open":       true,
+	"Create":     true,
+	"OpenFile":   true,
+	"CreateTemp": true,
+}
+
+// findOpens collects open-shaped assignments directly inside body
+// (not in nested function literals).
+func findOpens(p *Pass, body *ast.BlockStmt) []openSite {
+	var out []openSite
+	inspectShallow(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isOpenCall(p, call) {
+			return true
+		}
+		fileID, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		if !ok || fileID.Name == "_" {
+			return true
+		}
+		fileObj := p.Info.ObjectOf(fileID)
+		if fileObj == nil {
+			return true
+		}
+		var errObj types.Object
+		if len(assign.Lhs) > 1 {
+			if errID, ok := ast.Unparen(assign.Lhs[1]).(*ast.Ident); ok && errID.Name != "_" {
+				errObj = p.Info.ObjectOf(errID)
+			}
+		}
+		out = append(out, openSite{stmt: assign, file: fileObj, err: errObj})
+		return true
+	})
+	return out
+}
+
+// isOpenCall reports whether call opens a closable resource the caller
+// owns: an os.* opener, or a method of one of those names whose first
+// result implements io.Closer (the faultio.FS seam).
+func isOpenCall(p *Pass, call *ast.CallExpr) bool {
+	obj := calleeObject(p.Info, call)
+	if obj == nil || !openerNames[obj.Name()] {
+		return false
+	}
+	if objPkgPath(obj) == "os" {
+		return true
+	}
+	sig, ok := obj.Type().Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return implementsCloser(sig.Results().At(0).Type())
+}
+
+// implementsCloser reports whether t has a Close() error method.
+func implementsCloser(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() != "Close" {
+			continue
+		}
+		sig, ok := m.Type().Underlying().(*types.Signature)
+		if ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+			isErrorType(sig.Results().At(0).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathState keys the DFS visited set: the node plus whether the open's
+// err variable still holds the open's result (the error-branch
+// exemption only applies while it does).
+type pathState struct {
+	node     *cfgNode
+	errValid bool
+}
+
+// findLeakPath walks every CFG path from the open site and returns the
+// node of the first leaking return (or the exit node for a fall-off
+// leak), or nil when every path closes or hands off the file.
+func findLeakPath(p *Pass, g *funcCFG, open *cfgNode, o openSite) *cfgNode {
+	visited := make(map[pathState]bool)
+	var dfs func(n *cfgNode, errValid bool) *cfgNode
+	dfs = func(n *cfgNode, errValid bool) *cfgNode {
+		st := pathState{n, errValid}
+		if visited[st] {
+			return nil
+		}
+		visited[st] = true
+		if n == g.Exit {
+			return n
+		}
+		scope := nodeScope(n)
+		switch classifyUse(p, scope, o.file) {
+		case useCloses, useEscapes:
+			return nil
+		}
+		if n.IsReturn {
+			return n // return without close or hand-off: leak
+		}
+		if n.Terminates {
+			return nil
+		}
+		if errValid && n.Stmt != nil && assignsObject(p, n.Stmt, o.err) {
+			errValid = false
+		}
+		// Error-branch exemption: skip the branch on which the open
+		// failed.
+		if ifs, ok := n.Stmt.(*ast.IfStmt); ok && errValid && o.err != nil {
+			if skip := failBranch(p, ifs, o.err); skip >= 0 && skip < len(n.Succ) {
+				for i, s := range n.Succ {
+					if i == skip {
+						continue
+					}
+					if leak := dfs(s, errValid); leak != nil {
+						return leak
+					}
+				}
+				return nil
+			}
+		}
+		for _, s := range n.Succ {
+			if leak := dfs(s, errValid); leak != nil {
+				return leak
+			}
+		}
+		return nil
+	}
+	for _, s := range open.Succ {
+		if leak := dfs(s, true); leak != nil {
+			return leak
+		}
+	}
+	return nil
+}
+
+// useKind classifies what a statement does with the tracked file.
+type useKind int
+
+const (
+	useNone useKind = iota
+	useCloses
+	useEscapes
+)
+
+// classifyUse inspects the node-relevant AST for uses of obj. A call of
+// obj.Close (anywhere, including deferred closures) closes; any other
+// mention — argument, return value, store, reassignment — is a
+// conservative hand-off that ends the obligation.
+func classifyUse(p *Pass, scope []ast.Node, obj types.Object) useKind {
+	kind := useNone
+	for _, root := range scope {
+		if root == nil {
+			continue
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			if kind == useCloses {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+						kind = useCloses
+						return false
+					}
+				}
+			case *ast.Ident:
+				if p.Info.ObjectOf(x) == obj {
+					if kind == useNone {
+						kind = useEscapes
+					}
+				}
+			}
+			return true
+		})
+	}
+	return kind
+}
+
+// nodeScope returns the AST the node's statement actually evaluates —
+// for compound statements, just the header expressions (bodies are
+// separate CFG nodes).
+func nodeScope(n *cfgNode) []ast.Node {
+	switch x := n.Stmt.(type) {
+	case nil:
+		return nil
+	case *ast.IfStmt:
+		return []ast.Node{x.Cond}
+	case *ast.ForStmt:
+		if x.Cond == nil {
+			return nil
+		}
+		return []ast.Node{x.Cond}
+	case *ast.RangeStmt:
+		return []ast.Node{x.X, x.Key, x.Value}
+	case *ast.SwitchStmt:
+		if x.Tag == nil {
+			return nil
+		}
+		return []ast.Node{x.Tag}
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{x.Assign}
+	case *ast.SelectStmt:
+		return nil
+	default:
+		return []ast.Node{x}
+	}
+}
+
+// assignsObject reports whether stmt reassigns obj (killing the
+// error-branch exemption for the open's err variable).
+func assignsObject(p *Pass, stmt ast.Stmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// failBranch returns the successor index of the branch taken when the
+// open failed (0 = then, 1 = else/fallthrough), or -1 when the
+// condition is not a nil check of errObj.
+func failBranch(p *Pass, ifs *ast.IfStmt, errObj types.Object) int {
+	bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return -1
+	}
+	var id *ast.Ident
+	var nilSide ast.Expr
+	if x, ok := ast.Unparen(bin.X).(*ast.Ident); ok {
+		id, nilSide = x, bin.Y
+	} else if y, ok := ast.Unparen(bin.Y).(*ast.Ident); ok {
+		id, nilSide = y, bin.X
+	} else {
+		return -1
+	}
+	if p.Info.ObjectOf(id) != errObj {
+		return -1
+	}
+	if nid, ok := ast.Unparen(nilSide).(*ast.Ident); !ok || nid.Name != "nil" {
+		return -1
+	}
+	switch bin.Op {
+	case token.NEQ: // if err != nil { <failed> } else { <ok> }
+		return 0
+	case token.EQL: // if err == nil { <ok> } else { <failed> }
+		return 1
+	}
+	return -1
+}

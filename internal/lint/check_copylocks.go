@@ -24,6 +24,21 @@ func (*CopyLocksCheck) Doc() string {
 // Severity implements Check.
 func (*CopyLocksCheck) Severity() Severity { return SeverityError }
 
+// Explain implements Check.
+func (*CopyLocksCheck) Explain() string {
+	return `Copying a sync.Mutex (or any struct containing one) forks the lock
+state: the copy and the original no longer exclude each other, so two
+goroutines can both "hold" what they believe is the same lock. The
+failure is a data race that -race only catches when the interleaving
+actually happens.
+
+copylocks flags value copies of types that transitively contain
+sync.Mutex, RWMutex, WaitGroup, Once, or Cond — in assignments, value
+receivers, parameters, and range statements. Pass such types by
+pointer; references (pointers, slices, maps, channels) to lock-bearing
+types are safe and not flagged.`
+}
+
 // Run implements Check.
 func (c *CopyLocksCheck) Run(p *Pass) {
 	for _, f := range p.Files {

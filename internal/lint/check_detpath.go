@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetPathCheck enforces the //maldlint:deterministic annotation
+// contract: packages whose model state and output must be bit-identical
+// run to run (pipeline, line, core, stream) may not consult the wall
+// clock, draw from the global math/rand generators, or let map
+// iteration order choose what they return. The compiler cannot see the
+// bit-identical-merge and byte-identical-resume promises those packages
+// make (PR 3/5); this check can.
+//
+// Inside an annotated package's non-test files it flags:
+//
+//   - calls to time.Now (wall-clock state; observability-only uses get
+//     a //maldlint:ignore detpath with rationale);
+//   - any reference to math/rand or math/rand/v2 (belt to mathrand's
+//     suspenders: that check bans the import, this one the use sites);
+//   - a return inside a range-over-map body whose result expressions
+//     mention the iteration variables — the function's output is then
+//     chosen by randomized map order;
+//   - a break inside a range-over-map body when the body also assigns
+//     the iteration variables to outer state: the loop keeps an
+//     arbitrary element.
+type DetPathCheck struct{}
+
+// Name implements Check.
+func (*DetPathCheck) Name() string { return "detpath" }
+
+// Doc implements Check.
+func (*DetPathCheck) Doc() string {
+	return "forbid wall clock, global rand, and order-dependent map exits in //maldlint:deterministic packages"
+}
+
+// Explain implements Check.
+func (*DetPathCheck) Explain() string {
+	return `Packages annotated //maldlint:deterministic (pipeline, line, core,
+stream) promise bit-identical state and output for identical input —
+that promise is what makes sharded merges reproducible and resumed
+alert feeds byte-identical. detpath flags the three ways code silently
+breaks it:
+
+  1. time.Now() — wall-clock values leak nondeterminism into state.
+     Metrics-only uses are fine; suppress them with
+     //maldlint:ignore detpath <rationale>.
+  2. math/rand / math/rand/v2 references — all randomness must come
+     from seeded mathx.RNG streams.
+  3. return <expr mentioning k or v> inside 'for k, v := range m' over
+     a map, or break after assigning k/v outward: the map's randomized
+     iteration order then decides the function's result. Iterate
+     sorted keys, or restructure so the result is order-insensitive.
+
+The check only runs in annotated packages and skips _test.go files.`
+}
+
+// Severity implements Check.
+func (*DetPathCheck) Severity() Severity { return SeverityError }
+
+// Run implements Check.
+func (c *DetPathCheck) Run(p *Pass) {
+	if !p.Deterministic {
+		return
+	}
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObject(p.Info, x); obj != nil &&
+					objPkgPath(obj) == "time" && obj.Name() == "Now" {
+					p.Reportf(x.Pos(),
+						"time.Now in a deterministic package: wall-clock values must not feed model state or output")
+				}
+			case *ast.Ident:
+				if obj := p.Info.Uses[x]; obj != nil {
+					if pkg := objPkgPath(obj); pkg == "math/rand" || pkg == "math/rand/v2" {
+						p.Reportf(x.Pos(),
+							"%s.%s in a deterministic package: draw from seeded mathx.RNG streams instead", pkg, obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if _, isMap := typeUnderlying(p, x.X).(*types.Map); isMap {
+					c.checkMapExit(p, x)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapExit flags order-dependent exits from a map-range body.
+func (*DetPathCheck) checkMapExit(p *Pass, rs *ast.RangeStmt) {
+	vars := rangeVarObjects(p, rs)
+	if len(vars) == 0 {
+		return
+	}
+	assignsOut := false
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range assign.Rhs {
+			for _, v := range vars {
+				if mentionsObject(p, rhs, v) {
+					// Assigning k/v into state that outlives the loop is
+					// only order-dependent when the loop can stop early;
+					// remember it and let a break decide.
+					assignsOut = true
+				}
+			}
+		}
+		return true
+	})
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				for _, v := range vars {
+					if mentionsObject(p, res, v) {
+						p.Reportf(x.Pos(),
+							"return inside a map range yields a value chosen by randomized iteration order; iterate sorted keys")
+						return false
+					}
+				}
+			}
+		case *ast.BranchStmt:
+			if x.Tok.String() == "break" && assignsOut {
+				p.Reportf(x.Pos(),
+					"break inside a map range keeps an arbitrary element; iterate sorted keys or make the result order-insensitive")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// rangeVarObjects returns the objects of the range statement's key and
+// value variables (skipping blanks).
+func rangeVarObjects(p *Pass, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id == nil || id.Name == "_" {
+			continue
+		}
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GobFieldsCheck guards the repo's persisted formats (core/persist.go
+// model files, stream/checkpoint.go checkpoints, svm and line wire
+// structs): a struct handed to gob.Encode/Decode with unexported fields
+// silently drops them on the wire, and interface-typed fields need
+// gob.Register and break the bit-identical round-trip contract. Both
+// failure modes are invisible at compile time and only surface as
+// corrupt or lossy restores in production.
+type GobFieldsCheck struct{}
+
+// Name implements Check.
+func (*GobFieldsCheck) Name() string { return "gobfields" }
+
+// Doc implements Check.
+func (*GobFieldsCheck) Doc() string {
+	return "flag gob.Encode/Decode of structs with unexported or interface-typed fields"
+}
+
+// Explain implements Check.
+func (*GobFieldsCheck) Explain() string {
+	return `encoding/gob serializes only exported struct fields: an unexported
+field passes through Encode without error and comes back zero-valued
+from Decode — silent data loss in a persisted model or checkpoint.
+Interface-typed fields are also hazardous: they require gob.Register
+of every concrete type and make the wire format depend on runtime
+state.
+
+gobfields resolves the argument type of every (*gob.Encoder).Encode
+and (*gob.Decoder).Decode call, walks the struct (recursively through
+exported fields, slices, arrays, maps and pointers), and reports every
+unexported data-carrying field and every interface-typed field it can
+reach. Types implementing GobEncoder/GobDecoder or
+encoding.BinaryMarshaler (e.g. time.Time) manage their own wire format
+and are exempt.
+
+Fix by exporting the field on a dedicated wire struct (the
+checkpointWire pattern in internal/stream), or implement GobEncoder on
+the type.`
+}
+
+// Severity implements Check.
+func (*GobFieldsCheck) Severity() Severity { return SeverityError }
+
+// Run implements Check.
+func (c *GobFieldsCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if !isGobCodecCall(p, call) {
+				return true
+			}
+			t := p.TypeOf(call.Args[0])
+			if t == nil {
+				return true
+			}
+			seen := make(map[types.Type]bool)
+			for _, bad := range gobHazards(t, "", seen) {
+				p.Reportf(call.Pos(), "%s", bad)
+			}
+			return true
+		})
+	}
+}
+
+// isGobCodecCall reports whether call is Encode/Decode on a
+// *gob.Encoder / *gob.Decoder.
+func isGobCodecCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Encode" && name != "Decode" {
+		return false
+	}
+	recv := p.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return objPkgPath(obj) == "encoding/gob" &&
+		(obj.Name() == "Encoder" || obj.Name() == "Decoder")
+}
+
+// gobHazards walks t the way gob will and describes every field that
+// gob silently drops (unexported) or that needs runtime registration
+// (interface-typed). path carries the field trail for the message.
+func gobHazards(t types.Type, path string, seen map[types.Type]bool) []string {
+	if t == nil || seen[t] {
+		return nil
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return gobHazards(u.Elem(), path, seen)
+	case *types.Slice:
+		return gobHazards(u.Elem(), path, seen)
+	case *types.Array:
+		return gobHazards(u.Elem(), path, seen)
+	case *types.Map:
+		return append(gobHazards(u.Key(), path, seen), gobHazards(u.Elem(), path, seen)...)
+	case *types.Struct:
+		if selfEncoding(t) {
+			return nil
+		}
+		typeName := t.String()
+		if named, ok := t.(*types.Named); ok {
+			typeName = named.Obj().Name()
+		}
+		var out []string
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Name() == "_" {
+				continue // blank padding carries no data
+			}
+			trail := f.Name()
+			if path != "" {
+				trail = path + "." + trail
+			}
+			if !f.Exported() {
+				out = append(out, fmt.Sprintf(
+					"gob silently drops unexported field %s of %s: export it on a wire struct or implement GobEncoder",
+					trail, typeName))
+				continue
+			}
+			if _, isIface := f.Type().Underlying().(*types.Interface); isIface {
+				out = append(out, fmt.Sprintf(
+					"interface-typed field %s of %s needs gob.Register and makes the wire format runtime-dependent",
+					trail, typeName))
+				continue
+			}
+			out = append(out, gobHazards(f.Type(), trail, seen)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// selfEncoding reports whether t (or *t) implements GobEncoder,
+// GobDecoder, or encoding.BinaryMarshaler/Unmarshaler — types that
+// define their own wire format, which gob respects field-visibility
+// rules notwithstanding.
+func selfEncoding(t types.Type) bool {
+	for _, name := range [...]string{"GobEncode", "GobDecode", "MarshalBinary", "UnmarshalBinary"} {
+		if hasMethod(t, name) || hasMethod(types.NewPointer(t), name) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasMethod reports whether t's method set contains a method with the
+// given name.
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,21 @@ func (*LoopCaptureCheck) Doc() string {
 // Severity implements Check.
 func (*LoopCaptureCheck) Severity() Severity { return SeverityWarning }
 
+// Explain implements Check.
+func (*LoopCaptureCheck) Explain() string {
+	return `Before Go 1.22, a goroutine or deferred closure launched inside a loop
+that captures the iteration variable sees the variable, not the value —
+by the time it runs, every capture observes the final iteration. Go
+1.22 made loop variables per-iteration, but this module must also read
+cleanly under older toolchains, and captures of variables *assigned*
+in the loop body (not the range variable itself) still alias.
+
+loopcapture flags go statements and defers inside loop bodies whose
+closures capture loop-scoped variables without rebinding. Pass the
+value as an argument (go func(v T) {...}(v)) or rebind (v := v) before
+launching.`
+}
+
 // Run implements Check.
 func (c *LoopCaptureCheck) Run(p *Pass) {
 	for _, f := range p.Files {

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TickerLoopCheck flags timer allocation inside loop bodies:
+// time.After, time.Tick, time.NewTicker, and time.NewTimer called once
+// per iteration. time.After is the classic one — each call allocates a
+// timer that is not collected until it fires, so a tight select loop
+// (the serve daemon's reload watcher, the stream driver's checkpoint
+// cadence) accumulates live timers and wakes the runtime timer goroutine
+// for every stale one.
+type TickerLoopCheck struct{}
+
+// Name implements Check.
+func (*TickerLoopCheck) Name() string { return "tickerloop" }
+
+// Doc implements Check.
+func (*TickerLoopCheck) Doc() string {
+	return "flag time.After/Tick/NewTicker/NewTimer allocated inside loop bodies"
+}
+
+// Explain implements Check.
+func (*TickerLoopCheck) Explain() string {
+	return `time.After(d) allocates a timer that stays live until it fires even
+when the select took another branch, so a loop like
+
+    for {
+        select {
+        case m := <-in:
+            handle(m)
+        case <-time.After(timeout):   // new timer every iteration
+            return
+        }
+    }
+
+accumulates one pending timer per message and keeps the runtime timer
+heap busy retiring them. time.Tick leaks a whole ticker (it has no Stop
+handle), and NewTicker/NewTimer per iteration usually mean the Stop
+call is missing or the allocation belongs above the loop.
+
+tickerloop flags any of those four calls lexically inside a for or
+range body. Hoist the allocation: one NewTicker (with defer Stop)
+above the loop, or one NewTimer with Reset per iteration when the
+deadline really must restart.
+
+Test files are skipped — short-lived timers in tests are harmless.`
+}
+
+// Severity implements Check.
+func (*TickerLoopCheck) Severity() Severity { return SeverityWarning }
+
+// timerAllocators are the time-package calls that allocate a timer or
+// ticker per invocation.
+var timerAllocators = map[string]bool{
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Run implements Check.
+func (c *TickerLoopCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				body = x.Body
+			case *ast.RangeStmt:
+				body = x.Body
+			default:
+				return true
+			}
+			c.checkBody(p, body)
+			return true
+		})
+	}
+}
+
+// checkBody flags timer allocations directly inside body. Nested loops
+// are not descended into here — the outer Inspect visits them and they
+// report against their own body, closest loop wins.
+func (c *TickerLoopCheck) checkBody(p *Pass, body *ast.BlockStmt) {
+	inspectShallowNoLoops(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(p.Info, call)
+		if obj == nil || objPkgPath(obj) != "time" || !timerAllocators[obj.Name()] {
+			return true
+		}
+		// Methods that share a name with the allocators (time.Time.After)
+		// allocate nothing; only the package-level functions count.
+		fn, isFn := obj.(*types.Func)
+		if !isFn {
+			return true
+		}
+		if sig, isSig := fn.Type().(*types.Signature); !isSig || sig.Recv() != nil {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"time.%s inside a loop allocates a timer every iteration; hoist it above the loop (NewTicker + defer Stop, or NewTimer + Reset)",
+			obj.Name())
+		return true
+	})
+}
+
+// inspectShallowNoLoops walks root without descending into nested
+// function literals or nested loops.
+func inspectShallowNoLoops(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == root {
+			return true
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -26,6 +26,19 @@ func (*WgAddCheck) Doc() string {
 // Severity implements Check.
 func (*WgAddCheck) Severity() Severity { return SeverityError }
 
+// Explain implements Check.
+func (*WgAddCheck) Explain() string {
+	return `wg.Add called inside the goroutine it accounts for races with the
+matching wg.Wait: the waiter can observe the counter at zero and return
+before the goroutine has registered itself, so Wait no longer waits —
+sharded trainers join before every shard finished, and the merged model
+is silently missing contributions.
+
+wgadd flags wg.Add calls lexically inside a go func body. Call Add on
+the launching side, before the go statement (the repo's pattern:
+wg.Add(1) immediately before each go worker()).`
+}
+
 // Run implements Check.
 func (*WgAddCheck) Run(p *Pass) {
 	for _, f := range p.Files {

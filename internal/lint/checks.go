@@ -15,6 +15,12 @@ func AllChecks() []Check {
 		&LoopCaptureCheck{},
 		&WgAddCheck{},
 		&DroppedErrCheck{},
+		&DetPathCheck{},
+		&GobFieldsCheck{},
+		&ErrCmpSentinelCheck{},
+		&CloseLeakCheck{},
+		&TickerLoopCheck{},
+		&AtomicAlignCheck{},
 	}
 }
 

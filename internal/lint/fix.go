@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// ApplyFixes applies the mechanical fixes attached to diags to the
+// files on disk and returns the number of edits written per file.
+// Edits within one file are applied back to front so earlier offsets
+// stay valid; overlapping edits are rejected. Missing imports required
+// by a fix (errcmpsentinel's "errors") are inserted afterwards.
+func ApplyFixes(diags []Diagnostic) (map[string]int, error) {
+	byFile := make(map[string][]Diagnostic)
+	for _, d := range diags {
+		if d.Fix != nil {
+			byFile[d.Pos.Filename] = append(byFile[d.Pos.Filename], d)
+		}
+	}
+	applied := make(map[string]int, len(byFile))
+	for file, ds := range byFile {
+		n, err := applyFileFixes(file, ds)
+		if err != nil {
+			return applied, fmt.Errorf("%s: %w", file, err)
+		}
+		applied[file] = n
+	}
+	return applied, nil
+}
+
+// applyFileFixes rewrites one file.
+func applyFileFixes(file string, diags []Diagnostic) (int, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Fix.Start > diags[j].Fix.Start })
+	var needImports []string
+	prevStart := len(src) + 1
+	for _, d := range diags {
+		f := d.Fix
+		if f.Start < 0 || f.End > len(src) || f.Start > f.End {
+			return 0, fmt.Errorf("fix range [%d,%d) out of bounds", f.Start, f.End)
+		}
+		if f.End > prevStart {
+			return 0, fmt.Errorf("overlapping fixes at offset %d", f.Start)
+		}
+		prevStart = f.Start
+		src = append(src[:f.Start], append([]byte(f.NewText), src[f.End:]...)...)
+		if f.NeedsImport != "" {
+			needImports = append(needImports, f.NeedsImport)
+		}
+	}
+	for _, imp := range needImports {
+		src, err = ensureImport(src, file, imp)
+		if err != nil {
+			return 0, err
+		}
+	}
+	info, err := os.Stat(file)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(file, src, info.Mode().Perm()); err != nil {
+		return 0, err
+	}
+	return len(diags), nil
+}
+
+// ensureImport adds an import of path to src (re-parsed after the text
+// edits) unless one already exists. The new spec is spliced into the
+// first import declaration, or a new one is inserted after the package
+// clause when the file has none.
+func ensureImport(src []byte, filename, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ImportsOnly)
+	if err != nil {
+		return nil, fmt.Errorf("re-parse after fix: %w", err)
+	}
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return src, nil
+		}
+	}
+	quoted := strconv.Quote(path)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			// Grouped import: insert a spec line right after the paren.
+			off := fset.Position(gd.Lparen).Offset + 1
+			ins := "\n\t" + quoted
+			return splice(src, off, ins), nil
+		}
+		// Single ungrouped import: add a second import declaration after
+		// it.
+		off := fset.Position(gd.End()).Offset
+		ins := "\nimport " + quoted
+		return splice(src, off, ins), nil
+	}
+	// No imports at all: insert after the package clause line.
+	off := fset.Position(f.Name.End()).Offset
+	ins := "\n\nimport " + quoted
+	return splice(src, off, ins), nil
+}
+
+// splice inserts text at offset.
+func splice(src []byte, off int, text string) []byte {
+	out := make([]byte, 0, len(src)+len(text))
+	out = append(out, src[:off]...)
+	out = append(out, text...)
+	out = append(out, src[off:]...)
+	return out
+}

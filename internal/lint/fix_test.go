@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixErrCmpSentinel runs the check over a throwaway copy of a
+// source file, applies the attached fixes, and verifies the rewritten
+// file type-checks, uses errors.Is, and gained the errors import.
+func TestFixErrCmpSentinel(t *testing.T) {
+	src := `package fixme
+
+import "io"
+
+func isEOF(err error) bool {
+	return err == io.EOF
+}
+
+func notEOF(err error) bool {
+	return err != io.EOF
+}
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixme.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load := func() []Diagnostic {
+		loader, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		pkg, err := loader.LoadDir(dir, "fixture/fixme")
+		if err != nil {
+			t.Fatalf("LoadDir: %v", err)
+		}
+		runner := &Runner{Checks: []Check{&ErrCmpSentinelCheck{}}}
+		return runner.Run(pkg)
+	}
+
+	diags := load()
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings before fix, want 2", len(diags))
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			t.Fatalf("finding %s has no fix", d)
+		}
+	}
+	applied, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied[path] != 2 {
+		t.Errorf("applied %v, want 2 edits in %s", applied, path)
+	}
+
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(fixed)
+	if !strings.Contains(text, "errors.Is(err, io.EOF)") {
+		t.Errorf("== not rewritten to errors.Is:\n%s", text)
+	}
+	if !strings.Contains(text, "!errors.Is(err, io.EOF)") {
+		t.Errorf("!= not rewritten to !errors.Is:\n%s", text)
+	}
+	if !strings.Contains(text, `"errors"`) {
+		t.Errorf("errors import not added:\n%s", text)
+	}
+	// The fixed file must type-check cleanly and carry zero findings.
+	if diags := load(); len(diags) != 0 {
+		t.Errorf("after fix, %d findings remain: %v", len(diags), diags)
+	}
+}
+
+// TestApplyFixesRejectsOverlap guards the back-to-front edit invariant.
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(path, []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: path, Line: 1}, Fix: &Fix{Start: 0, End: 5, NewText: "a"}},
+		{Pos: token.Position{Filename: path, Line: 1}, Fix: &Fix{Start: 3, End: 8, NewText: "b"}},
+	}
+	if _, err := ApplyFixes(diags); err == nil {
+		t.Errorf("overlapping fixes were not rejected")
+	}
+}
+
+// TestEnsureImportVariants covers grouped, single and missing import
+// declarations.
+func TestEnsureImportVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"grouped", "package x\n\nimport (\n\t\"io\"\n)\n\nvar _ = io.EOF\n"},
+		{"single", "package x\n\nimport \"io\"\n\nvar _ = io.EOF\n"},
+		{"none", "package x\n"},
+		{"present", "package x\n\nimport \"errors\"\n\nvar _ = errors.New\n"},
+	}
+	for _, tc := range cases {
+		out, err := ensureImport([]byte(tc.src), tc.name+".go", "errors")
+		if err != nil {
+			t.Errorf("%s: ensureImport: %v", tc.name, err)
+			continue
+		}
+		if n := strings.Count(string(out), `"errors"`); n != 1 {
+			t.Errorf("%s: %d errors imports after ensureImport, want 1:\n%s", tc.name, n, out)
+		}
+	}
+}

@@ -18,6 +18,19 @@
 //     accounts for is spawned, never inside it.
 //   - droppederr: error returns must not be silently discarded outside
 //     _test.go files.
+//   - detpath: packages annotated //maldlint:deterministic may not
+//     consult the wall clock, use global math/rand, or let map
+//     iteration order choose their results.
+//   - gobfields: structs handed to gob.Encode/Decode must not carry
+//     unexported (silently dropped) or interface-typed fields.
+//   - errcmpsentinel: sentinel errors must be compared with errors.Is,
+//     never ==/!= (carries a mechanical -fix).
+//   - closeleak: opened files must be closed on every CFG path
+//     (dataflow-aware, built on the cfg.go graph).
+//   - tickerloop: no time.After/NewTicker allocation per loop
+//     iteration.
+//   - atomicalign: 64-bit sync/atomic operands must stay 8-byte
+//     aligned under 32-bit struct layout.
 //
 // Every check implements the Check interface, reports position-accurate
 // diagnostics with a severity, and honors inline suppressions of the form
@@ -26,7 +39,8 @@
 //
 // placed on the offending line or the line directly above it. A
 // suppression must name the check(s) it silences; there is no blanket
-// ignore. cmd/maldlint wires the checks into a CLI gate.
+// ignore. cmd/maldlint wires the checks into a CLI gate with JSON
+// output, a baseline workflow, and per-check -explain documentation.
 package lint
 
 import (
@@ -63,12 +77,25 @@ func (s Severity) String() string {
 }
 
 // Diagnostic is one finding: a position, the check that produced it, its
-// severity, and a human-readable message.
+// severity, and a human-readable message. Mechanical checks may attach
+// a Fix that cmd/maldlint -fix applies.
 type Diagnostic struct {
 	Pos      token.Position
 	Check    string
 	Severity Severity
 	Message  string
+	Fix      *Fix
+}
+
+// Fix is a mechanical rewrite for one finding: replace the source bytes
+// [Start, End) of the finding's file with NewText. Offsets are byte
+// offsets within the file. NeedsImport, when non-empty, names an import
+// path the fixed file must have (added if missing).
+type Fix struct {
+	Start       int
+	End         int
+	NewText     string
+	NeedsImport string
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -85,6 +112,10 @@ type Check interface {
 	Name() string
 	// Doc is a one-line description shown by `maldlint -list`.
 	Doc() string
+	// Explain is the long-form documentation shown by
+	// `maldlint -explain <check>`: what the check flags, why the repo
+	// cares, and how to fix or suppress a finding.
+	Explain() string
 	// Severity is the level attached to every finding of this check.
 	Severity() Severity
 	// Run analyzes one type-checked package.
@@ -98,6 +129,9 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 	Files []*ast.File
+	// Deterministic mirrors Package.Deterministic: the package carries a
+	// //maldlint:deterministic annotation.
+	Deterministic bool
 
 	check  Check
 	report func(Diagnostic)
@@ -110,6 +144,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Check:    p.check.Name(),
 		Severity: p.check.Severity(),
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a finding at pos carrying a mechanical fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Check:    p.check.Name(),
+		Severity: p.check.Severity(),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
@@ -137,11 +182,12 @@ func (r *Runner) Run(pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, c := range r.Checks {
 		pass := &Pass{
-			Fset:  pkg.Fset,
-			Pkg:   pkg.Types,
-			Info:  pkg.Info,
-			Files: pkg.Files,
-			check: c,
+			Fset:          pkg.Fset,
+			Pkg:           pkg.Types,
+			Info:          pkg.Info,
+			Files:         pkg.Files,
+			Deterministic: pkg.Deterministic,
+			check:         c,
 		}
 		pass.report = func(d Diagnostic) {
 			if sup.matches(d.Pos.Filename, d.Pos.Line, d.Check) {

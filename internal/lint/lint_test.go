@@ -29,6 +29,13 @@ func fixtureCases() []struct {
 		{"loopcapture", &LoopCaptureCheck{}},
 		{"wgadd", &WgAddCheck{}},
 		{"droppederr", &DroppedErrCheck{}},
+		{"detpath", &DetPathCheck{}},
+		{"detpath_plain", &DetPathCheck{}},
+		{"gobfields", &GobFieldsCheck{}},
+		{"errcmpsentinel", &ErrCmpSentinelCheck{}},
+		{"closeleak", &CloseLeakCheck{}},
+		{"tickerloop", &TickerLoopCheck{}},
+		{"atomicalign", &AtomicAlignCheck{}},
 	}
 }
 
@@ -180,13 +187,17 @@ func TestBuildableConstraints(t *testing.T) {
 		{"// +build race\n\npackage p\n", false},
 		{"// a normal comment\n\npackage p\n", true},
 	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
 	fset := token.NewFileSet()
 	for _, tc := range cases {
 		f, err := parser.ParseFile(fset, "x.go", tc.src, parser.ParseComments)
 		if err != nil {
 			t.Fatalf("parse %q: %v", tc.src, err)
 		}
-		if got := buildable(f); got != tc.want {
+		if got := loader.buildable(f); got != tc.want {
 			t.Errorf("buildable(%q) = %v, want %v", tc.src, got, tc.want)
 		}
 	}

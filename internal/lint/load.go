@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -30,27 +31,64 @@ type Package struct {
 	// Types and Info carry the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// Deterministic is set when any file of the package carries a
+	// //maldlint:deterministic annotation comment: the package promises
+	// run-to-run reproducible state and output, and the detpath check
+	// enforces it.
+	Deterministic bool
 }
+
+// deterministicDirective is the package-level annotation that opts a
+// package into the detpath determinism contract (see DESIGN.md).
+const deterministicDirective = "maldlint:deterministic"
 
 // Loader parses and type-checks packages of one module. Module-internal
 // imports are resolved recursively from source; standard-library imports
 // are satisfied by the go/importer source importer (still stdlib-only —
-// no external tooling). Loaded packages are memoized, so a whole-module
-// walk type-checks each package once.
+// no external tooling). Loaded packages are memoized behind a per-path
+// sync.Once, so a whole-module walk type-checks each package exactly
+// once even when LoadAll fans packages out across goroutines: a package
+// reached both as a root and as a dependency of a concurrently loading
+// root is checked by whichever goroutine gets there first, and everyone
+// else blocks on the memoized result. Go's import-cycle ban is what
+// makes the blocking deadlock-free.
 type Loader struct {
 	Fset *token.FileSet
 	// ModRoot is the filesystem root of the module (directory holding
 	// go.mod); ModPath is its module path.
 	ModRoot string
 	ModPath string
+	// Tags lists extra build tags treated as satisfied, on top of the
+	// default GOOS/GOARCH/gc set — the loader-side equivalent of
+	// `go build -tags`. A second loader with Tags={"race"} analyzes the
+	// race half of tag-paired files (internal/line's hogwild split).
+	Tags []string
 
-	std  types.ImporterFrom
-	pkgs map[string]*Package
+	std   types.ImporterFrom
+	stdMu sync.Mutex // the source importer is not safe for concurrent use
+
+	mu      sync.Mutex
+	pkgs    map[string]*pkgEntry
+	checked map[string]int // type-check invocations per path (test hook)
 }
 
-// NewLoader returns a loader rooted at the module containing dir. It
-// locates go.mod by walking upward and reads the module path from it.
+// pkgEntry memoizes one package load behind a Once.
+type pkgEntry struct {
+	once sync.Once
+	pkg  *Package
+	err  error
+}
+
+// NewLoader returns a loader rooted at the module containing dir, with
+// no extra build tags. It locates go.mod by walking upward and reads
+// the module path from it.
 func NewLoader(dir string) (*Loader, error) {
+	return NewLoaderTags(dir, nil)
+}
+
+// NewLoaderTags is NewLoader with extra build tags treated as satisfied
+// (the `go build -tags` equivalent; see Loader.Tags).
+func NewLoaderTags(dir string, tags []string) (*Loader, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: resolving %s: %w", dir, err)
@@ -79,8 +117,10 @@ func NewLoader(dir string) (*Loader, error) {
 		Fset:    fset,
 		ModRoot: root,
 		ModPath: modPath,
+		Tags:    tags,
 		std:     std,
-		pkgs:    make(map[string]*Package),
+		pkgs:    make(map[string]*pkgEntry),
+		checked: make(map[string]int),
 	}, nil
 }
 
@@ -152,12 +192,101 @@ func dirHasGoFiles(dir string) (bool, error) {
 	return false, nil
 }
 
-// Load parses and type-checks the package with the given import path,
-// which must belong to this loader's module.
-func (l *Loader) Load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
+// GatedPackages returns the import paths of module packages that
+// contain at least one Go file whose build constraints evaluate
+// differently with tag enabled than under this loader's current tag
+// set — the packages a second analysis pass under that tag would see
+// differently. The result is sorted.
+func (l *Loader) GatedPackages(tag string) ([]string, error) {
+	paths, err := l.Walk()
+	if err != nil {
+		return nil, err
 	}
+	withTag := func(t string) bool { return t == tag || l.tagSatisfied(t) }
+	var out []string
+	for _, path := range paths {
+		dir := l.dirForPath(path)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+		}
+		gated := false
+		for _, e := range entries {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+				continue
+			}
+			expr, err := fileConstraint(filepath.Join(dir, n))
+			if err != nil {
+				return nil, err
+			}
+			if expr != nil && expr.Eval(l.tagSatisfied) != expr.Eval(withTag) {
+				gated = true
+				break
+			}
+		}
+		if gated {
+			out = append(out, path)
+		}
+	}
+	return out, nil
+}
+
+// fileConstraint returns the //go:build (or // +build) constraint of a
+// source file, or nil when it has none. Only the header before the
+// package clause is scanned, without a full parse.
+func fileConstraint(path string) (constraint.Expr, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", path, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if constraint.IsGoBuild(trimmed) || constraint.IsPlusBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				continue
+			}
+			return expr, nil
+		}
+	}
+	return nil, nil
+}
+
+// dirForPath maps a module import path to its source directory.
+func (l *Loader) dirForPath(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	return filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+}
+
+// entry returns the memo cell for path, creating it if needed.
+func (l *Loader) entry(path string) *pkgEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.pkgs[path]
+	if !ok {
+		e = &pkgEntry{}
+		l.pkgs[path] = e
+	}
+	return e
+}
+
+// TypeCheckCount reports how many times the package at path has been
+// handed to the type checker — 1 after any number of loads, which the
+// engine tests assert.
+func (l *Loader) TypeCheckCount(path string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checked[path]
+}
+
+// Load parses and type-checks the package with the given import path,
+// which must belong to this loader's module. Concurrent calls are safe;
+// each package is type-checked at most once.
+func (l *Loader) Load(path string) (*Package, error) {
 	rel, ok := strings.CutPrefix(path, l.ModPath)
 	if !ok {
 		return nil, fmt.Errorf("lint: %s is outside module %s", path, l.ModPath)
@@ -166,13 +295,42 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return l.LoadDir(dir, path)
 }
 
+// LoadAll loads many packages, parsing and type-checking independent
+// packages in parallel while shared dependencies are still checked
+// exactly once (see Loader). Results and errors are returned in input
+// order, so the output is deterministic regardless of goroutine
+// scheduling; errs[i] is nil exactly when pkgs[i] is usable.
+func (l *Loader) LoadAll(paths []string) (pkgs []*Package, errs []error) {
+	pkgs = make([]*Package, len(paths))
+	errs = make([]error, len(paths))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = l.Load(path)
+		}(i, path)
+	}
+	wg.Wait()
+	return pkgs, errs
+}
+
 // LoadDir parses and type-checks the package in dir under the given
 // import path. It is the entry point fixture tests use to check
 // directories outside the module layout.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
+	e := l.entry(path)
+	e.once.Do(func() {
+		e.pkg, e.err = l.loadDirUncached(dir, path)
+	})
+	return e.pkg, e.err
+}
+
+// loadDirUncached performs the actual parse + type-check for LoadDir.
+func (l *Loader) loadDirUncached(dir, path string) (*Package, error) {
 	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
@@ -190,20 +348,38 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	conf := types.Config{
 		Importer: &moduleImporter{l: l},
 	}
+	l.mu.Lock()
+	l.checked[path]++
+	l.mu.Unlock()
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+	return &Package{
+		Path:          path,
+		Dir:           dir,
+		Fset:          l.Fset,
+		Files:         files,
+		Types:         tpkg,
+		Info:          info,
+		Deterministic: hasDeterministicDirective(files),
+	}, nil
+}
+
+// hasDeterministicDirective reports whether any comment of any file is
+// a //maldlint:deterministic annotation.
+func hasDeterministicDirective(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == deterministicDirective || strings.HasPrefix(text, deterministicDirective+" ") {
+					return true
+				}
+			}
+		}
 	}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	return false
 }
 
 // parseDir parses the buildable Go files of dir: regular sources plus
@@ -233,8 +409,8 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %w", full, err)
 		}
-		if !buildable(f) {
-			// Excluded by a //go:build constraint under the default tag
+		if !l.buildable(f) {
+			// Excluded by a //go:build constraint under this loader's tag
 			// set (e.g. the !race half of a race/norace pair): parsing
 			// both halves would redeclare their symbols.
 			continue
@@ -259,11 +435,12 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// buildable reports whether f is included under the default build
-// configuration: current GOOS/GOARCH, gc, no extra tags. Files gated on
-// instrumentation or tool tags (race, msan, ignore, …) are excluded so
-// the loader never sees both halves of a tag-paired declaration.
-func buildable(f *ast.File) bool {
+// buildable reports whether f is included under this loader's build
+// configuration: current GOOS/GOARCH, gc, the loader's extra Tags, and
+// nothing else. Files gated on instrumentation or tool tags (race,
+// msan, ignore, …) are excluded unless the tag was requested, so the
+// loader never sees both halves of a tag-paired declaration.
+func (l *Loader) buildable(f *ast.File) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
 			break
@@ -276,7 +453,7 @@ func buildable(f *ast.File) bool {
 			if err != nil {
 				continue
 			}
-			if !expr.Eval(defaultTag) {
+			if !expr.Eval(l.tagSatisfied) {
 				return false
 			}
 		}
@@ -284,14 +461,19 @@ func buildable(f *ast.File) bool {
 	return true
 }
 
-// defaultTag is the build-tag truth function for buildable: the host
+// tagSatisfied is the build-tag truth function for buildable: the host
 // platform and compiler are on, Go release tags are assumed satisfied
-// by the current toolchain, and everything else (race, msan, custom
-// tags) is off.
-func defaultTag(tag string) bool {
+// by the current toolchain, the loader's extra Tags are on, and
+// everything else (race, msan, custom tags) is off.
+func (l *Loader) tagSatisfied(tag string) bool {
 	switch tag {
 	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
 		return true
+	}
+	for _, t := range l.Tags {
+		if tag == t {
+			return true
+		}
 	}
 	return strings.HasPrefix(tag, "go1.")
 }
@@ -310,5 +492,7 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	m.l.stdMu.Lock()
+	defer m.l.stdMu.Unlock()
 	return m.l.std.Import(path)
 }

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// JSONFinding is the machine-readable form of one diagnostic, the unit
+// of maldlint -json output and of baseline files. Key deliberately
+// omits line and column: a baseline entry identifies a finding by
+// file, check, and message, so unrelated edits that shift line numbers
+// do not invalidate the baseline.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+	// Fixable marks findings maldlint -fix can rewrite mechanically.
+	Fixable bool `json:"fixable,omitempty"`
+}
+
+// Key is the baseline identity of the finding: file|check|message,
+// line-number free.
+func (f JSONFinding) Key() string {
+	return f.File + "|" + f.Check + "|" + f.Message
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	// Findings are the unsuppressed, unbaselined findings in position
+	// order.
+	Findings []JSONFinding `json:"findings"`
+	// Baselined counts findings matched (and swallowed) by the baseline.
+	Baselined int `json:"baselined"`
+	// Checks lists every check that ran, for auditability.
+	Checks []string `json:"checks"`
+}
+
+// ToJSON converts diagnostics to their wire form. file paths should
+// already be relativized by the caller.
+func ToJSON(diags []Diagnostic) []JSONFinding {
+	out := make([]JSONFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Check:    d.Check,
+			Severity: d.Severity.String(),
+			Message:  d.Message,
+			Fixable:  d.Fix != nil,
+		})
+	}
+	return out
+}
+
+// Baseline is a multiset of accepted finding keys. Multiset, not set:
+// two identical findings in one file (same check, same message,
+// different lines) need two baseline entries, and fixing one of them
+// must surface the other as new.
+type Baseline struct {
+	counts map[string]int
+}
+
+// ReadBaseline loads a baseline file: a JSON array of JSONFinding
+// (line/column ignored). An empty file or empty array is a valid,
+// empty baseline.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{counts: make(map[string]int)}
+	if len(data) == 0 {
+		return b, nil
+	}
+	var entries []JSONFinding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for _, e := range entries {
+		b.counts[e.Key()]++
+	}
+	return b, nil
+}
+
+// WriteBaseline writes findings as a baseline file, sorted by key so
+// the file is diff-stable.
+func WriteBaseline(w io.Writer, findings []JSONFinding) error {
+	entries := make([]JSONFinding, len(findings))
+	copy(entries, findings)
+	for i := range entries {
+		// Strip positions: they are not part of baseline identity and
+		// would churn the committed file on every unrelated edit.
+		entries[i].Line = 0
+		entries[i].Column = 0
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key() < entries[j].Key() })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// Filter splits findings into new (not covered by the baseline) and
+// the count of baselined ones. Each baseline entry absorbs at most as
+// many findings as its multiplicity.
+func (b *Baseline) Filter(findings []JSONFinding) (fresh []JSONFinding, baselined int) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		if remaining[f.Key()] > 0 {
+			remaining[f.Key()]--
+			baselined++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, baselined
+}
+
+// Len returns the number of baseline entries (with multiplicity).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleFindings() []JSONFinding {
+	return []JSONFinding{
+		{File: "internal/a/a.go", Line: 10, Column: 2, Check: "droppederr", Severity: "error", Message: "dropped"},
+		{File: "internal/a/a.go", Line: 20, Column: 2, Check: "droppederr", Severity: "error", Message: "dropped"},
+		{File: "internal/b/b.go", Line: 5, Column: 1, Check: "maprange", Severity: "warning", Message: "unsorted"},
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline, reads it back, and checks
+// that it absorbs exactly the findings it recorded — multiset
+// semantics: two identical findings need two entries.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := sampleFindings()
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, findings); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if base.Len() != 3 {
+		t.Errorf("baseline Len = %d, want 3", base.Len())
+	}
+	fresh, baselined := base.Filter(findings)
+	if len(fresh) != 0 || baselined != 3 {
+		t.Errorf("Filter(all recorded) = %d fresh, %d baselined; want 0, 3", len(fresh), baselined)
+	}
+	// A third identical droppederr finding exceeds the multiplicity and
+	// must surface as new.
+	extra := append(findings, JSONFinding{
+		File: "internal/a/a.go", Line: 30, Check: "droppederr", Severity: "error", Message: "dropped",
+	})
+	fresh, baselined = base.Filter(extra)
+	if len(fresh) != 1 || baselined != 3 {
+		t.Errorf("Filter(extra) = %d fresh, %d baselined; want 1, 3", len(fresh), baselined)
+	}
+	// Line numbers are not identity: shifting every finding changes
+	// nothing.
+	shifted := sampleFindings()
+	for i := range shifted {
+		shifted[i].Line += 100
+	}
+	fresh, _ = base.Filter(shifted)
+	if len(fresh) != 0 {
+		t.Errorf("line-shifted findings should all be baselined, got %d fresh", len(fresh))
+	}
+}
+
+// TestBaselineEmptyFile accepts both an empty file and an empty array.
+func TestBaselineEmptyFile(t *testing.T) {
+	for name, content := range map[string]string{"empty": "", "array": "[]\n"} {
+		path := filepath.Join(t.TempDir(), name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		base, err := ReadBaseline(path)
+		if err != nil {
+			t.Fatalf("ReadBaseline(%s): %v", name, err)
+		}
+		if base.Len() != 0 {
+			t.Errorf("%s baseline Len = %d, want 0", name, base.Len())
+		}
+		fresh, baselined := base.Filter(sampleFindings())
+		if len(fresh) != 3 || baselined != 0 {
+			t.Errorf("%s: Filter = %d fresh, %d baselined; want 3, 0", name, len(fresh), baselined)
+		}
+	}
+}
+
+// TestWriteBaselineStable requires diff-stable output: sorted keys and
+// stripped positions.
+func TestWriteBaselineStable(t *testing.T) {
+	findings := sampleFindings()
+	reversed := []JSONFinding{findings[2], findings[1], findings[0]}
+	var a, b bytes.Buffer
+	if err := WriteBaseline(&a, findings); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBaseline(&b, reversed); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("baseline output depends on input order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var entries []JSONFinding
+	if err := json.Unmarshal(a.Bytes(), &entries); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	for _, e := range entries {
+		if e.Line != 0 || e.Column != 0 {
+			t.Errorf("baseline entry %s kept position %d:%d", e.Key(), e.Line, e.Column)
+		}
+	}
+}
+
+// TestToJSON checks the diagnostic-to-wire conversion, including the
+// fixable flag.
+func TestToJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "x.go", Line: 3, Column: 1},
+			Check:    "errcmpsentinel",
+			Severity: SeverityError,
+			Message:  "use errors.Is",
+			Fix:      &Fix{Start: 1, End: 2, NewText: "y"},
+		},
+		{
+			Pos:      token.Position{Filename: "y.go", Line: 9, Column: 4},
+			Check:    "maprange",
+			Severity: SeverityWarning,
+			Message:  "unsorted",
+		},
+	}
+	got := ToJSON(diags)
+	if len(got) != 2 {
+		t.Fatalf("ToJSON returned %d findings, want 2", len(got))
+	}
+	if !got[0].Fixable || got[0].Severity != "error" || got[0].Line != 3 {
+		t.Errorf("first finding wrong: %+v", got[0])
+	}
+	if got[1].Fixable || got[1].Severity != "warning" {
+		t.Errorf("second finding wrong: %+v", got[1])
+	}
+}

@@ -1,0 +1,53 @@
+// Package fixture seeds violations for the atomicalign check: 64-bit
+// atomic operations on struct fields that land at a 4-byte offset
+// under 386 layout, plus well-ordered, local-variable, slice-element
+// and suppressed cases.
+package fixture
+
+import "sync/atomic"
+
+type badLayout struct {
+	count uint32
+	total uint64 // offset 4 under 386 layout
+}
+
+type goodLayout struct {
+	total uint64 // 64-bit fields first: offset 0
+	count uint32
+}
+
+type paddedLayout struct {
+	count uint32
+	_     uint32 // pad to an 8-byte boundary
+	total uint64
+}
+
+func badAdd(s *badLayout) {
+	atomic.AddUint64(&s.total, 1) // want atomicalign
+}
+
+func badLoad(s *badLayout) uint64 {
+	return atomic.LoadUint64(&s.total) // want atomicalign
+}
+
+func goodAdd(s *goodLayout) {
+	atomic.AddUint64(&s.total, 1)
+}
+
+func goodPadded(s *paddedLayout) {
+	atomic.AddUint64(&s.total, 1)
+}
+
+func goodLocal() uint64 {
+	var x uint64
+	atomic.AddUint64(&x, 1)
+	return x
+}
+
+func goodSliceElem(xs []uint64) {
+	atomic.AddUint64(&xs[0], 1)
+}
+
+func suppressedAdd(s *badLayout) {
+	atomic.AddUint64(&s.total, 1) //maldlint:ignore atomicalign fixture exercises suppression
+}

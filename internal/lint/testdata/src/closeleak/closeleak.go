@@ -1,0 +1,91 @@
+// Package fixture seeds violations for the closeleak check: files
+// leaked on an early return or by falling off the function end, plus
+// defer-close, explicit per-path close, ownership hand-off and
+// suppressed cases. The check reports at the open site.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func badEarlyReturn(p string, big bool) error {
+	f, err := os.Open(p) // want closeleak
+	if err != nil {
+		return err
+	}
+	if big {
+		return errors.New("too big") // f leaks on this path
+	}
+	return f.Close()
+}
+
+func badFallOff(p string, cond bool) {
+	f, err := os.Open(p) // want closeleak
+	if err != nil {
+		return
+	}
+	if cond {
+		_ = f.Close()
+	}
+	// cond == false falls off the end with f still open.
+}
+
+func goodDefer(p string, big bool) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if big {
+		return errors.New("too big")
+	}
+	return nil
+}
+
+func goodExplicit(p string, big bool) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	if big {
+		_ = f.Close()
+		return errors.New("too big")
+	}
+	return f.Close()
+}
+
+func goodHandoffReturn(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil // ownership moves to the caller
+}
+
+func goodHandoffCall(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	return consume(f) // consume takes over the close obligation
+}
+
+func consume(f *os.File) error {
+	defer f.Close()
+	var n int
+	_, err := fmt.Fscan(f, &n)
+	return err
+}
+
+func suppressedLeak(p string, big bool) error {
+	f, err := os.Open(p) //maldlint:ignore closeleak fixture exercises suppression
+	if err != nil {
+		return err
+	}
+	if big {
+		return errors.New("too big")
+	}
+	return f.Close()
+}

@@ -1,0 +1,19 @@
+// Package fixture mirrors the detpath fixture WITHOUT the
+// //maldlint:deterministic annotation: the check must stay silent on
+// unannotated packages, so this file has no want markers.
+package fixture
+
+import "time"
+
+func wallClockOK() int64 {
+	return time.Now().UnixNano()
+}
+
+func mapReturnOK(m map[string]int) string {
+	for k := range m {
+		if m[k] > 0 {
+			return k
+		}
+	}
+	return ""
+}

@@ -1,0 +1,38 @@
+// Package fixture seeds violations for the errcmpsentinel check:
+// identity comparisons against package-level and stdlib sentinels,
+// plus errors.Is, nil-comparison and suppressed cases.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errNotFound = errors.New("not found")
+
+func wrap(d string) error { return fmt.Errorf("%q: %w", d, errNotFound) }
+
+func badEq(err error) bool {
+	return err == errNotFound // want errcmpsentinel
+}
+
+func badNeq(err error) bool {
+	return err != io.EOF // want errcmpsentinel
+}
+
+func badReversed(err error) bool {
+	return errNotFound == err // want errcmpsentinel
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, errNotFound)
+}
+
+func goodNil(err error) bool {
+	return err == nil
+}
+
+func suppressedEq(err error) bool {
+	return err == errNotFound //maldlint:ignore errcmpsentinel unwrapped identity intended in fixture
+}

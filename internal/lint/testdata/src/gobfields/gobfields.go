@@ -1,0 +1,62 @@
+// Package fixture seeds violations for the gobfields check: structs
+// with unexported fields (silent data loss), interface-typed fields
+// (need gob.Register), nested hazards, plus self-encoding, clean-wire
+// and suppressed cases.
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+)
+
+type badUnexported struct {
+	Exported int
+	hidden   int
+}
+
+type badIface struct {
+	Payload any
+}
+
+type nested struct {
+	Inner badUnexported
+}
+
+type wire struct {
+	A int
+	B string
+	T time.Time // GobEncoder: manages its own wire format
+	_ [4]byte   // blank padding carries no data
+}
+
+func encodeBad(enc *gob.Encoder, v badUnexported) error {
+	return enc.Encode(v) // want gobfields
+}
+
+func encodeIface(enc *gob.Encoder) error {
+	return enc.Encode(&badIface{}) // want gobfields
+}
+
+func decodeNested(dec *gob.Decoder) error {
+	var n nested
+	return dec.Decode(&n) // want gobfields
+}
+
+func encodeSliceOfBad(enc *gob.Encoder, vs []badUnexported) error {
+	return enc.Encode(vs) // want gobfields
+}
+
+func encodeGood(w *bytes.Buffer, v wire) error {
+	return gob.NewEncoder(w).Encode(v)
+}
+
+func decodeGood(dec *gob.Decoder) (wire, error) {
+	var v wire
+	err := dec.Decode(&v)
+	return v, err
+}
+
+func encodeSuppressed(enc *gob.Encoder, v badUnexported) error {
+	return enc.Encode(v) //maldlint:ignore gobfields fixture exercises suppression
+}

@@ -1,0 +1,63 @@
+// Package fixture seeds violations for the tickerloop check: per-
+// iteration timer allocation via time.After and time.NewTicker, plus
+// hoisted-ticker, outside-loop and suppressed cases.
+package fixture
+
+import "time"
+
+func badAfterInSelectLoop(in <-chan int) {
+	for {
+		select {
+		case v := <-in:
+			_ = v
+		case <-time.After(time.Second): // want tickerloop
+			return
+		}
+	}
+}
+
+func badTickerPerIteration(items []int) {
+	for range items {
+		t := time.NewTicker(time.Second) // want tickerloop
+		t.Stop()
+	}
+}
+
+func badTickInRange(items []int) {
+	for range items {
+		<-time.Tick(time.Millisecond) // want tickerloop
+	}
+}
+
+func goodHoistedTicker(in <-chan int) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case v := <-in:
+			_ = v
+		case <-tick.C:
+			return
+		}
+	}
+}
+
+func goodOutsideLoop() <-chan time.Time {
+	return time.After(time.Second)
+}
+
+func goodMethodNamedAfter(ts []time.Time, cutoff time.Time) int {
+	n := 0
+	for _, t := range ts {
+		if t.After(cutoff) { // time.Time.After allocates nothing
+			n++
+		}
+	}
+	return n
+}
+
+func suppressedAfter(in <-chan int) {
+	for range in {
+		<-time.After(time.Millisecond) //maldlint:ignore tickerloop bounded fixture loop, churn is the point
+	}
+}

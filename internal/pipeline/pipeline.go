@@ -4,6 +4,8 @@
 // physical devices via DHCP logs, aggregating hostnames to effective
 // second-level domains, and accumulating the per-domain observations that
 // the behavioral-modeling and baseline stages consume.
+//
+//maldlint:deterministic
 package pipeline
 
 import (

@@ -132,8 +132,17 @@ func (r *Rolling) Checkpoint(w io.Writer, cur Cursor) error {
 	}
 	sort.Slice(wire.Days, func(i, j int) bool { return wire.Days[i].Day < wire.Days[j].Day })
 	if len(r.prevIndex) > 0 {
+		// Validate in sorted domain order so a corrupt index yields the
+		// same error (first offending domain) on every run, keeping the
+		// checkpoint write path deterministic end to end.
+		keys := make([]string, 0, len(r.prevIndex))
+		for d := range r.prevIndex {
+			keys = append(keys, d)
+		}
+		sort.Strings(keys)
 		doms := make([]string, len(r.prevIndex))
-		for d, i := range r.prevIndex {
+		for _, d := range keys {
+			i := r.prevIndex[d]
 			if i < 0 || i >= len(doms) || doms[i] != "" {
 				return fmt.Errorf("stream: warm-start index is not a permutation (domain %q at %d)", d, i)
 			}
@@ -173,7 +182,7 @@ func (r *Rolling) WriteCheckpoint(path string, cur Cursor) error {
 // writeCheckpoint is WriteCheckpoint with an injectable filesystem, the
 // seam the fault-injection tests drive.
 func (r *Rolling) writeCheckpoint(fs faultio.FS, path string, cur Cursor) error {
-	start := time.Now()
+	start := time.Now() //maldlint:ignore detpath write latency metric only, never checkpoint contents
 	n, err := r.checkpointTo(fs, path, cur)
 	if m := r.cfg.Metrics; m != nil {
 		result := "ok"
@@ -186,6 +195,7 @@ func (r *Rolling) writeCheckpoint(fs faultio.FS, path string, cur Cursor) error 
 			m.Gauge("maldomain_checkpoint_bytes",
 				"Size in bytes of the last checkpoint written.").Set(float64(n))
 			m.Gauge("maldomain_checkpoint_last_unix_seconds",
+				//maldlint:ignore detpath wall-clock gauge is observability only, never checkpoint contents
 				"Unix time of the last successful checkpoint write.").Set(float64(time.Now().Unix()))
 			m.Histogram("maldomain_checkpoint_write_seconds",
 				"Checkpoint write latency in seconds.").Observe(time.Since(start).Seconds())

@@ -16,6 +16,8 @@
 // top of the suspicion ranking. Domains already alerted are not
 // re-alerted, so the output is an incident feed rather than a ranking
 // dump.
+//
+//maldlint:deterministic
 package stream
 
 import (

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# alloccheck.sh — escape-analysis report for the scoring hot path.
+#
+# Runs the compiler's escape analysis (go build -gcflags='-m') over
+# internal/core and summarizes heap escapes inside Scorer.Score and
+# Scorer.ScoreBatch (internal/core/persist.go), the per-request hot
+# path of the serving daemon. The report is informational: the step
+# never fails the build (always exits 0), it exists so a PR that makes
+# the hot path start allocating is visible in the check.sh transcript.
+#
+# Usage: scripts/alloccheck.sh
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+persist="internal/core/persist.go"
+
+# Line ranges of the two hot-path functions, found by scanning for the
+# function declarations and the next top-level closing brace.
+ranges="$(awk '
+    /^func \(s \*Scorer\) Score\(/       { name="Score"; start=NR }
+    /^func \(s \*Scorer\) ScoreBatch\(/  { name="ScoreBatch"; start=NR }
+    start && /^}/ { print name, start, NR; start=0 }
+' "$persist")"
+
+if [ -z "$ranges" ]; then
+    echo "alloccheck: could not locate Scorer.Score/ScoreBatch in $persist (skipping)" >&2
+    exit 0
+fi
+
+# -m output goes to stderr; force a rebuild of the one package so the
+# diagnostics are actually produced.
+escapes="$(go build -gcflags='-m' ./internal/core 2>&1 |
+    grep "^$persist:" | grep 'escapes to heap' || true)"
+
+total=0
+while read -r name start end; do
+    count=0
+    if [ -n "$escapes" ]; then
+        count="$(awk -F: -v s="$start" -v e="$end" \
+            '$2 >= s && $2 <= e' <<<"$escapes" | wc -l | tr -d ' ')"
+    fi
+    echo "alloccheck: Scorer.$name ($persist:$start-$end): $count heap escape(s)"
+    if [ "$count" -gt 0 ]; then
+        awk -F: -v s="$start" -v e="$end" '$2 >= s && $2 <= e' <<<"$escapes" |
+            sed 's/^/alloccheck:   /'
+    fi
+    total=$((total + count))
+done <<<"$ranges"
+
+echo "alloccheck: $total heap escape(s) in the scoring hot path (informational, not a gate)"
+exit 0

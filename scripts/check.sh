@@ -2,7 +2,9 @@
 # check.sh — the tier-1+ correctness gate for this repository.
 #
 # Runs, in order: formatting, go vet, build, the maldlint static
-# analyzer, the full test suite under the race detector, a
+# analyzer (against the committed baseline, plus a -json schema smoke
+# and an informational escape-analysis report for the scoring hot
+# path), the full test suite under the race detector, a
 # train/score persistence round trip on a tiny generated trace, a
 # serving-daemon smoke (score/batch/404/healthz/metrics over HTTP,
 # SIGHUP hot reload, graceful SIGTERM shutdown), a crash-recovery
@@ -34,8 +36,19 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> maldlint ./..."
-go run ./cmd/maldlint ./...
+echo "==> maldlint ./... (baseline: .maldlint-baseline.json)"
+go run ./cmd/maldlint -baseline .maldlint-baseline.json ./...
+
+echo "==> maldlint -json schema smoke"
+if command -v python3 >/dev/null 2>&1; then
+    go run ./cmd/maldlint -json -baseline .maldlint-baseline.json ./... |
+        python3 -m json.tool >/dev/null
+else
+    echo "python3 not found; JSON schema covered by cmd/maldlint tests"
+fi
+
+echo "==> escape-analysis report for the scoring hot path (informational)"
+scripts/alloccheck.sh
 
 echo "==> go test -race ./..."
 go test -race ./...
