@@ -1,16 +1,25 @@
 // Command benchjson converts `go test -bench` text output, read from
 // stdin, into a JSON object keyed by benchmark name. Each entry records
-// the iteration count, ns/op, and — when present — B/op, allocs/op, and
-// any custom metrics reported via b.ReportMetric (keyed by their unit,
-// e.g. "samples/sec"). Lines that are not benchmark results (headers,
+// the iteration count, ns/op, B/op and allocs/op (0 when the run did not
+// measure them — a reported zero from -benchmem is meaningful, e.g. the
+// serving hot path's allocation budget), and any custom metrics reported
+// via b.ReportMetric (keyed by their unit, e.g. "samples/sec"). Lines that are not benchmark results (headers,
 // PASS/ok trailers) are ignored, so the tool can consume a raw test log:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//
+// Each -merge FILE (repeatable) names a JSON file already in this
+// schema — e.g. `maldetect loadgen -json` output — whose entries are
+// folded into the result, so handler benchmarks and socket-level load
+// tests land in one BENCH file:
+//
+//	go test -bench=. ./... | benchjson -merge loadgen.json > BENCH.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -22,16 +31,31 @@ import (
 type result struct {
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
 func main() {
+	var merge multiFlag
+	flag.Var(&merge, "merge", "JSON file in this schema to fold into the output (repeatable, later wins)")
+	flag.Parse()
 	out, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	for _, path := range merge {
+		if err := mergeFile(out, path); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	if len(out) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
@@ -52,6 +76,23 @@ func main() {
 // where N is the iteration count and each (value, unit) pair is one
 // measurement. A benchmark that appears more than once keeps its last
 // line.
+// mergeFile folds one schema-shaped JSON file into out; entries with
+// the same benchmark name replace parsed ones.
+func mergeFile(out map[string]result, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var extra map[string]result
+	if err := json.Unmarshal(data, &extra); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for name, res := range extra {
+		out[name] = res
+	}
+	return nil
+}
+
 func parse(r io.Reader) (map[string]result, error) {
 	out := make(map[string]result)
 	sc := bufio.NewScanner(r)

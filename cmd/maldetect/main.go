@@ -6,8 +6,9 @@
 //	maldetect -trace trace.tsv -truth truth.tsv [-train-frac 0.7] [-seed N] [-top 25]
 //	maldetect train -trace trace.tsv -truth truth.tsv -out model.bin [-dhcp leases.tsv] [-seed N]
 //	maldetect score -model model.bin [-top 25] [domain ...]
-//	maldetect serve -model model.bin [-addr 127.0.0.1:8953] [-max-inflight 256] [-timeout 5s] [-drain 10s] [-pprof]
+//	maldetect serve -model model.bin [-addr 127.0.0.1:8953] [-max-inflight 256] [-timeout 5s] [-drain 10s] [-max-batch 10000] [-max-body N] [-pprof]
 //	maldetect stream -trace trace.tsv -truth truth.tsv [-window 2] [-dim 16] [-feed alerts.tsv] [-checkpoint stream.ckpt]
+//	maldetect loadgen -url http://127.0.0.1:8953 (-model model.bin | -domains file) [-duration 10s | -n N] [-workers 8] [-qps 0] [-batch 0] [-ndjson] [-json] [-check]
 //
 // The default (no subcommand) mode builds the model, trains the SVM on a
 // stratified train-frac fraction of the labeled domains, and scores the
@@ -28,6 +29,12 @@
 // (Prometheus text) expose operational state, and SIGINT/SIGTERM drain
 // gracefully. The bound address is printed to stderr, so -addr with
 // port 0 works for smoke tests.
+//
+// The loadgen subcommand (loadgen.go) drives a running daemon with a
+// worker-pool HTTP client — paced or closed-loop, single GETs or
+// batches, optionally over the NDJSON framing — and reports sustained
+// throughput with latency percentiles, as text or in cmd/benchjson's
+// JSON schema.
 //
 // The stream subcommand runs the crash-safe rolling detector
 // (internal/stream) day by day over the trace, appending alerts to a
@@ -69,8 +76,10 @@ func main() {
 			err = runServe(os.Args[2:])
 		case "stream":
 			err = runStream(os.Args[2:])
+		case "loadgen":
+			err = runLoadgen(os.Args[2:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want train, score, serve, or stream)", os.Args[1])
+			err = fmt.Errorf("unknown subcommand %q (want train, score, serve, stream, or loadgen)", os.Args[1])
 		}
 	} else {
 		var (
@@ -296,6 +305,7 @@ func runServe(args []string) error {
 		reqTimeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		maxBatch    = fs.Int("max-batch", 10000, "max domains per batch request")
+		maxBody     = fs.Int64("max-body", 0, "max batch body bytes (0 derives from -max-batch)")
 		pprofOn     = fs.Bool("pprof", false, "expose /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -310,6 +320,7 @@ func runServe(args []string) error {
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drain,
 		MaxBatch:       *maxBatch,
+		MaxBody:        *maxBody,
 		EnablePprof:    *pprofOn,
 		Logf:           logf,
 	})

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bipartite"
 	"repro/internal/obsv"
 	"repro/internal/pipeline"
 )
@@ -108,6 +109,121 @@ func TestScoreBatchMatchesSingles(t *testing.T) {
 		if p, _ := sc.Predict(q); p != results[i].Label {
 			t.Fatalf("%s: batch label %d != Predict %d", q, results[i].Label, p)
 		}
+	}
+}
+
+// TestPrecomputedTableMatchesDecision is the decision-table contract:
+// the value Score serves for every retained domain must be
+// bit-identical to evaluating the SVM on the domain's feature vector,
+// i.e. precomputation changes where the work happens, never the
+// answer.
+func TestPrecomputedTableMatchesDecision(t *testing.T) {
+	sc := tinyScorer(t, 5)
+	buf := make([]float64, 0, 64)
+	for _, d := range sc.Domains() {
+		var ok bool
+		buf, ok = sc.AppendFeatureVector(buf[:0], d)
+		if !ok {
+			t.Fatalf("%s: retained domain has no feature vector", d)
+		}
+		want := sc.Model().Decision(buf)
+		got, _ := sc.Score(d)
+		if got != want {
+			t.Fatalf("%s: table score %v != Decision %v", d, got, want)
+		}
+		res, _ := sc.Result(d)
+		if res.Score != want || res.Label != sc.Model().Predict(buf) || !res.Known {
+			t.Fatalf("%s: Result %+v inconsistent with Decision %v", d, res, want)
+		}
+	}
+}
+
+// TestScoreBatchInto checks the append form: results land after the
+// existing prefix, and a buffer with enough capacity is reused without
+// reallocation.
+func TestScoreBatchInto(t *testing.T) {
+	sc := tinyScorer(t, 5)
+	domains := sc.Domains()
+	queries := append([]string{"missing.example"}, domains...)
+
+	dst := make([]Result, 1, 1+len(queries))
+	dst[0] = Result{Score: 42, Label: 1, Known: true}
+	out := sc.ScoreBatchInto(dst, queries)
+	if len(out) != 1+len(queries) {
+		t.Fatalf("len(out) = %d, want %d", len(out), 1+len(queries))
+	}
+	if out[0].Score != 42 {
+		t.Fatal("ScoreBatchInto clobbered the existing prefix")
+	}
+	want := sc.ScoreBatch(queries)
+	for i, r := range out[1:] {
+		if r != want[i] {
+			t.Fatalf("entry %d: %+v != ScoreBatch %+v", i, r, want[i])
+		}
+	}
+
+	// With capacity available, repeated batches must reuse the buffer.
+	buf := make([]Result, 0, len(queries))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = sc.ScoreBatchInto(buf[:0], queries)
+	})
+	if allocs != 0 {
+		t.Errorf("ScoreBatchInto with capacity: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestHotPathZeroAlloc pins the allocation budget of every per-domain
+// lookup form: none of them may allocate for known domains. This is
+// the in-process mirror of the scripts/alloccheck.sh escape gate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	sc := tinyScorer(t, 5)
+	dom := sc.Domains()[0]
+	featBuf := make([]float64, 0, 64)
+	for name, fn := range map[string]func(){
+		"Score":   func() { sc.Score(dom) },
+		"Predict": func() { sc.Predict(dom) },
+		"Result":  func() { sc.Result(dom) },
+		"Lookup":  func() { _, _ = sc.Lookup(dom) },
+		"AppendFeatureVector": func() {
+			featBuf, _ = sc.AppendFeatureVector(featBuf[:0], dom)
+		},
+		"Score unknown": func() { sc.Score("missing.example") },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/run, want 0", name, allocs)
+		}
+	}
+}
+
+// TestAppendFeatureVectorMatches checks the append form against
+// FeatureVector for every view selection, and that unknown domains
+// leave dst untouched.
+func TestAppendFeatureVectorMatches(t *testing.T) {
+	sc := tinyScorer(t, 5)
+	dom := sc.Domains()[0]
+	for _, views := range [][]bipartite.View{
+		nil,
+		{bipartite.ViewQuery},
+		{bipartite.ViewTime, bipartite.ViewIP},
+	} {
+		want, _ := sc.FeatureVector(dom, views...)
+		got, ok := sc.AppendFeatureVector(nil, dom, views...)
+		if !ok {
+			t.Fatalf("views %v: append form reported unknown", views)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("views %v: %d dims, want %d", views, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("views %v dim %d: %v != %v", views, i, got[i], want[i])
+			}
+		}
+	}
+	dst := []float64{1, 2, 3}
+	out, ok := sc.AppendFeatureVector(dst, "missing.example")
+	if ok || len(out) != 3 {
+		t.Fatalf("unknown domain: ok=%v len=%d, want false,3", ok, len(out))
 	}
 }
 

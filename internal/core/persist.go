@@ -110,6 +110,15 @@ func (d *Detector) SaveModel(w io.Writer, clf *Classifier) error {
 // predictions for the domains retained at build time, with none of the
 // build-time pipeline state. Scorers are immutable and safe for
 // concurrent use.
+//
+// The retained domain set is fixed at load time, which makes the SVM
+// decision values a finite pure function of the model: LoadScorer
+// precomputes them once (through the exact same feature-assembly and
+// svm.Model.Decision path a per-call evaluation would take, so the
+// table is bit-identical by construction) and the per-request lookup
+// forms — Score, Predict, Result, ScoreBatch, ScoreBatchInto, Lookup —
+// reduce to one map probe plus two array reads. None of them allocate;
+// scripts/alloccheck.sh gates that invariant in CI.
 type Scorer struct {
 	fingerprint string
 	dim         int
@@ -118,6 +127,11 @@ type Scorer struct {
 	embeddings  map[bipartite.View]*line.Embedding
 	model       *svm.Model
 	views       []bipartite.View
+
+	// scores and labels are the precomputed decision table, indexed
+	// like domains.
+	scores []float64
+	labels []int8
 }
 
 // LoadScorer reads a model written by SaveModel. Corrupt, truncated, or
@@ -184,7 +198,37 @@ func LoadScorer(r io.Reader) (*Scorer, error) {
 			return nil, fmt.Errorf("core: model integrity check: %w", err)
 		}
 	}
+	s.precompute()
 	return s, nil
+}
+
+// precompute fills the decision table: one Decision evaluation per
+// retained domain, through the same AppendFeatureVector + Decision
+// path a per-call Score would take, so serving reads are bit-identical
+// to on-demand evaluation. One feature buffer is reused across the
+// whole sweep; the table itself (16 B + 1 B per domain) is the only
+// allocation that scales with the model.
+func (s *Scorer) precompute() {
+	s.scores = make([]float64, len(s.domains))
+	s.labels = make([]int8, len(s.domains))
+	buf := make([]float64, 0, len(s.views)*s.dim)
+	for i := range s.domains {
+		buf = s.appendFeaturesAt(buf[:0], i, s.views)
+		sc := s.model.Decision(buf)
+		s.scores[i] = sc
+		if sc > 0 {
+			s.labels[i] = 1
+		}
+	}
+}
+
+// appendFeaturesAt appends the feature vector of the i-th retained
+// domain (over the given views) to dst and returns the extended slice.
+func (s *Scorer) appendFeaturesAt(dst []float64, i int, views []bipartite.View) []float64 {
+	for _, v := range views {
+		dst = append(dst, s.embeddings[v].Vectors[i]...)
+	}
+	return dst
 }
 
 // Domains returns the retained domain set the model scores, sorted.
@@ -200,7 +244,9 @@ func (s *Scorer) Model() *svm.Model { return s.model }
 
 // FeatureVector mirrors Detector.FeatureVector on the persisted
 // embeddings: the domain's representation over the requested views
-// (default all three), or ok=false for domains outside the retained set.
+// (default all three), or ok=false for domains outside the retained
+// set. The returned slice is freshly allocated and caller-owned; use
+// AppendFeatureVector to reuse a buffer across calls.
 func (s *Scorer) FeatureVector(domain string, views ...bipartite.View) ([]float64, bool) {
 	i, ok := s.index[domain]
 	if !ok {
@@ -209,34 +255,64 @@ func (s *Scorer) FeatureVector(domain string, views ...bipartite.View) ([]float6
 	if len(views) == 0 {
 		views = bipartite.Views
 	}
-	out := make([]float64, 0, len(views)*s.dim)
-	for _, v := range views {
-		out = append(out, s.embeddings[v].Vectors[i]...)
+	return s.appendFeaturesAt(make([]float64, 0, len(views)*s.dim), i, views), true
+}
+
+// AppendFeatureVector is the append form of FeatureVector: it appends
+// the domain's representation over the requested views (default all
+// three) to dst and returns the extended slice. When dst has capacity
+// len(views)*Dim free, the call does not allocate; ok=false (with dst
+// unchanged) reports domains outside the retained set.
+func (s *Scorer) AppendFeatureVector(dst []float64, domain string, views ...bipartite.View) ([]float64, bool) {
+	i, ok := s.index[domain]
+	if !ok {
+		return dst, false
 	}
-	return out, true
+	if len(views) == 0 {
+		views = bipartite.Views
+	}
+	return s.appendFeaturesAt(dst, i, views), true
 }
 
 // Score returns the SVM decision value for a domain over the views the
-// classifier was trained with; ok is false for unknown domains.
+// classifier was trained with; ok is false for unknown domains. The
+// value is read from the precomputed decision table and is
+// bit-identical to evaluating the classifier on the domain's feature
+// vector.
+//
+//alloccheck:hot
 func (s *Scorer) Score(domain string) (float64, bool) {
-	v, ok := s.FeatureVector(domain, s.views...)
+	i, ok := s.index[domain]
 	if !ok {
 		return 0, false
 	}
-	return s.model.Decision(v), true
+	return s.scores[i], true
 }
 
 // Predict returns 1 (malicious) or 0 (benign); ok is false for unknown
 // domains.
+//
+//alloccheck:hot
 func (s *Scorer) Predict(domain string) (int, bool) {
-	sc, ok := s.Score(domain)
+	i, ok := s.index[domain]
 	if !ok {
 		return 0, false
 	}
-	if sc > 0 {
-		return 1, true
+	return int(s.labels[i]), true
+}
+
+// Result returns the domain's full scoring outcome in comma-ok form:
+// the same Score/Label pair the batch API reports, without touching
+// the error path. It is the building block the serving layer's hot
+// path uses.
+//
+//alloccheck:hot
+func (s *Scorer) Result(domain string) (Result, bool) {
+	i, ok := s.index[domain]
+	if !ok {
+		return Result{}, false
 	}
-	return 0, true
+	return Result{Score: s.scores[i], Label: int(s.labels[i]), Known: true}, true
 }
 
 // Result is one domain's scoring outcome in a batch or error-form
@@ -252,44 +328,51 @@ type Result struct {
 // ScoreBatch scores many domains in one call, returning one Result per
 // input in input order (Known=false for domains outside the retained
 // set). Scores and labels are bit-identical to per-domain Score and
-// Predict calls; the batch form replaces the three parallel
-// single-domain lookups a caller would otherwise chain per domain, and
-// reuses one feature buffer across the whole batch so the only
-// per-call allocation is the result slice.
+// Predict calls. The result slice is the only per-call allocation;
+// callers that reuse buffers across batches should use ScoreBatchInto.
 func (s *Scorer) ScoreBatch(domains []string) []Result {
-	out := make([]Result, len(domains))
-	buf := make([]float64, 0, len(s.views)*s.dim)
-	for i, d := range domains {
-		j, ok := s.index[d]
+	return s.ScoreBatchInto(make([]Result, 0, len(domains)), domains)
+}
+
+// ScoreBatchInto is the append form of ScoreBatch: it appends one
+// Result per domain (input order, Known=false for unknown domains) to
+// dst and returns the extended slice. When dst has capacity
+// len(domains) free, the call does not allocate, so a caller scoring a
+// stream of batches can reuse one buffer for the whole stream.
+//
+//alloccheck:hot
+func (s *Scorer) ScoreBatchInto(dst []Result, domains []string) []Result {
+	for _, d := range domains {
+		i, ok := s.index[d]
 		if !ok {
+			dst = append(dst, Result{})
 			continue
 		}
-		buf = buf[:0]
-		for _, v := range s.views {
-			buf = append(buf, s.embeddings[v].Vectors[j]...)
-		}
-		sc := s.model.Decision(buf)
-		label := 0
-		if sc > 0 {
-			label = 1
-		}
-		out[i] = Result{Score: sc, Label: label, Known: true}
+		dst = append(dst, Result{Score: s.scores[i], Label: int(s.labels[i]), Known: true})
 	}
-	return out
+	return dst
 }
 
 // Lookup is the error-returning form of Score/Predict for callers that
 // propagate failures as errors: it returns the domain's Result, or an
 // error wrapping ErrUnknownDomain when the domain is outside the
 // retained set. The serving layer maps that sentinel to HTTP 404.
+// The known-domain path does not allocate.
+//
+//alloccheck:hot
 func (s *Scorer) Lookup(domain string) (Result, error) {
-	if _, ok := s.index[domain]; !ok {
-		return Result{}, fmt.Errorf("%q: %w", domain, ErrUnknownDomain)
+	res, ok := s.Result(domain)
+	if !ok {
+		return Result{}, unknownDomainError(domain)
 	}
-	sc, _ := s.Score(domain)
-	label := 0
-	if sc > 0 {
-		label = 1
-	}
-	return Result{Score: sc, Label: label, Known: true}, nil
+	return res, nil
+}
+
+// unknownDomainError builds the wrapped ErrUnknownDomain for one
+// domain. It is kept out of Lookup so the error construction's
+// allocations stay off the gated hot-path functions.
+//
+//go:noinline
+func unknownDomainError(domain string) error {
+	return fmt.Errorf("%q: %w", domain, ErrUnknownDomain)
 }

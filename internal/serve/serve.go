@@ -4,7 +4,9 @@
 // answers scoring queries over HTTP (stdlib net/http only):
 //
 //	GET  /v1/score/{domain}  one domain's decision value and label
-//	POST /v1/score/batch     {"domains": [...]} scored in one call
+//	POST /v1/score/batch     {"domains": [...]} scored in one call;
+//	                         Accept: application/x-ndjson streams the
+//	                         results line by line (see ndjson.go)
 //	POST /v1/reload          re-read the model file and swap atomically
 //	GET  /healthz            liveness + loaded-model identity
 //	GET  /metrics            Prometheus text exposition (internal/obsv)
@@ -17,8 +19,17 @@
 // model serving with the error reported to the caller. Scoring
 // endpoints sit behind a bounded-concurrency gate that sheds excess
 // load with 503 + Retry-After instead of queueing unboundedly, and
-// behind a per-request timeout. Shutdown drains in-flight requests up
-// to a deadline before returning.
+// batch body reads sit behind a per-request read deadline. Shutdown
+// drains in-flight requests up to a deadline before returning.
+//
+// The request path is engineered for zero steady-state allocations:
+// routing is a hand-rolled prefix switch (no ServeMux wildcard
+// machinery), responses are hand-encoded into pooled buffers
+// (encode.go; byte-identical to encoding/json by test), scoring reads
+// the Scorer's precomputed decision table, and metric series are
+// resolved once per route instead of per request. A single-domain
+// score costs ≤ 2 allocations end to end; scripts/alloccheck.sh gates
+// the handlers against new heap escapes.
 package serve
 
 import (
@@ -32,6 +43,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,8 +60,9 @@ type Config struct {
 	// MaxInFlight bounds concurrently executing scoring requests;
 	// excess requests are shed with 503 + Retry-After (default 256).
 	MaxInFlight int
-	// RequestTimeout bounds one scoring request end to end, including
-	// reading the body (default 5s).
+	// RequestTimeout bounds reading one batch request body (default
+	// 5s). Handlers themselves are non-blocking table lookups, so the
+	// body read is the only place a request can stall.
 	RequestTimeout time.Duration
 	// DrainTimeout bounds Shutdown's wait for in-flight requests when
 	// the caller's context has no deadline of its own (default 10s).
@@ -57,6 +70,12 @@ type Config struct {
 	// MaxBatch bounds the domain count of one batch request (default
 	// 10000); larger batches are rejected with 413.
 	MaxBatch int
+	// MaxBody bounds the batch request body in bytes; larger bodies
+	// are rejected with 413 before being read further. 0 derives the
+	// cap from MaxBatch so that any legal MaxBatch-domain batch fits:
+	// 64 + 260·MaxBatch (a DNS name is at most 255 bytes; quoting and
+	// a comma cost 3 more).
+	MaxBody int64
 	// Metrics receives request instrumentation and backs /metrics. A
 	// private registry is created when nil; pass the registry used for
 	// model builds to expose both vocabularies on one endpoint.
@@ -81,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 10_000
 	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 + 260*int64(c.MaxBatch)
+	}
 	return c
 }
 
@@ -99,8 +121,8 @@ type Server struct {
 	model atomic.Pointer[modelState]
 	gate  chan struct{}
 
-	handler  http.Handler
 	httpSrv  *http.Server
+	metricsH http.Handler
 	reloadMu sync.Mutex // serializes Reload; requests never block on it
 
 	requests *obsv.CounterVec   // path, code
@@ -112,6 +134,8 @@ type Server struct {
 	unknown  *obsv.Counter
 	modelDom *obsv.Gauge
 	modelTS  *obsv.Gauge
+
+	mScore, mBatch, mReload, mHealth *routeMetrics
 }
 
 // New loads the model at cfg.ModelPath and returns a ready Server. A
@@ -147,14 +171,18 @@ func New(cfg Config) (*Server, error) {
 		modelTS: reg.Gauge("maldomain_model_loaded_timestamp_seconds",
 			"Unix time the current model generation was loaded."),
 	}
+	s.mScore = s.newRouteMetrics("/v1/score")
+	s.mBatch = s.newRouteMetrics("/v1/score/batch")
+	s.mReload = s.newRouteMetrics("/v1/reload")
+	s.mHealth = s.newRouteMetrics("/healthz")
 	st, err := s.loadModel()
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading initial model: %w", err)
 	}
 	s.install(st)
-	s.handler = s.buildMux()
+	s.metricsH = s.reg.Handler()
 	s.httpSrv = &http.Server{
-		Handler:           s.handler,
+		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return s, nil
@@ -215,7 +243,7 @@ func (s *Server) Scorer() *core.Scorer {
 
 // Handler returns the daemon's full route table, for tests and
 // embedding.
-func (s *Server) Handler() http.Handler { return s.handler }
+func (s *Server) Handler() http.Handler { return s }
 
 // Serve accepts connections on l until Shutdown. It returns nil after
 // a clean Shutdown.
@@ -247,79 +275,168 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// ---- routing and middleware ----
+// ---- routing and instrumentation ----
 
-func (s *Server) buildMux() http.Handler {
-	mux := http.NewServeMux()
-	score := func(h http.HandlerFunc) http.Handler {
-		// Gate outside the timeout wrapper: a shed request must not
-		// consume a timeout goroutine, and a timed-out handler keeps its
-		// slot until it actually finishes, so MaxInFlight stays a true
-		// bound on executing handlers.
-		return s.gated(http.TimeoutHandler(h, s.cfg.RequestTimeout,
-			`{"error":"request timed out"}`))
-	}
-	mux.Handle("GET /v1/score/{domain}", s.instrument("/v1/score", score(s.handleScore)))
-	mux.Handle("POST /v1/score/batch", s.instrument("/v1/score/batch", score(s.handleBatch)))
-	mux.Handle("POST /v1/reload", s.instrument("/v1/reload", http.HandlerFunc(s.handleReload)))
-	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
-	mux.Handle("GET /metrics", s.reg.Handler())
-	if s.cfg.EnablePprof {
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	return mux
-}
-
-// statusWriter captures the status code for the request counter.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// instrument records the request count (by final status) and latency
-// of every request under route's label.
-func (s *Server) instrument(route string, h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h.ServeHTTP(sw, r)
-		s.latency.With(route).Observe(time.Since(start).Seconds())
-		s.requests.With(route, strconv.Itoa(sw.code)).Inc()
-	})
-}
-
-// gated admits at most MaxInFlight concurrent executions; everything
-// beyond that is shed immediately with 503 + Retry-After rather than
-// queued, so overload degrades with fast rejections instead of
-// building an unbounded backlog of slow ones.
-func (s *Server) gated(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.gate <- struct{}{}:
-			s.inflight.Add(1)
-			defer func() {
-				s.inflight.Add(-1)
-				<-s.gate
-			}()
-			h.ServeHTTP(w, r)
-		default:
-			s.shed.Inc()
-			w.Header().Set("Retry-After", "1")
-			writeJSONError(w, http.StatusServiceUnavailable, "server at capacity")
+// ServeHTTP is the daemon's router: a hand-rolled prefix switch
+// instead of http.ServeMux, because the mux's wildcard matching
+// allocates per request and the route table here is five fixed paths.
+// Routing, the concurrency gate, and metric attribution are all plain
+// function calls on this path.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if rest, ok := strings.CutPrefix(path, "/v1/score/"); ok && rest != "" {
+		if rest == "batch" {
+			s.serveBatch(w, r)
+		} else {
+			s.serveScore(w, r, rest)
 		}
-	})
+		return
+	}
+	switch path {
+	case "/v1/reload":
+		s.serveReload(w, r)
+	case "/healthz":
+		s.serveHealthz(w, r)
+	case "/metrics":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		s.metricsH.ServeHTTP(w, r)
+	default:
+		if s.cfg.EnablePprof && strings.HasPrefix(path, "/debug/pprof/") {
+			s.servePprof(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	}
 }
 
-// ---- handlers ----
+// routeMetrics is one route's pre-resolved instrumentation: the
+// latency series is bound at construction and counter series are
+// cached per status code after first use, so steady-state requests
+// never rebuild a label key or take the registry mutex.
+type routeMetrics struct {
+	path   string
+	vec    *obsv.CounterVec
+	lat    *obsv.Histogram
+	byCode [nCodeSlots]atomic.Pointer[obsv.Counter]
+}
+
+func (s *Server) newRouteMetrics(path string) *routeMetrics {
+	return &routeMetrics{path: path, vec: s.requests, lat: s.latency.With(path)}
+}
+
+// Slots for the status codes the scoring routes emit; anything else
+// falls back to a labeled lookup.
+const nCodeSlots = 7
+
+func codeSlot(code int) int {
+	switch code {
+	case 200:
+		return 0
+	case 400:
+		return 1
+	case 404:
+		return 2
+	case 405:
+		return 3
+	case 413:
+		return 4
+	case 500:
+		return 5
+	case 503:
+		return 6
+	}
+	return -1
+}
+
+// observe records one finished request. Racing first uses of a code
+// slot are benign: CounterVec.With is idempotent per label tuple, so
+// every racer caches the same counter.
+func (m *routeMetrics) observe(start time.Time, code int) {
+	m.lat.Observe(time.Since(start).Seconds())
+	slot := codeSlot(code)
+	if slot < 0 {
+		m.vec.With(m.path, statusText(code)).Inc()
+		return
+	}
+	c := m.byCode[slot].Load()
+	if c == nil {
+		c = m.vec.With(m.path, statusText(code))
+		m.byCode[slot].Store(c)
+	}
+	c.Inc()
+}
+
+// admit claims a concurrency-gate slot, or sheds the request with
+// 503 + Retry-After and reports false. Shedding instead of queueing
+// keeps overload behavior fast-failing rather than building an
+// unbounded backlog of slow requests.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	select {
+	case s.gate <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	default:
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "server at capacity")
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.gate
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) int {
+	w.Header().Set("Allow", allow)
+	http.Error(w, http.StatusText(http.StatusMethodNotAllowed), http.StatusMethodNotAllowed)
+	return http.StatusMethodNotAllowed
+}
+
+// ---- response writing ----
+
+// Content-Type header values shared across requests; assigning a
+// preallocated slice into the header map avoids the per-request
+// allocation http.Header.Set would make.
+var (
+	ctJSON   = []string{"application/json"}
+	ctNDJSON = []string{NDJSONContentType}
+)
+
+// writeBody sends one fully encoded response.
+//
+//alloccheck:hot
+func writeBody(w http.ResponseWriter, code int, ct []string, body []byte) {
+	w.Header()["Content-Type"] = ct
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// writeError sends the {"error": msg} envelope with the given status.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	buf := getBuf()
+	b := appendErrorBody((*buf)[:0], msg)
+	writeBody(w, code, ctJSON, b)
+	*buf = b
+	putBuf(buf)
+}
+
+// writeJSON is the encoding/json fallback for the cold control-plane
+// responses (reload, healthz) whose shapes carry time.Time values.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Handlers marshal small fixed-shape values; an encode failure here
+	// means the response is already half-written, so there is nothing
+	// better to do than stop.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ---- scoring handlers ----
 
 // ScoreResponse is the body of GET /v1/score/{domain}.
 type ScoreResponse struct {
@@ -328,20 +445,55 @@ type ScoreResponse struct {
 	Label  int     `json:"label"`
 }
 
-func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	domain := r.PathValue("domain")
-	res, err := s.Scorer().Lookup(domain)
-	if err != nil {
-		if errors.Is(err, core.ErrUnknownDomain) {
-			s.unknown.Inc()
-			writeJSONError(w, http.StatusNotFound, err.Error())
-			return
-		}
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
-		return
+// serveScore handles GET /v1/score/{domain}: method check, gate,
+// handler, instrumentation.
+func (s *Server) serveScore(w http.ResponseWriter, r *http.Request, domain string) {
+	start := time.Now()
+	var code int
+	switch {
+	case r.Method != http.MethodGet:
+		code = methodNotAllowed(w, "GET")
+	case strings.IndexByte(domain, '/') >= 0:
+		// {domain} is a single path segment; deeper paths are not
+		// routes.
+		http.NotFound(w, r)
+		code = http.StatusNotFound
+	case !s.admit(w):
+		code = http.StatusServiceUnavailable
+	default:
+		code = s.handleScore(w, domain)
+		s.release()
+	}
+	s.mScore.observe(start, code)
+}
+
+// handleScore is the single-domain hot path: one decision-table
+// lookup, one pooled buffer encode, zero steady-state allocations.
+//
+//alloccheck:hot
+func (s *Server) handleScore(w http.ResponseWriter, domain string) int {
+	res, ok := s.Scorer().Result(domain)
+	if !ok {
+		s.unknown.Inc()
+		s.writeError(w, http.StatusNotFound, unknownDomainMessage(domain))
+		return http.StatusNotFound
 	}
 	s.scored.Inc()
-	writeJSON(w, http.StatusOK, ScoreResponse{Domain: domain, Score: res.Score, Label: res.Label})
+	buf := getBuf()
+	b := appendScoreResponse((*buf)[:0], domain, res.Score, res.Label)
+	writeBody(w, http.StatusOK, ctJSON, b)
+	*buf = b
+	putBuf(buf)
+	return http.StatusOK
+}
+
+// unknownDomainMessage renders the 404 body text for one domain,
+// matching core.Scorer.Lookup's error string. Kept out of handleScore
+// so its allocations stay off the gated hot path.
+//
+//go:noinline
+func unknownDomainMessage(domain string) string {
+	return strconv.Quote(domain) + ": " + core.ErrUnknownDomain.Error()
 }
 
 // BatchRequest is the body of POST /v1/score/batch.
@@ -364,40 +516,167 @@ type BatchResponse struct {
 	Fingerprint string        `json:"fingerprint"`
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
+// resultsPool recycles the per-batch []core.Result scratch space.
+var resultsPool = sync.Pool{
+	New: func() any {
+		r := make([]core.Result, 0, 512)
+		return &r
+	},
+}
+
+// maxPooledResults bounds the capacity of result buffers returned to
+// the pool, mirroring maxPooledBuf.
+const maxPooledResults = 1 << 16
+
+func getResults() *[]core.Result {
+	return resultsPool.Get().(*[]core.Result)
+}
+
+func putResults(r *[]core.Result) {
+	if cap(*r) > maxPooledResults {
 		return
+	}
+	*r = (*r)[:0]
+	resultsPool.Put(r)
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var code int
+	switch {
+	case r.Method != http.MethodPost:
+		code = methodNotAllowed(w, "POST")
+	case !s.admit(w):
+		code = http.StatusServiceUnavailable
+	default:
+		code = s.handleBatch(w, r)
+		s.release()
+	}
+	s.mBatch.observe(start, code)
+}
+
+// handleBatch decodes, validates, scores, and encodes one batch. The
+// request body is the only place this handler can block, so the
+// per-request timeout is enforced there as a connection read deadline
+// (http.TimeoutHandler is gone from this path: it buffers whole
+// responses, which the streamed NDJSON framing must never do).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	rc := http.NewResponseController(w)
+	// Recorders and other non-net writers report ErrNotSupported;
+	// requests through a real net/http server get the deadline.
+	_ = rc.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	var req BatchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch body exceeds %d bytes", s.cfg.MaxBody))
+			return http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
+		return http.StatusBadRequest
 	}
 	if len(req.Domains) > s.cfg.MaxBatch {
-		writeJSONError(w, http.StatusRequestEntityTooLarge,
+		s.writeError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d domains exceeds limit %d", len(req.Domains), s.cfg.MaxBatch))
-		return
+		return http.StatusRequestEntityTooLarge
 	}
 	sc := s.Scorer()
-	results := sc.ScoreBatch(req.Domains)
-	resp := BatchResponse{
-		Results:     make([]BatchResult, len(results)),
-		Fingerprint: sc.Fingerprint(),
+	if wantsNDJSON(r.Header.Get("Accept")) {
+		return s.writeBatchNDJSON(w, rc, sc, req.Domains)
 	}
+	return s.writeBatchJSON(w, sc, req.Domains)
+}
+
+// writeBatchJSON encodes the buffered BatchResponse document into one
+// pooled buffer: byte-identical to encoding/json on the BatchResponse
+// struct, without the per-request encoder machinery.
+func (s *Server) writeBatchJSON(w http.ResponseWriter, sc *core.Scorer, domains []string) int {
+	resPtr := getResults()
+	results := sc.ScoreBatchInto((*resPtr)[:0], domains)
+	buf := getBuf()
+	b := append((*buf)[:0], `{"results":[`...)
 	var known uint64
 	for i, res := range results {
-		resp.Results[i] = BatchResult{
-			Domain: req.Domains[i],
-			Score:  res.Score,
-			Label:  res.Label,
-			Known:  res.Known,
+		if i > 0 {
+			b = append(b, ',')
 		}
+		b = appendBatchResult(b, domains[i], res.Score, res.Label, res.Known)
 		if res.Known {
 			known++
 		}
 	}
+	b = append(b, `],"fingerprint":`...)
+	b = appendJSONString(b, sc.Fingerprint())
+	b = append(b, '}', '\n')
 	s.scored.Add(known)
 	s.unknown.Add(uint64(len(results)) - known)
-	writeJSON(w, http.StatusOK, resp)
+	writeBody(w, http.StatusOK, ctJSON, b)
+	*buf = b
+	putBuf(buf)
+	*resPtr = results
+	putResults(resPtr)
+	return http.StatusOK
 }
+
+const (
+	// ndjsonChunk is how many domains are scored per ScoreBatchInto
+	// sweep while streaming.
+	ndjsonChunk = 512
+	// ndjsonFlushBytes is the buffered-bytes threshold that triggers a
+	// write+flush, bounding the daemon's memory per streamed batch.
+	ndjsonFlushBytes = 32 << 10
+)
+
+// writeBatchNDJSON streams the batch as NDJSON: a fingerprint header
+// line, then one result line per domain, scored and flushed in
+// fixed-size chunks so the whole response never exists in memory.
+func (s *Server) writeBatchNDJSON(w http.ResponseWriter, rc *http.ResponseController, sc *core.Scorer, domains []string) int {
+	w.Header()["Content-Type"] = ctNDJSON
+	w.WriteHeader(http.StatusOK)
+	buf := getBuf()
+	b := append((*buf)[:0], `{"fingerprint":`...)
+	b = appendJSONString(b, sc.Fingerprint())
+	b = append(b, '}', '\n')
+
+	resPtr := getResults()
+	chunk := *resPtr
+	var known uint64
+	for off := 0; off < len(domains); off += ndjsonChunk {
+		end := min(off+ndjsonChunk, len(domains))
+		chunk = sc.ScoreBatchInto(chunk[:0], domains[off:end])
+		for i, res := range chunk {
+			b = appendBatchResult(b, domains[off+i], res.Score, res.Label, res.Known)
+			b = append(b, '\n')
+			if res.Known {
+				known++
+			}
+		}
+		if len(b) >= ndjsonFlushBytes {
+			if _, err := w.Write(b); err != nil {
+				// Client went away mid-stream; stop scoring for it.
+				b = b[:0]
+				break
+			}
+			_ = rc.Flush()
+			b = b[:0]
+		}
+	}
+	if len(b) > 0 {
+		_, _ = w.Write(b)
+		_ = rc.Flush()
+	}
+	s.scored.Add(known)
+	s.unknown.Add(uint64(len(domains)) - known)
+	*buf = b
+	putBuf(buf)
+	*resPtr = chunk
+	putResults(resPtr)
+	return http.StatusOK
+}
+
+// ---- control-plane handlers ----
 
 // ReloadResponse is the body of a successful POST /v1/reload.
 type ReloadResponse struct {
@@ -406,14 +685,25 @@ type ReloadResponse struct {
 	LoadedAt    time.Time `json:"loaded_at"`
 }
 
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveReload(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var code int
+	if r.Method != http.MethodPost {
+		code = methodNotAllowed(w, "POST")
+	} else {
+		code = s.handleReload(w)
+	}
+	s.mReload.observe(start, code)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter) int {
 	if err := s.Reload(); err != nil {
 		// The old model is still serving; report both facts.
 		writeJSON(w, http.StatusInternalServerError, map[string]string{
 			"error":   err.Error(),
 			"serving": s.Scorer().Fingerprint(),
 		})
-		return
+		return http.StatusInternalServerError
 	}
 	st := s.model.Load()
 	writeJSON(w, http.StatusOK, ReloadResponse{
@@ -421,6 +711,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Domains:     len(st.scorer.Domains()),
 		LoadedAt:    st.loadedAt,
 	})
+	return http.StatusOK
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -431,25 +722,39 @@ type HealthResponse struct {
 	LoadedAt    time.Time `json:"loaded_at"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.model.Load()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:      "ok",
-		Domains:     len(st.scorer.Domains()),
-		Fingerprint: st.scorer.Fingerprint(),
-		LoadedAt:    st.loadedAt,
-	})
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var code int
+	if r.Method != http.MethodGet {
+		code = methodNotAllowed(w, "GET")
+	} else {
+		st := s.model.Load()
+		writeJSON(w, http.StatusOK, HealthResponse{
+			Status:      "ok",
+			Domains:     len(st.scorer.Domains()),
+			Fingerprint: st.scorer.Fingerprint(),
+			LoadedAt:    st.loadedAt,
+		})
+		code = http.StatusOK
+	}
+	s.mHealth.observe(start, code)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	// Handlers marshal small fixed-shape values; an encode failure here
-	// means the response is already half-written, so there is nothing
-	// better to do than stop.
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeJSONError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func (s *Server) servePprof(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	switch r.URL.Path {
+	case "/debug/pprof/cmdline":
+		pprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		pprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		pprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
 }

@@ -1,52 +1,96 @@
 #!/usr/bin/env bash
-# alloccheck.sh — escape-analysis report for the scoring hot path.
+# alloccheck.sh — escape-analysis gate for the scoring hot path.
 #
-# Runs the compiler's escape analysis (go build -gcflags='-m') over
-# internal/core and summarizes heap escapes inside Scorer.Score and
-# Scorer.ScoreBatch (internal/core/persist.go), the per-request hot
-# path of the serving daemon. The report is informational: the step
-# never fails the build (always exits 0), it exists so a PR that makes
-# the hot path start allocating is visible in the check.sh transcript.
+# Functions annotated with a `//alloccheck:hot` comment line (directly
+# above the declaration, in internal/core and internal/serve) are the
+# per-request hot path of the serving daemon: Scorer lookups and the
+# daemon's score handler. This script runs the compiler's escape
+# analysis (go build -gcflags='-m') over both packages, counts
+# `escapes to heap` diagnostics inside each annotated function, and
+# compares the counts against the committed budget in
+# scripts/alloccheck.baseline (one `file:Func N` line per function;
+# an unlisted function's budget is 0).
 #
-# Usage: scripts/alloccheck.sh
+# Unlike its earlier informational incarnation, this is a CI gate: a
+# change that introduces a new heap escape in an annotated function
+# fails check.sh. If the escape is intentional, re-run with -update and
+# commit the regenerated baseline alongside the change.
+#
+# Usage: scripts/alloccheck.sh [-update]
 
-set -uo pipefail
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
-persist="internal/core/persist.go"
+baseline="scripts/alloccheck.baseline"
+update=0
+[ "${1:-}" = "-update" ] && update=1
 
-# Line ranges of the two hot-path functions, found by scanning for the
-# function declarations and the next top-level closing brace.
-ranges="$(awk '
-    /^func \(s \*Scorer\) Score\(/       { name="Score"; start=NR }
-    /^func \(s \*Scorer\) ScoreBatch\(/  { name="ScoreBatch"; start=NR }
-    start && /^}/ { print name, start, NR; start=0 }
-' "$persist")"
+# Locate annotated functions: file, name, start line, end line. The
+# marker must sit in the comment block directly above the declaration;
+# a function ends at the next column-0 closing brace.
+marked="$(awk '
+    FNR == 1   { hot = 0; infunc = 0 }
+    /^\/\/alloccheck:hot/ { hot = 1; next }
+    hot && /^func / {
+        name = $0
+        sub(/^func +(\([^)]*\) +)?/, "", name)
+        sub(/[(\[].*/, "", name)
+        start = FNR; fname = FILENAME
+        infunc = 1; hot = 0
+        next
+    }
+    hot && !/^\/\// { hot = 0 }
+    infunc && /^}/  { print fname, name, start, FNR; infunc = 0 }
+' internal/core/*.go internal/serve/*.go)"
+# Test files never compile into the serving binary; drop any markers
+# that slipped into them.
+marked="$(grep -v '_test\.go' <<<"$marked" || true)"
 
-if [ -z "$ranges" ]; then
-    echo "alloccheck: could not locate Scorer.Score/ScoreBatch in $persist (skipping)" >&2
+if [ -z "$marked" ]; then
+    echo "alloccheck: no //alloccheck:hot annotations found" >&2
+    exit 1
+fi
+
+# -m diagnostics go to stderr; naming the packages forces their
+# recompilation so the diagnostics are produced even on a warm cache.
+escapes="$(go build -gcflags='-m' ./internal/core ./internal/serve 2>&1 |
+    grep 'escapes to heap' || true)"
+
+budget_for() {
+    local key="$1"
+    if [ -f "$baseline" ]; then
+        awk -v k="$key" '$1 == k { print $2; found = 1 } END { if (!found) print 0 }' "$baseline"
+    else
+        echo 0
+    fi
+}
+
+fail=0
+newbase=""
+while read -r file name start end; do
+    count="$(awk -F: -v f="$file" -v s="$start" -v e="$end" \
+        '$1 == f && $2 + 0 >= s && $2 + 0 <= e' <<<"$escapes" | wc -l | tr -d ' ')"
+    newbase+="$file:$name $count"$'\n'
+    budget="$(budget_for "$file:$name")"
+    if [ "$count" -gt "$budget" ]; then
+        echo "alloccheck: FAIL $file:$name: $count heap escape(s), budget $budget"
+        awk -F: -v f="$file" -v s="$start" -v e="$end" \
+            '$1 == f && $2 + 0 >= s && $2 + 0 <= e' <<<"$escapes" |
+            sed 's/^/alloccheck:   /'
+        fail=1
+    else
+        echo "alloccheck: ok   $file:$name: $count heap escape(s) (budget $budget)"
+    fi
+done <<<"$marked"
+
+if [ "$update" -eq 1 ]; then
+    printf '%s' "$newbase" | sort >"$baseline"
+    echo "alloccheck: wrote $baseline"
     exit 0
 fi
 
-# -m output goes to stderr; force a rebuild of the one package so the
-# diagnostics are actually produced.
-escapes="$(go build -gcflags='-m' ./internal/core 2>&1 |
-    grep "^$persist:" | grep 'escapes to heap' || true)"
-
-total=0
-while read -r name start end; do
-    count=0
-    if [ -n "$escapes" ]; then
-        count="$(awk -F: -v s="$start" -v e="$end" \
-            '$2 >= s && $2 <= e' <<<"$escapes" | wc -l | tr -d ' ')"
-    fi
-    echo "alloccheck: Scorer.$name ($persist:$start-$end): $count heap escape(s)"
-    if [ "$count" -gt 0 ]; then
-        awk -F: -v s="$start" -v e="$end" '$2 >= s && $2 <= e' <<<"$escapes" |
-            sed 's/^/alloccheck:   /'
-    fi
-    total=$((total + count))
-done <<<"$ranges"
-
-echo "alloccheck: $total heap escape(s) in the scoring hot path (informational, not a gate)"
-exit 0
+if [ "$fail" -ne 0 ]; then
+    echo "alloccheck: hot-path functions gained heap escapes; fix them or re-baseline with scripts/alloccheck.sh -update" >&2
+    exit 1
+fi
+echo "alloccheck: hot path within allocation budget"

@@ -18,7 +18,15 @@
 # (internal/serve: single, batch, and parallel request paths through
 # the full middleware stack) and converts the log into BENCH_4.json.
 #
-# Usage: scripts/bench.sh [full|short|remodel|serve]
+# loadgen mode measures the zero-allocation serving claims end to end:
+# it runs the serve handler benchmarks with -benchmem (allocs/op,
+# req/sec, domains/sec at the handler level), then trains a small
+# model, starts a real daemon on an ephemeral port, drives it with
+# `maldetect loadgen` — closed-loop single GETs and NDJSON batches —
+# and folds the socket-level reports into the same JSON via
+# benchjson -merge, writing BENCH_7.json.
+#
+# Usage: scripts/bench.sh [full|short|remodel|serve|loadgen]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,8 +57,49 @@ serve)
     go run ./cmd/benchjson <"$log" >BENCH_4.json
     echo "wrote BENCH_4.json"
     ;;
+loadgen)
+    workdir="$(mktemp -d)"
+    serve_pid=""
+    trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$workdir" "$log"' EXIT
+
+    echo "--- handler-level benchmarks (-benchmem)"
+    go test -run='^$' -bench='^BenchmarkServe' -benchmem ./internal/serve | tee "$log"
+
+    echo "--- training a small model for the live daemon"
+    go run ./cmd/dnsgen -scale small -seed 7 \
+        -out "$workdir/trace.tsv" -truth "$workdir/truth.tsv"
+    go build -o "$workdir/maldetect" ./cmd/maldetect
+    "$workdir/maldetect" train -seed 7 \
+        -trace "$workdir/trace.tsv" -truth "$workdir/truth.tsv" \
+        -out "$workdir/model.bin"
+
+    echo "--- maldetect loadgen against a live daemon"
+    "$workdir/maldetect" serve -model "$workdir/model.bin" \
+        -addr 127.0.0.1:0 2>"$workdir/serve.log" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's|.*serving on http://\([^ ]*\)$|\1|p' "$workdir/serve.log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "daemon did not start" >&2; cat "$workdir/serve.log" >&2; exit 1; }
+    "$workdir/maldetect" loadgen -url "http://$addr" -model "$workdir/model.bin" \
+        -duration 5s -workers 4 -retries 2 -check -json \
+        -name BenchmarkLoadgenScore >"$workdir/lg_single.json"
+    "$workdir/maldetect" loadgen -url "http://$addr" -model "$workdir/model.bin" \
+        -duration 5s -workers 2 -batch 500 -ndjson -retries 2 -check -json \
+        -name BenchmarkLoadgenBatchNDJSON >"$workdir/lg_batch.json"
+    kill -TERM "$serve_pid" && wait "$serve_pid"
+    serve_pid=""
+
+    go run ./cmd/benchjson \
+        -merge "$workdir/lg_single.json" -merge "$workdir/lg_batch.json" \
+        <"$log" >BENCH_7.json
+    echo "wrote BENCH_7.json"
+    ;;
 *)
-    echo "usage: scripts/bench.sh [full|short|remodel|serve]" >&2
+    echo "usage: scripts/bench.sh [full|short|remodel|serve|loadgen]" >&2
     exit 1
     ;;
 esac

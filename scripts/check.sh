@@ -2,16 +2,18 @@
 # check.sh — the tier-1+ correctness gate for this repository.
 #
 # Runs, in order: formatting, go vet, build, the maldlint static
-# analyzer (against the committed baseline, plus a -json schema smoke
-# and an informational escape-analysis report for the scoring hot
-# path), the full test suite under the race detector, a
-# train/score persistence round trip on a tiny generated trace, a
-# serving-daemon smoke (score/batch/404/healthz/metrics over HTTP,
-# SIGHUP hot reload, graceful SIGTERM shutdown), a crash-recovery
-# smoke (streaming run SIGKILLed mid-window, resumed from its
-# checkpoint, feed compared byte-for-byte against an uninterrupted
-# run), and a short fuzz smoke for each native fuzz target. Every step
-# must pass; the script stops at the first failure.
+# analyzer (against the committed baseline, plus a -json schema smoke),
+# the escape-analysis gate for the scoring hot path
+# (scripts/alloccheck.sh against its committed baseline), the full
+# test suite under the race detector, a train/score persistence round
+# trip on a tiny generated trace, a serving-daemon smoke
+# (score/batch/404/healthz/metrics over HTTP, a ~1s loadgen burst that
+# must complete error-free, SIGHUP hot reload, graceful SIGTERM
+# shutdown), a crash-recovery smoke (streaming run SIGKILLed
+# mid-window, resumed from its checkpoint, feed compared byte-for-byte
+# against an uninterrupted run), and a short fuzz smoke for each
+# native fuzz target. Every step must pass; the script stops at the
+# first failure.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target -fuzztime for the smoke stage (default 10s;
@@ -47,7 +49,7 @@ else
     echo "python3 not found; JSON schema covered by cmd/maldlint tests"
 fi
 
-echo "==> escape-analysis report for the scoring hot path (informational)"
+echo "==> escape-analysis gate for the scoring hot path"
 scripts/alloccheck.sh
 
 echo "==> go test -race ./..."
@@ -103,6 +105,13 @@ grep -q '"known":true' <<<"$(curl -fsS -X POST \
     "http://$addr/v1/score/batch")"
 grep -q '"status":"ok"' <<<"$(curl -fsS "http://$addr/healthz")"
 grep -q '^maldomain_http_requests_total' <<<"$(curl -fsS "http://$addr/metrics")"
+# Load-generator burst: ~1s of paced mixed batch traffic over the
+# NDJSON framing; -check fails the script on any error or if nothing
+# got through.
+"$smokedir/maldetect" loadgen -url "http://$addr" -model "$smokedir/model.bin" \
+    -duration 1s -workers 2 -qps 500 -batch 16 -ndjson -retries 2 -check \
+    >"$smokedir/loadgen.txt"
+grep -q '^loadgen: ' "$smokedir/loadgen.txt"
 # SIGHUP hot reload must keep the daemon serving.
 kill -HUP "$serve_pid"
 for _ in $(seq 1 100); do
@@ -154,6 +163,7 @@ if [ "$fuzztime" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzDecodeMessage$' -fuzztime="$fuzztime" ./internal/dnswire
     go test -run='^$' -fuzz='^FuzzParseETLD$' -fuzztime="$fuzztime" ./internal/etld
     go test -run='^$' -fuzz='^FuzzRestore$' -fuzztime="$fuzztime" ./internal/stream
+    go test -run='^$' -fuzz='^FuzzDecodeNDJSON$' -fuzztime="$fuzztime" ./internal/serve
 fi
 
 echo "==> all checks passed"
