@@ -7,6 +7,14 @@
 //	experiments [-scale small|full] [-seed N]
 //	            [-run all|fig1,fig4,fig5,fig6,fig7,table1,table2,exposure,beliefprop,flows]
 //	            [-max-labeled N] [-kfolds K] [-embed-dim D]
+//	experiments -ablation [-scale small|full] [-seed N] [-kfolds K]
+//
+// With -ablation, the command sweeps every registered-backend pairing
+// of the pluggable stage registry — {line, mf} embedders ×
+// {svm, labelprop, ensemble} classifiers — through the same Fig-6-style
+// k-fold CV, and prints one `go test -bench`-shaped result line per
+// cell (AUC as a custom "auc" metric) so scripts/bench.sh can pipe the
+// sweep through cmd/benchjson into BENCH_8.json.
 //
 // The full scale reproduces the paper's scope (a month of traffic,
 // >10,000 labeled domains); small finishes in well under a minute.
@@ -33,9 +41,16 @@ func main() {
 		kfolds     = flag.Int("kfolds", 10, "cross-validation folds")
 		embedDim   = flag.Int("embed-dim", 32, "per-view embedding dimension")
 		svgOut     = flag.String("svg", "", "write the Figure 5 scatter to this SVG file")
+		ablation   = flag.Bool("ablation", false, "run the backend ablation sweep and print bench-format lines")
 	)
 	flag.Parse()
-	if err := runAll(*scale, *seed, *run, *maxLabeled, *kfolds, *embedDim, *svgOut); err != nil {
+	var err error
+	if *ablation {
+		err = runAblation(*scale, *seed, *maxLabeled, *kfolds, *embedDim)
+	} else {
+		err = runAll(*scale, *seed, *run, *maxLabeled, *kfolds, *embedDim, *svgOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

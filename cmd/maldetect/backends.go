@@ -1,0 +1,74 @@
+package main
+
+// The backends subcommand and the -embedder/-classifier/-views flag
+// plumbing shared by train and stream: both resolve registered stage
+// backends from core's pluggable registry.
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// stageSelection carries the registry selection flags; zero values mean
+// the defaults (line, svm, all).
+type stageSelection struct {
+	embedder   string
+	classifier string
+	views      string
+}
+
+// stageFlags registers the backend-selection flags on fs and returns
+// the destination struct.
+func stageFlags(fs *flag.FlagSet) *stageSelection {
+	sel := &stageSelection{}
+	fs.StringVar(&sel.embedder, "embedder", "",
+		fmt.Sprintf("embedding backend (%s; default %s)",
+			strings.Join(core.Embedders(), ", "), core.DefaultEmbedder))
+	fs.StringVar(&sel.classifier, "classifier", "",
+		fmt.Sprintf("classification backend (%s; default %s)",
+			strings.Join(core.Classifiers(), ", "), core.DefaultClassifier))
+	fs.StringVar(&sel.views, "views", "",
+		fmt.Sprintf("view set for classifier features (%s; default %s)",
+			strings.Join(core.ViewSets(), ", "), core.DefaultViewSet))
+	return sel
+}
+
+// runBackends lists every registered stage backend, one section per
+// registry, marking the defaults.
+func runBackends(args []string) error {
+	fs := flag.NewFlagSet("backends", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("backends takes no arguments")
+	}
+	printRegistry("embedders", core.Embedders(), core.DefaultEmbedder)
+	printRegistry("classifiers", core.Classifiers(), core.DefaultClassifier)
+	printRegistry("view sets", core.ViewSets(), core.DefaultViewSet)
+	return nil
+}
+
+func printRegistry(title string, names []string, def string) {
+	fmt.Printf("%s:\n", title)
+	for _, n := range names {
+		mark := ""
+		if n == def {
+			mark = " (default)"
+		}
+		fmt.Printf("  %s%s\n", n, mark)
+	}
+}
+
+// classifierSummary describes a trained classifier for log lines:
+// support-vector count for SVM-backed classifiers, the backend name
+// otherwise.
+func classifierSummary(clf *core.Classifier) string {
+	if m := clf.Model(); m != nil {
+		return fmt.Sprintf("%d SVs", m.NumSV())
+	}
+	return clf.Backend() + " backend"
+}

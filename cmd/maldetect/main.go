@@ -14,6 +14,11 @@
 // stratified train-frac fraction of the labeled domains, and scores the
 // held-out rest, printing the top suspicious domains and held-out AUC.
 //
+// train and stream accept -embedder/-classifier/-views to select
+// registered stage backends (core's pluggable registry); backends
+// lists every registration. The defaults reproduce the paper's
+// LINE+SVM pipeline.
+//
 // The train subcommand builds the model, trains the SVM on every labeled
 // retained domain, and persists the full model (domain set, per-view
 // embeddings, classifier, config fingerprint) to -out; score loads such
@@ -78,8 +83,10 @@ func main() {
 			err = runStream(os.Args[2:])
 		case "loadgen":
 			err = runLoadgen(os.Args[2:])
+		case "backends":
+			err = runBackends(os.Args[2:])
 		default:
-			err = fmt.Errorf("unknown subcommand %q (want train, score, serve, stream, or loadgen)", os.Args[1])
+			err = fmt.Errorf("unknown subcommand %q (want train, score, serve, stream, backends, or loadgen)", os.Args[1])
 		}
 	} else {
 		var (
@@ -102,7 +109,7 @@ func main() {
 // loadDetector reads the trace (two passes: one to discover the capture
 // window, one to consume), builds the model, and prints the per-stage
 // build report.
-func loadDetector(tracePath, dhcpPath string, seed uint64) (*core.Detector, error) {
+func loadDetector(tracePath, dhcpPath string, seed uint64, sel stageSelection) (*core.Detector, error) {
 	start, days, n, err := traceWindow(tracePath)
 	if err != nil {
 		return nil, err
@@ -112,7 +119,10 @@ func loadDetector(tracePath, dhcpPath string, seed uint64) (*core.Detector, erro
 		return nil, err
 	}
 
-	det := core.NewDetector(core.Config{Start: start, Days: days, DHCP: resolver, Seed: seed})
+	det := core.NewDetector(core.Config{
+		Start: start, Days: days, DHCP: resolver, Seed: seed,
+		Embedder: sel.embedder, Classifier: sel.classifier, Views: sel.views,
+	})
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return nil, err
@@ -186,10 +196,11 @@ func runTrain(args []string) error {
 		seed      = fs.Uint64("seed", 1, "seed for embedding/SVM")
 		outPath   = fs.String("out", "model.bin", "output model file")
 	)
+	sel := stageFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	det, err := loadDetector(*tracePath, *dhcpPath, *seed)
+	det, err := loadDetector(*tracePath, *dhcpPath, *seed, *sel)
 	if err != nil {
 		return err
 	}
@@ -204,8 +215,8 @@ func runTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "maldetect: trained on %d domains (%d SVs)\n",
-		len(clf.Used), clf.Model().NumSV())
+	fmt.Fprintf(os.Stderr, "maldetect: trained on %d domains (%s)\n",
+		len(clf.Used), classifierSummary(clf))
 
 	out, err := os.Create(*outPath)
 	if err != nil {
@@ -254,6 +265,8 @@ func runScore(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "maldetect: loaded model with %d domains\n", len(sc.Domains()))
 	fmt.Fprintf(os.Stderr, "maldetect: fingerprint: %s\n", sc.Fingerprint())
+	fmt.Fprintf(os.Stderr, "maldetect: backends: embedder=%s classifier=%s\n",
+		sc.EmbedderName(), sc.ClassifierName())
 
 	if fs.NArg() > 0 {
 		for _, d := range fs.Args() {
@@ -360,7 +373,7 @@ func runServe(args []string) error {
 }
 
 func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, top int) error {
-	det, err := loadDetector(tracePath, dhcpPath, seed)
+	det, err := loadDetector(tracePath, dhcpPath, seed, stageSelection{})
 	if err != nil {
 		return err
 	}
@@ -392,8 +405,8 @@ func run(tracePath, truthPath, dhcpPath string, trainFrac float64, seed uint64, 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "maldetect: trained on %d domains (%d SVs)\n",
-		len(clf.Used), clf.Model().NumSV())
+	fmt.Fprintf(os.Stderr, "maldetect: trained on %d domains (%s)\n",
+		len(clf.Used), classifierSummary(clf))
 
 	type scored struct {
 		domain string

@@ -109,6 +109,7 @@ func runStream(args []string) error {
 		intelFrac = fs.Float64("intel-frac", 0.5,
 			"fraction of malicious truth labels known to the labeler (simulates lagging intel; the rest can surface as alerts)")
 	)
+	sel := stageFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +137,9 @@ func runStream(args []string) error {
 			EmbedSamples: *samples,
 			Workers:      *workers,
 			DHCP:         resolver,
+			Embedder:     sel.embedder,
+			Classifier:   sel.classifier,
+			Views:        sel.views,
 		},
 		Labeler: func(candidates []string) ([]string, []int) {
 			var outD []string

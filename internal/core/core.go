@@ -1,8 +1,11 @@
 // Package core assembles the paper's end-to-end detection system
 // (Figure 2): DNS pre-processing, behavioral modeling via bipartite
-// graphs and one-mode projections, LINE feature learning, SVM
-// classification, and X-Means cluster mining. The root package maldomain
-// re-exports this API; see the repository README for usage.
+// graphs and one-mode projections, feature learning, classification,
+// and X-Means cluster mining. The feature-learning and classification
+// stages are pluggable backends resolved by name from the registry in
+// registry.go (defaults: LINE + SVM, the paper's pipeline). The root
+// package maldomain re-exports this API; see the repository README for
+// usage.
 //
 //maldlint:deterministic
 package core
@@ -51,15 +54,29 @@ type Config struct {
 	// EmbedDim is the per-view embedding size k; the combined feature
 	// vector has 3k dimensions (default 32).
 	EmbedDim int
-	// EmbedSamples overrides LINE's SGD sample count (0 = auto).
+	// EmbedSamples overrides the embedder's SGD sample count (0 = auto).
 	EmbedSamples int
 	// EmbedOrder selects the LINE proximity objective (default
-	// OrderBoth).
+	// OrderBoth). Only the "line" embedder consults it.
 	EmbedOrder line.Order
 
 	// SVM is the classifier configuration (defaults: RBF, C=0.09,
-	// γ=0.06 per §6.2).
+	// γ=0.06 per §6.2). Only the "svm" classification backend (and the
+	// ensembles wrapping it) consults it.
 	SVM svm.Config
+
+	// Embedder selects the feature-learning backend by registered name
+	// ("" = "line"). See RegisterEmbedder and the registry contract in
+	// registry.go.
+	Embedder string
+	// Classifier selects the classification backend by registered name
+	// ("" = "svm").
+	Classifier string
+	// Views selects the named view set classifiers train over ("" =
+	// "all", the three-view concatenation of §6.1). All three views are
+	// always embedded and persisted regardless; the selection only
+	// shapes classifier feature vectors.
+	Views string
 
 	// Workers bounds parallelism in projection and embedding (0 = all
 	// cores).
@@ -117,7 +134,7 @@ type Detector struct {
 	built       bool
 	graphs      map[bipartite.View]*bipartite.Graph
 	projections map[bipartite.View]*bipartite.Projection
-	embeddings  map[bipartite.View]*line.Embedding
+	embeddings  map[bipartite.View]*Embedding
 	domains     []string
 	index       map[string]int
 	report      BuildReport
@@ -273,9 +290,9 @@ func (d *Detector) Projection(v bipartite.View) (*bipartite.Projection, error) {
 	return d.projections[v], nil
 }
 
-// Embedding returns one view's trained LINE embedding. The result is
-// the detector's live model state; treat it as read-only.
-func (d *Detector) Embedding(v bipartite.View) (*line.Embedding, error) {
+// Embedding returns one view's trained embedding. The result is the
+// detector's live model state; treat it as read-only.
+func (d *Detector) Embedding(v bipartite.View) (*Embedding, error) {
 	if !d.built {
 		return nil, ErrNotBuilt
 	}
@@ -322,21 +339,50 @@ func (d *Detector) FeatureMatrix(domains []string, views ...bipartite.View) ([][
 	return X, kept, nil
 }
 
-// TrainClassifier fits the SVM of §6.2 on labeled domains (label 1 =
-// malicious). Domains not in the retained set are skipped; Classifier.Used
-// reports which training domains were actually used.
+// TrainClassifier fits the configured classification backend (default:
+// the SVM of §6.2) on labeled domains (label 1 = malicious). Domains
+// not in the retained set are skipped; Classifier.Used reports which
+// training domains were actually used. When no views are passed
+// explicitly, the configured named view set (Config.Views) selects
+// them.
 func (d *Detector) TrainClassifier(domains []string, labels []int, views ...bipartite.View) (*Classifier, error) {
+	return d.TrainClassifierNamed("", domains, labels, views...)
+}
+
+// TrainClassifierNamed is TrainClassifier with an explicit backend
+// selection: it trains the classification backend registered under
+// name ("" = the configured Config.Classifier) without rebuilding the
+// detector, so backend ablations can sweep classifiers over one set of
+// embeddings. Everything else — view resolution, label handling, the
+// backend's own configuration (e.g. Config.SVM) — behaves exactly like
+// TrainClassifier.
+func (d *Detector) TrainClassifierNamed(name string, domains []string, labels []int, views ...bipartite.View) (*Classifier, error) {
 	if !d.built {
 		return nil, ErrNotBuilt
 	}
 	if len(domains) != len(labels) {
 		return nil, fmt.Errorf("core: %d domains vs %d labels", len(domains), len(labels))
 	}
+	sel := viewsOrAll(views)
+	if len(views) == 0 {
+		var err error
+		if sel, err = resolveViewSet(d.cfg); err != nil {
+			return nil, err
+		}
+	}
+	cfg := d.cfg
+	if name != "" {
+		cfg.Classifier = name
+	}
+	clf, err := newClassifier(cfg)
+	if err != nil {
+		return nil, err
+	}
 	var X [][]float64
 	var y []int
 	var used []string
 	for i, dom := range domains {
-		if v, ok := d.FeatureVector(dom, views...); ok {
+		if v, ok := d.FeatureVector(dom, sel...); ok {
 			X = append(X, v)
 			y = append(y, labels[i])
 			used = append(used, dom)
@@ -345,36 +391,31 @@ func (d *Detector) TrainClassifier(domains []string, labels []int, views ...bipa
 	if len(X) == 0 {
 		return nil, ErrNoDomains
 	}
-	cfg := d.cfg.SVM
-	if cfg.Seed == 0 {
-		cfg.Seed = d.cfg.Seed
+	if err := clf.Fit(X, y); err != nil {
+		return nil, fmt.Errorf("core: training %s classifier: %w", clf.Name(), err)
 	}
-	model, err := svm.Train(X, y, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: training SVM: %w", err)
-	}
-	return &Classifier{detector: d, model: model, views: viewsOrAll(views), Used: used}, nil
+	return &Classifier{detector: d, clf: clf, views: sel, Used: used}, nil
 }
 
 // Classifier is a trained malicious-domain classifier bound to its
 // detector's feature space.
 type Classifier struct {
 	detector *Detector
-	model    *svm.Model
+	clf      DomainClassifier
 	views    []bipartite.View
 	// Used lists the training domains that were actually in the retained
 	// vertex set.
 	Used []string
 }
 
-// Score returns the SVM decision value for a domain (positive =
+// Score returns the backend's decision value for a domain (positive =
 // malicious side of the boundary); ok is false for unknown domains.
 func (c *Classifier) Score(domain string) (float64, bool) {
 	v, ok := c.detector.FeatureVector(domain, c.views...)
 	if !ok {
 		return 0, false
 	}
-	return c.model.Decision(v), true
+	return c.clf.Decision(v), true
 }
 
 // Predict returns 1 (malicious) or 0 (benign); ok is false for unknown
@@ -390,8 +431,18 @@ func (c *Classifier) Predict(domain string) (int, bool) {
 	return 0, true
 }
 
-// Model exposes the underlying SVM (support-vector count etc.).
-func (c *Classifier) Model() *svm.Model { return c.model }
+// Model exposes the underlying SVM (support-vector count etc.) when
+// the classification backend is SVM-backed, directly or through an
+// ensemble member; it returns nil for other backends.
+func (c *Classifier) Model() *svm.Model {
+	if b, ok := c.clf.(svmBacked); ok {
+		return b.SVM()
+	}
+	return nil
+}
+
+// Backend returns the classification backend's registered name.
+func (c *Classifier) Backend() string { return c.clf.Name() }
 
 // ClusterDomains groups the given domains by X-Means over their combined
 // feature vectors (§7.1), returning the clustering and the domains
@@ -418,9 +469,13 @@ func (d *Detector) ClusterDomains(domains []string, cfg xmeans.Config) (*xmeans.
 	return res, kept, nil
 }
 
+// viewsOrAll resolves an explicit view selection, defaulting to all
+// three. It always returns a fresh slice: handing out the package-level
+// bipartite.Views (or aliasing the caller's argument) would let anyone
+// holding a Classifier mutate the global view order.
 func viewsOrAll(views []bipartite.View) []bipartite.View {
 	if len(views) == 0 {
-		return bipartite.Views
+		views = bipartite.Views
 	}
-	return views
+	return append([]bipartite.View(nil), views...)
 }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// goldenModelSHA256 is the SHA-256 of the model file produced by
+// goldenModelBytes under the pre-registry build path (PR 7). The
+// pluggable-stage refactor must keep the default selection
+// (line + svm, all views) byte-identical to this: the registry is a
+// seam, not a behavior change.
+const goldenModelSHA256 = "babb19a785f075ccd77f8bd6619c3a6a5eede35c3d3f9c676467549c15ab0185"
+
+// goldenModelBytes trains the fixed tiny fixture — 8 domains, 3 hosts,
+// deterministic timestamps, Workers=1, seed 42 — and returns the
+// serialized model file.
+func goldenModelBytes(t *testing.T) []byte {
+	t.Helper()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	det := NewDetector(Config{
+		Start:        start,
+		Days:         1,
+		EmbedDim:     4,
+		EmbedSamples: 20_000,
+		Seed:         42,
+		Workers:      1,
+	})
+	for i := 0; i < 8; i++ {
+		for h := 0; h < 3; h++ {
+			for m := 0; m < 3; m++ {
+				det.Consume(pipeline.Input{
+					Time:     start.Add(time.Duration(2*i+m) * time.Minute),
+					ClientIP: fmt.Sprintf("10.0.0.%d", (i+h)%10),
+					QName:    fmt.Sprintf("www.dom%d.com", i),
+					Answers:  []string{fmt.Sprintf("198.51.100.%d", (i+m)%8)},
+				})
+			}
+		}
+	}
+	if err := det.BuildModel(); err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	domains, err := det.Domains()
+	if err != nil {
+		t.Fatalf("Domains: %v", err)
+	}
+	labels := make([]int, len(domains))
+	for i := range domains {
+		labels[i] = i % 2
+	}
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatalf("TrainClassifier: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf, clf); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenModelBytes pins the default-path model file bytes across
+// the registry refactor.
+func TestGoldenModelBytes(t *testing.T) {
+	b := goldenModelBytes(t)
+	got := fmt.Sprintf("%x", sha256.Sum256(b))
+	if got != goldenModelSHA256 {
+		t.Fatalf("model bytes changed: sha256 %s (len %d), want %s", got, len(b), goldenModelSHA256)
+	}
+}

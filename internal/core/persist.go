@@ -2,19 +2,20 @@ package core
 
 // Full-model persistence: the train/serve split of the staged
 // architecture. SaveModel writes everything scoring needs — the retained
-// domain set, the three per-view LINE embeddings, the trained SVM with
+// domain set, the three per-view embeddings, the trained classifier with
 // its view selection, and a config fingerprint — as one versioned
-// stream layered on the existing line.Embedding.Save and svm.Model.Save
-// formats. LoadScorer reads it back into a Scorer, a lightweight
-// serving handle that answers Score/Predict/FeatureVector without a
-// pipeline.Processor or any of the build-time state, so a model trains
-// once and deploys to any number of scoring processes.
+// stream layered on the existing line.Embedding.Save and the backend's
+// classifier Save format. LoadScorer reads it back into a Scorer, a
+// lightweight serving handle that answers Score/Predict/FeatureVector
+// without a pipeline.Processor or any of the build-time state, so a
+// model trains once and deploys to any number of scoring processes.
 
 import (
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/bipartite"
 	"repro/internal/crcio"
@@ -30,11 +31,18 @@ const (
 	// Version 2 appends a CRC-32 integrity trailer (crcio) over the
 	// whole stream; version-1 files (no trailer) are still readable.
 	modelVersion = 2
+	// modelVersionBackends (version 3) inserts a modelBackends record
+	// between the header and the embedding blobs, naming the backends
+	// that produced the file. Default-backend models keep writing
+	// version 2 so their bytes are identical to pre-registry builds;
+	// versions 1 and 2 load as line+svm.
+	modelVersionBackends = 3
 )
 
 // modelHeader is the leading gob value of a saved model; the three
-// per-view embeddings (canonical bipartite.Views order) and the SVM
-// model follow it on the same stream.
+// per-view embeddings (canonical bipartite.Views order) and the
+// classifier follow it on the same stream (on version-3 streams, after
+// the modelBackends record).
 type modelHeader struct {
 	Magic       string
 	Version     int
@@ -42,6 +50,16 @@ type modelHeader struct {
 	EmbedDim    int
 	Domains     []string
 	Views       []bipartite.View
+}
+
+// modelBackends is the second gob value of a version-3 model stream: it
+// names the registered backends that produced the file so loading
+// dispatches to the right classifier reader and rejects files whose
+// backends this build does not know.
+type modelBackends struct {
+	Embedder   string
+	Classifier string
+	ViewSet    string
 }
 
 // Fingerprint returns a short description of every configuration knob
@@ -57,13 +75,26 @@ func (c Config) Fingerprint() string {
 	if cost <= 0 {
 		cost = 0.09
 	}
-	return fmt.Sprintf(
+	fp := fmt.Sprintf(
 		"start=%s days=%d prune=%g/%d minsim=%g timesim=%g maxattr=%d dim=%d order=%d samples=%d svm=%s/C=%g seed=%d",
 		c.Start.UTC().Format("2006-01-02T15:04:05Z"), c.Days,
 		c.Prune.MaxHostFrac, c.Prune.MinHosts,
 		c.MinSimilarity, c.TimeMinSimilarity, c.MaxAttrDegree,
 		c.EmbedDim, c.EmbedOrder, c.EmbedSamples,
 		kernel, cost, c.Seed)
+	// Backend selections append only when non-default, so every
+	// fingerprint ever produced by a default configuration — including
+	// ones persisted before the registry existed — stays stable.
+	if n := c.embedderName(); n != DefaultEmbedder {
+		fp += " embedder=" + n
+	}
+	if n := c.classifierName(); n != DefaultClassifier {
+		fp += " classifier=" + n
+	}
+	if n := c.viewSetName(); n != DefaultViewSet {
+		fp += " views=" + n
+	}
+	return fp
 }
 
 // SaveModel writes the built model and the classifier trained on it as
@@ -80,24 +111,44 @@ func (d *Detector) SaveModel(w io.Writer, clf *Classifier) error {
 	if clf.detector != d {
 		return errors.New("core: classifier was trained on a different detector")
 	}
+	bk := modelBackends{
+		Embedder:   d.cfg.embedderName(),
+		Classifier: clf.clf.Name(),
+		ViewSet:    d.cfg.viewSetName(),
+	}
+	version := modelVersion
+	if bk.Embedder != DefaultEmbedder || bk.Classifier != DefaultClassifier {
+		version = modelVersionBackends
+	}
 	hdr := modelHeader{
 		Magic:       modelMagic,
-		Version:     modelVersion,
+		Version:     version,
 		Fingerprint: d.cfg.Fingerprint(),
 		EmbedDim:    d.cfg.EmbedDim,
 		Domains:     d.domains,
 		Views:       clf.views,
 	}
 	cw := crcio.NewWriter(w)
-	if err := gob.NewEncoder(cw).Encode(hdr); err != nil {
+	enc := gob.NewEncoder(cw)
+	if err := enc.Encode(hdr); err != nil {
 		return fmt.Errorf("core: encoding model header: %w", err)
 	}
+	if version >= modelVersionBackends {
+		if err := enc.Encode(bk); err != nil {
+			return fmt.Errorf("core: encoding model backends: %w", err)
+		}
+	}
 	for _, v := range bipartite.Views {
-		if err := d.embeddings[v].Save(cw); err != nil {
+		e := d.embeddings[v]
+		// Embeddings always persist through the line wire format
+		// regardless of which backend trained them: the on-disk blob is
+		// plain (dim, vectors), and reusing one format keeps default
+		// files byte-identical to pre-registry builds.
+		if err := (&line.Embedding{Dim: e.Dim, Vectors: e.Vectors}).Save(cw); err != nil {
 			return fmt.Errorf("core: saving %v embedding: %w", v, err)
 		}
 	}
-	if err := clf.model.Save(cw); err != nil {
+	if err := clf.clf.Save(cw); err != nil {
 		return fmt.Errorf("core: saving classifier: %w", err)
 	}
 	if err := cw.WriteTrailer(); err != nil {
@@ -111,22 +162,27 @@ func (d *Detector) SaveModel(w io.Writer, clf *Classifier) error {
 // build-time pipeline state. Scorers are immutable and safe for
 // concurrent use.
 //
-// The retained domain set is fixed at load time, which makes the SVM
-// decision values a finite pure function of the model: LoadScorer
-// precomputes them once (through the exact same feature-assembly and
-// svm.Model.Decision path a per-call evaluation would take, so the
-// table is bit-identical by construction) and the per-request lookup
-// forms — Score, Predict, Result, ScoreBatch, ScoreBatchInto, Lookup —
-// reduce to one map probe plus two array reads. None of them allocate;
-// scripts/alloccheck.sh gates that invariant in CI.
+// The retained domain set is fixed at load time, which makes the
+// classifier decision values a finite pure function of the model:
+// LoadScorer precomputes them once (through the exact same
+// feature-assembly and Decision path a per-call evaluation would take,
+// so the table is bit-identical by construction) and the per-request
+// lookup forms — Score, Predict, Result, ScoreBatch, ScoreBatchInto,
+// Lookup — reduce to one map probe plus two array reads. None of them
+// allocate; scripts/alloccheck.sh gates that invariant in CI.
 type Scorer struct {
 	fingerprint string
 	dim         int
 	domains     []string
 	index       map[string]int
-	embeddings  map[bipartite.View]*line.Embedding
-	model       *svm.Model
+	embeddings  map[bipartite.View]*Embedding
+	clf         DomainClassifier
 	views       []bipartite.View
+
+	// embedderName and classifierName are the backend names recorded in
+	// the file (line/svm for legacy version-1/2 streams).
+	embedderName   string
+	classifierName string
 
 	// scores and labels are the precomputed decision table, indexed
 	// like domains.
@@ -141,16 +197,17 @@ type Scorer struct {
 // (written before the trailer existed) still load.
 func LoadScorer(r io.Reader) (*Scorer, error) {
 	cr := crcio.NewReader(r)
+	dec := gob.NewDecoder(cr)
 	var hdr modelHeader
-	if err := gob.NewDecoder(cr).Decode(&hdr); err != nil {
+	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("core: decoding model header: %w", err)
 	}
 	if hdr.Magic != modelMagic {
 		return nil, fmt.Errorf("core: not a model stream (magic %q)", hdr.Magic)
 	}
-	if hdr.Version != modelVersion && hdr.Version != 1 {
-		return nil, fmt.Errorf("core: model version %d, this build reads %d (and legacy 1)",
-			hdr.Version, modelVersion)
+	if hdr.Version != modelVersion && hdr.Version != modelVersionBackends && hdr.Version != 1 {
+		return nil, fmt.Errorf("core: model version %d, this build reads %d (and legacy 2, 1)",
+			hdr.Version, modelVersionBackends)
 	}
 	if hdr.EmbedDim <= 0 || len(hdr.Domains) == 0 {
 		return nil, errors.New("core: corrupt model: empty domain set or dimension")
@@ -163,13 +220,32 @@ func LoadScorer(r io.Reader) (*Scorer, error) {
 			return nil, fmt.Errorf("core: corrupt model: unknown view %d", int(v))
 		}
 	}
+	// Version-1/2 streams predate backend names; they were always
+	// line+svm. Version-3 streams name their backends, and both names
+	// must be registered in this build or the load is rejected.
+	bk := modelBackends{Embedder: DefaultEmbedder, Classifier: DefaultClassifier, ViewSet: DefaultViewSet}
+	if hdr.Version >= modelVersionBackends {
+		if err := dec.Decode(&bk); err != nil {
+			return nil, fmt.Errorf("core: decoding model backends: %w", err)
+		}
+		if _, ok := embedders[bk.Embedder]; !ok {
+			return nil, fmt.Errorf("core: model needs unknown embedder %q (available: %s)",
+				bk.Embedder, strings.Join(Embedders(), ", "))
+		}
+		if _, ok := clfLoaders[bk.Classifier]; !ok {
+			return nil, fmt.Errorf("core: model needs unknown classifier %q (available: %s)",
+				bk.Classifier, strings.Join(Classifiers(), ", "))
+		}
+	}
 	s := &Scorer{
-		fingerprint: hdr.Fingerprint,
-		dim:         hdr.EmbedDim,
-		domains:     hdr.Domains,
-		index:       make(map[string]int, len(hdr.Domains)),
-		embeddings:  make(map[bipartite.View]*line.Embedding, len(bipartite.Views)),
-		views:       hdr.Views,
+		fingerprint:    hdr.Fingerprint,
+		dim:            hdr.EmbedDim,
+		domains:        hdr.Domains,
+		index:          make(map[string]int, len(hdr.Domains)),
+		embeddings:     make(map[bipartite.View]*Embedding, len(bipartite.Views)),
+		views:          hdr.Views,
+		embedderName:   bk.Embedder,
+		classifierName: bk.Classifier,
 	}
 	for i, d := range hdr.Domains {
 		s.index[d] = i
@@ -186,13 +262,13 @@ func LoadScorer(r io.Reader) (*Scorer, error) {
 			return nil, fmt.Errorf("core: %v embedding has %d vectors for %d domains",
 				v, len(emb.Vectors), len(hdr.Domains))
 		}
-		s.embeddings[v] = emb
+		s.embeddings[v] = &Embedding{Dim: emb.Dim, Vectors: emb.Vectors}
 	}
-	model, err := svm.LoadModel(cr)
+	clf, err := loadClassifier(bk.Classifier, cr)
 	if err != nil {
 		return nil, fmt.Errorf("core: loading classifier: %w", err)
 	}
-	s.model = model
+	s.clf = clf
 	if hdr.Version >= 2 {
 		if err := cr.VerifyTrailer(); err != nil {
 			return nil, fmt.Errorf("core: model integrity check: %w", err)
@@ -214,7 +290,7 @@ func (s *Scorer) precompute() {
 	buf := make([]float64, 0, len(s.views)*s.dim)
 	for i := range s.domains {
 		buf = s.appendFeaturesAt(buf[:0], i, s.views)
-		sc := s.model.Decision(buf)
+		sc := s.clf.Decision(buf)
 		s.scores[i] = sc
 		if sc > 0 {
 			s.labels[i] = 1
@@ -239,8 +315,23 @@ func (s *Scorer) Domains() []string { return s.domains }
 // time.
 func (s *Scorer) Fingerprint() string { return s.fingerprint }
 
-// Model exposes the underlying SVM (support-vector count etc.).
-func (s *Scorer) Model() *svm.Model { return s.model }
+// Model exposes the underlying SVM (support-vector count etc.) when
+// the persisted classifier is SVM-backed, directly or through an
+// ensemble member; it returns nil for other backends.
+func (s *Scorer) Model() *svm.Model {
+	if b, ok := s.clf.(svmBacked); ok {
+		return b.SVM()
+	}
+	return nil
+}
+
+// EmbedderName returns the embedding backend name recorded in the model
+// file ("line" for legacy version-1/2 files).
+func (s *Scorer) EmbedderName() string { return s.embedderName }
+
+// ClassifierName returns the classification backend name recorded in
+// the model file ("svm" for legacy version-1/2 files).
+func (s *Scorer) ClassifierName() string { return s.classifierName }
 
 // FeatureVector mirrors Detector.FeatureVector on the persisted
 // embeddings: the domain's representation over the requested views

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/crcio"
 	"repro/internal/faultio"
+	"repro/internal/line"
 )
 
 // TestSaveModelLoadScorerRoundTrip is the train-once/serve-many
@@ -144,7 +145,7 @@ func TestLoadScorerRejectsCorruptStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := emb.Save(&embBuf); err != nil {
+	if err := (&line.Embedding{Dim: emb.Dim, Vectors: emb.Vectors}).Save(&embBuf); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := LoadScorer(bytes.NewReader(embBuf.Bytes())); err == nil {
@@ -177,11 +178,12 @@ func TestLoadScorerReadsLegacyV1(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, v := range bipartite.Views {
-		if err := d.embeddings[v].Save(&v1); err != nil {
+		e := d.embeddings[v]
+		if err := (&line.Embedding{Dim: e.Dim, Vectors: e.Vectors}).Save(&v1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := clf.model.Save(&v1); err != nil {
+	if err := clf.clf.Save(&v1); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/pipeline"
+)
+
+// backendDetector builds the golden fixture's 8-domain trace under the
+// given backend selection, for registry round-trip tests that need a
+// fast non-default build.
+func backendDetector(t *testing.T, embedder, classifier, views string) *Detector {
+	t.Helper()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	det := NewDetector(Config{
+		Start:        start,
+		Days:         1,
+		EmbedDim:     4,
+		EmbedSamples: 20_000,
+		Seed:         42,
+		Workers:      1,
+		Embedder:     embedder,
+		Classifier:   classifier,
+		Views:        views,
+	})
+	for i := 0; i < 8; i++ {
+		for h := 0; h < 3; h++ {
+			for m := 0; m < 3; m++ {
+				det.Consume(pipeline.Input{
+					Time:     start.Add(time.Duration(2*i+m) * time.Minute),
+					ClientIP: fmt.Sprintf("10.0.0.%d", (i+h)%10),
+					QName:    fmt.Sprintf("www.dom%d.com", i),
+					Answers:  []string{fmt.Sprintf("198.51.100.%d", (i+m)%8)},
+				})
+			}
+		}
+	}
+	if err := det.BuildModel(); err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	return det
+}
+
+func backendLabels(t *testing.T, det *Detector) ([]string, []int) {
+	t.Helper()
+	domains, err := det.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, len(domains))
+	for i := range domains {
+		labels[i] = i % 2
+	}
+	return domains, labels
+}
+
+// TestRegisterDuplicatePanics: silently replacing a registered backend
+// would change what fingerprints and model files mean, so every
+// registry refuses duplicates loudly.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatalf("%s: duplicate registration did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("embedder", func() {
+		RegisterEmbedder(DefaultEmbedder, func(Config) Embedder { return lineEmbedder{} })
+	})
+	mustPanic("classifier", func() {
+		RegisterClassifier(DefaultClassifier,
+			func(Config) DomainClassifier { return &svmClassifier{} },
+			loadLabelprop)
+	})
+	mustPanic("view set", func() {
+		RegisterViewSet(DefaultViewSet, bipartite.Views)
+	})
+	mustPanic("empty embedder", func() { RegisterEmbedder("", nil) })
+}
+
+// TestUnknownBackendErrors: selecting an unregistered name fails fast —
+// at build time for embedders, at training time for classifiers and
+// view sets — with an error that names the available backends.
+func TestUnknownBackendErrors(t *testing.T) {
+	det := NewDetector(Config{
+		Start:    time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		Days:     1,
+		Embedder: "nope",
+	})
+	det.Consume(pipeline.Input{
+		Time:     time.Date(2024, 1, 1, 0, 1, 0, 0, time.UTC),
+		ClientIP: "10.0.0.1", QName: "www.a.com", Answers: []string{"198.51.100.1"},
+	})
+	err := det.BuildModel()
+	if err == nil {
+		t.Fatal("unknown embedder accepted")
+	}
+	for _, want := range []string{`"nope"`, "line", "mf", "available"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("embedder error %q does not mention %s", err, want)
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		cfg  func(*Config)
+		want []string
+	}{
+		{"classifier", func(c *Config) { c.Classifier = "nope" }, []string{`"nope"`, "svm", "labelprop", "ensemble"}},
+		{"views", func(c *Config) { c.Views = "nope" }, []string{`"nope"`, "all", "query+ip"}},
+	} {
+		det := backendDetector(t, "", "", "")
+		cfg := det.cfg
+		tc.cfg(&cfg)
+		det2 := &Detector{cfg: cfg, proc: det.proc, built: true,
+			graphs: det.graphs, projections: det.projections,
+			embeddings: det.embeddings, domains: det.domains, index: det.index}
+		domains, labels := backendLabels(t, det)
+		if _, err := det2.TrainClassifier(domains, labels); err == nil {
+			t.Fatalf("%s: unknown name accepted", tc.name)
+		} else {
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("%s error %q does not mention %s", tc.name, err, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNonDefaultRoundTrip: an mf+labelprop model trains, persists as a
+// version-3 stream, reloads, and scores identically, with the backend
+// names surfaced on both the fingerprint and the Scorer.
+func TestNonDefaultRoundTrip(t *testing.T) {
+	det := backendDetector(t, "mf", "labelprop", "")
+	domains, labels := backendLabels(t, det)
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.Backend() != "labelprop" {
+		t.Fatalf("classifier backend %q, want labelprop", clf.Backend())
+	}
+	if clf.Model() != nil {
+		t.Fatal("labelprop classifier reports an underlying SVM")
+	}
+	fp := det.Config().Fingerprint()
+	for _, want := range []string{"embedder=mf", "classifier=labelprop"} {
+		if !strings.Contains(fp, want) {
+			t.Fatalf("fingerprint %q missing %s", fp, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScorer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.EmbedderName() != "mf" || sc.ClassifierName() != "labelprop" {
+		t.Fatalf("scorer backends %s/%s, want mf/labelprop",
+			sc.EmbedderName(), sc.ClassifierName())
+	}
+	if sc.Model() != nil {
+		t.Fatal("labelprop scorer reports an underlying SVM")
+	}
+	for _, dom := range domains {
+		want, _ := clf.Score(dom)
+		got, ok := sc.Score(dom)
+		if !ok || got != want {
+			t.Fatalf("%s: scorer decision %v, want %v", dom, got, want)
+		}
+	}
+}
+
+// TestEnsembleRoundTrip: the mean ensemble trains both members,
+// persists, reloads, and exposes its SVM member through Model().
+func TestEnsembleRoundTrip(t *testing.T) {
+	det := backendDetector(t, "", "ensemble", "")
+	domains, labels := backendLabels(t, det)
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.Model() == nil {
+		t.Fatal("ensemble did not expose its SVM member")
+	}
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScorer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ClassifierName() != "ensemble" {
+		t.Fatalf("scorer classifier %q, want ensemble", sc.ClassifierName())
+	}
+	for _, dom := range domains {
+		want, _ := clf.Score(dom)
+		if got, ok := sc.Score(dom); !ok || got != want {
+			t.Fatalf("%s: ensemble scorer decision %v, want %v", dom, got, want)
+		}
+	}
+}
+
+// TestLegacyModelReportsDefaultBackends: version-2 files predate
+// backend names; a loaded Scorer must still name line+svm.
+func TestLegacyModelReportsDefaultBackends(t *testing.T) {
+	det := backendDetector(t, "", "", "")
+	domains, labels := backendLabels(t, det)
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScorer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.EmbedderName() != DefaultEmbedder || sc.ClassifierName() != DefaultClassifier {
+		t.Fatalf("default-build scorer backends %s/%s, want %s/%s",
+			sc.EmbedderName(), sc.ClassifierName(), DefaultEmbedder, DefaultClassifier)
+	}
+	if sc.Model() == nil {
+		t.Fatal("svm scorer lost its model accessor")
+	}
+}
+
+// TestNamedViewSetShapesClassifier: Config.Views narrows the feature
+// vectors classifiers train over without touching what gets embedded.
+func TestNamedViewSetShapesClassifier(t *testing.T) {
+	det := backendDetector(t, "", "", "query+ip")
+	domains, labels := backendLabels(t, det)
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantViews := []bipartite.View{bipartite.ViewQuery, bipartite.ViewIP}
+	if len(clf.views) != len(wantViews) {
+		t.Fatalf("classifier has %d views, want %d", len(clf.views), len(wantViews))
+	}
+	for i, v := range wantViews {
+		if clf.views[i] != v {
+			t.Fatalf("view %d is %v, want %v", i, clf.views[i], v)
+		}
+	}
+	if !strings.Contains(det.Config().Fingerprint(), "views=query+ip") {
+		t.Fatalf("fingerprint %q missing views token", det.Config().Fingerprint())
+	}
+	// All three views are still embedded regardless of the selection.
+	for _, v := range bipartite.Views {
+		if _, err := det.Embedding(v); err != nil {
+			t.Fatalf("view %v not embedded: %v", v, err)
+		}
+	}
+}
+
+// TestViewsOrAllReturnsCopy is the aliasing regression test: mutating
+// the slice a Classifier holds (or the helper's return) must not
+// reorder the package-level bipartite.Views.
+func TestViewsOrAllReturnsCopy(t *testing.T) {
+	got := viewsOrAll(nil)
+	if len(got) != len(bipartite.Views) {
+		t.Fatalf("viewsOrAll(nil) has %d views, want %d", len(got), len(bipartite.Views))
+	}
+	orig := append([]bipartite.View(nil), bipartite.Views...)
+	got[0], got[1] = got[1], got[0]
+	for i, v := range bipartite.Views {
+		if v != orig[i] {
+			t.Fatal("mutating viewsOrAll's result reordered the global bipartite.Views")
+		}
+	}
+	// The explicit-argument form must not alias the caller's slice
+	// either.
+	arg := []bipartite.View{bipartite.ViewTime}
+	got = viewsOrAll(arg)
+	got[0] = bipartite.ViewQuery
+	if arg[0] != bipartite.ViewTime {
+		t.Fatal("viewsOrAll aliased its argument")
+	}
+}
+
+// TestRegistryListsSorted: the listing accessors are the CLI's
+// backends output; they must be sorted and include the defaults.
+func TestRegistryListsSorted(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		got  []string
+		want string
+	}{
+		{"embedders", Embedders(), DefaultEmbedder},
+		{"classifiers", Classifiers(), DefaultClassifier},
+		{"view sets", ViewSets(), DefaultViewSet},
+	} {
+		found := false
+		for i, n := range tc.got {
+			if i > 0 && tc.got[i-1] >= n {
+				t.Fatalf("%s not sorted: %v", tc.name, tc.got)
+			}
+			if n == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s missing default %q: %v", tc.name, tc.want, tc.got)
+		}
+	}
+	// ViewSet hands out copies, not the registered slice.
+	a, ok := ViewSet(DefaultViewSet)
+	if !ok {
+		t.Fatal("default view set missing")
+	}
+	a[0], a[1] = a[1], a[0]
+	b, _ := ViewSet(DefaultViewSet)
+	if b[0] != bipartite.Views[0] {
+		t.Fatal("ViewSet returned an aliased slice")
+	}
+}

@@ -1,13 +1,14 @@
 package core
 
 // The Figure-2 build is decomposed into explicit named stages — graph
-// construction, one one-mode projection per view, one LINE embedding per
+// construction, one one-mode projection per view, one embedding per
 // view — executed by a small runner that threads a buildArtifacts struct
 // from stage to stage and records a BuildReport. The decomposition is
 // what the streaming mode's warm-start remodels and the model
 // persistence layer hang off: stages expose their intermediate products
 // (graphs, projections, embeddings) and their costs instead of hiding
-// them inside one monolithic BuildModel body.
+// them inside one monolithic BuildModel body. The embedding stages call
+// whichever Embedder backend Config.Embedder selects from the registry.
 
 import (
 	"fmt"
@@ -15,7 +16,6 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/graph"
-	"repro/internal/line"
 	"repro/internal/obsv"
 )
 
@@ -62,7 +62,10 @@ type buildArtifacts struct {
 	domains     []string
 	index       map[string]int
 	projections map[bipartite.View]*bipartite.Projection
-	embeddings  map[bipartite.View]*line.Embedding
+	embeddings  map[bipartite.View]*Embedding
+	// embedder is the backend resolved once by runBuild, shared by the
+	// per-view embedding stages.
+	embedder Embedder
 }
 
 // buildStage is one named step of the staged build.
@@ -97,9 +100,14 @@ func (d *Detector) buildStages() []buildStage {
 // the shared obsv registry under the same vocabulary the serving
 // daemon exposes.
 func (d *Detector) runBuild(stages []buildStage) (*buildArtifacts, BuildReport, error) {
+	embedder, err := newEmbedder(d.cfg)
+	if err != nil {
+		return nil, BuildReport{}, err
+	}
 	a := &buildArtifacts{
 		projections: make(map[bipartite.View]*bipartite.Projection, len(bipartite.Views)),
-		embeddings:  make(map[bipartite.View]*line.Embedding, len(bipartite.Views)),
+		embeddings:  make(map[bipartite.View]*Embedding, len(bipartite.Views)),
+		embedder:    embedder,
 	}
 	var stageSeconds *obsv.HistogramVec
 	if reg := d.cfg.Metrics; reg != nil {
@@ -170,8 +178,9 @@ func stageProject(view bipartite.View) func(*Detector, *buildArtifacts, *StageRe
 	}
 }
 
-// stageEmbed trains one view's LINE embedding (§5), warm-started from
-// Config.EmbedInit when the hook supplies vectors.
+// stageEmbed trains one view's embedding (§5) through the configured
+// Embedder backend, warm-started from Config.EmbedInit when the hook
+// supplies vectors.
 func stageEmbed(view bipartite.View) func(*Detector, *buildArtifacts, *StageReport) error {
 	return func(d *Detector, a *buildArtifacts, rep *StageReport) error {
 		proj := a.projections[view]
@@ -187,16 +196,15 @@ func stageEmbed(view bipartite.View) func(*Detector, *buildArtifacts, *StageRepo
 		if d.cfg.EmbedInit != nil {
 			init = d.cfg.EmbedInit(view, a.domains)
 		}
-		emb, err := line.Train(g, line.Config{
+		emb, err := a.embedder.Train(g, EmbedSpec{
 			Dim:     d.cfg.EmbedDim,
-			Order:   d.cfg.EmbedOrder,
 			Samples: d.cfg.EmbedSamples,
 			Workers: d.cfg.Workers,
 			Seed:    d.cfg.Seed ^ uint64(view)*0x9e3779b97f4a7c15,
 			Init:    init,
 		})
 		if err != nil {
-			return fmt.Errorf("core: embedding %v view: %w", view, err)
+			return fmt.Errorf("core: embedding %v view with %s: %w", view, a.embedder.Name(), err)
 		}
 		a.embeddings[view] = emb
 		rep.Vertices = len(a.domains)

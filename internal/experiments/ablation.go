@@ -1,0 +1,50 @@
+package experiments
+
+// The backend ablation of the pluggable stage registry: every
+// (embedder, classifier) pairing evaluated with the same Fig-6-style
+// k-fold cross-validation on the same scenario, so MF-DNS-E's
+// matrix-factorization embeddings and HinDom-style label propagation
+// are directly comparable to the paper's LINE+SVM pipeline (and to the
+// mean ensemble over both classifiers). One Env is built per embedder —
+// the expensive part — and every classifier sweeps over its embeddings
+// via TrainClassifierNamed.
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/dnssim"
+)
+
+// AblationCell is one backend pairing's cross-validated outcome.
+type AblationCell struct {
+	Embedder   string
+	Classifier string
+	Result     ClassificationResult
+}
+
+// Name returns the cell's grid label, e.g. "line_svm".
+func (c AblationCell) Name() string { return c.Embedder + "_" + c.Classifier }
+
+// RunAblation cross-validates every embedder × classifier pairing on
+// the scenario, reusing one built Env per embedder. Cells are returned
+// in sweep order (embedders outer, classifiers inner).
+func RunAblation(scfg dnssim.Config, opts Options, embedders, classifiers []string) ([]AblationCell, error) {
+	var cells []AblationCell
+	for _, emb := range embedders {
+		o := opts
+		o.Embedder = emb
+		env, err := Build(scfg, o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s env: %w", emb, err)
+		}
+		for _, clf := range classifiers {
+			res, err := env.classifierCV(emb+"_"+clf, clf, bipartite.Views...)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %s+%s: %w", emb, clf, err)
+			}
+			cells = append(cells, AblationCell{Embedder: emb, Classifier: clf, Result: res})
+		}
+	}
+	return cells, nil
+}

@@ -43,8 +43,15 @@ func (e *Env) Fig7() (map[bipartite.View]ClassificationResult, error) {
 	return out, nil
 }
 
-// embeddingCV cross-validates the SVM on embeddings from the given views.
+// embeddingCV cross-validates the configured classifier on embeddings
+// from the given views.
 func (e *Env) embeddingCV(name string, views ...bipartite.View) (ClassificationResult, error) {
+	return e.classifierCV(name, "", views...)
+}
+
+// classifierCV cross-validates the named classification backend ("" =
+// the configured default) on embeddings from the given views.
+func (e *Env) classifierCV(name, classifier string, views ...bipartite.View) (ClassificationResult, error) {
 	scores, err := eval.CrossValidate(e.Labels, e.Opts.KFolds, e.Opts.Seed^0xf01d5,
 		func(trainIdx []int) (func(int) float64, error) {
 			td := make([]string, len(trainIdx))
@@ -53,7 +60,7 @@ func (e *Env) embeddingCV(name string, views ...bipartite.View) (ClassificationR
 				td[i] = e.Domains[idx]
 				tl[i] = e.Labels[idx]
 			}
-			clf, err := e.Detector.TrainClassifier(td, tl, views...)
+			clf, err := e.Detector.TrainClassifierNamed(classifier, td, tl, views...)
 			if err != nil {
 				return nil, err
 			}

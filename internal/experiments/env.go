@@ -43,6 +43,9 @@ type Options struct {
 	// experiment scale, which keeps graph memory bounded and trims the
 	// weakest coincidental-overlap edges).
 	MinSimilarity float64
+	// Embedder selects the feature-learning backend by registered name
+	// ("" = line), for the backend ablation sweep.
+	Embedder string
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +93,7 @@ func Build(scfg dnssim.Config, opts Options) (*Env, error) {
 		TimeMinSimilarity: 0.015,
 		Workers:           opts.Workers,
 		Seed:              opts.Seed,
+		Embedder:          opts.Embedder,
 	})
 	s.Generate(func(ev dnssim.Event) { det.Consume(pipeline.Input(ev)) })
 	if err := det.BuildModel(); err != nil {

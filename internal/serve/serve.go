@@ -134,6 +134,13 @@ type Server struct {
 	unknown  *obsv.Counter
 	modelDom *obsv.Gauge
 	modelTS  *obsv.Gauge
+	// modelInfo is the maldomain_model_info gauge family: the series
+	// labeled with the served model's backend names is 1, superseded
+	// label combinations drop to 0 on reload. lastInfo remembers the
+	// currently-1 series; install (serialized by reloadMu or startup)
+	// zeroes it before publishing the new one.
+	modelInfo *obsv.GaugeVec
+	lastInfo  *obsv.Gauge
 
 	mScore, mBatch, mReload, mHealth *routeMetrics
 }
@@ -170,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 			"Retained domain count of the currently served model."),
 		modelTS: reg.Gauge("maldomain_model_loaded_timestamp_seconds",
 			"Unix time the current model generation was loaded."),
+		modelInfo: reg.GaugeVec("maldomain_model_info",
+			"Backend identity of the currently served model (1 = serving).",
+			"embedder", "classifier"),
 	}
 	s.mScore = s.newRouteMetrics("/v1/score")
 	s.mBatch = s.newRouteMetrics("/v1/score/batch")
@@ -211,6 +221,11 @@ func (s *Server) install(st *modelState) {
 	s.model.Store(st)
 	s.modelDom.Set(float64(len(st.scorer.Domains())))
 	s.modelTS.Set(float64(st.loadedAt.UnixNano()) / 1e9)
+	if s.lastInfo != nil {
+		s.lastInfo.Set(0)
+	}
+	s.lastInfo = s.modelInfo.With(st.scorer.EmbedderName(), st.scorer.ClassifierName())
+	s.lastInfo.Set(1)
 }
 
 // Reload re-reads the model file and swaps it in atomically. The new
@@ -682,6 +697,8 @@ func (s *Server) writeBatchNDJSON(w http.ResponseWriter, rc *http.ResponseContro
 type ReloadResponse struct {
 	Fingerprint string    `json:"fingerprint"`
 	Domains     int       `json:"domains"`
+	Embedder    string    `json:"embedder"`
+	Classifier  string    `json:"classifier"`
 	LoadedAt    time.Time `json:"loaded_at"`
 }
 
@@ -709,6 +726,8 @@ func (s *Server) handleReload(w http.ResponseWriter) int {
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		Fingerprint: st.scorer.Fingerprint(),
 		Domains:     len(st.scorer.Domains()),
+		Embedder:    st.scorer.EmbedderName(),
+		Classifier:  st.scorer.ClassifierName(),
 		LoadedAt:    st.loadedAt,
 	})
 	return http.StatusOK
@@ -719,6 +738,8 @@ type HealthResponse struct {
 	Status      string    `json:"status"`
 	Domains     int       `json:"domains"`
 	Fingerprint string    `json:"fingerprint"`
+	Embedder    string    `json:"embedder"`
+	Classifier  string    `json:"classifier"`
 	LoadedAt    time.Time `json:"loaded_at"`
 }
 
@@ -733,6 +754,8 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 			Status:      "ok",
 			Domains:     len(st.scorer.Domains()),
 			Fingerprint: st.scorer.Fingerprint(),
+			Embedder:    st.scorer.EmbedderName(),
+			Classifier:  st.scorer.ClassifierName(),
 			LoadedAt:    st.loadedAt,
 		})
 		code = http.StatusOK

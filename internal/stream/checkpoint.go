@@ -29,9 +29,9 @@ import (
 	"time"
 
 	"repro/internal/bipartite"
+	"repro/internal/core"
 	"repro/internal/crcio"
 	"repro/internal/faultio"
-	"repro/internal/line"
 	"repro/internal/pipeline"
 )
 
@@ -367,7 +367,7 @@ func (r *Rolling) restoreWarmState(wire checkpointWire) error {
 		}
 		index[d] = i
 	}
-	embs := make(map[bipartite.View]*line.Embedding, len(bipartite.Views))
+	embs := make(map[bipartite.View]*core.Embedding, len(bipartite.Views))
 	for i, vv := range wire.WarmEmb {
 		if vv.View != bipartite.Views[i] {
 			return fmt.Errorf("%w: warm embedding %d has view %d, want %d", ErrCorruptCheckpoint,
@@ -386,7 +386,7 @@ func (r *Rolling) restoreWarmState(wire checkpointWire) error {
 					vv.View, j, len(vec), vv.Dim)
 			}
 		}
-		embs[vv.View] = &line.Embedding{Dim: vv.Dim, Vectors: vv.Vectors}
+		embs[vv.View] = &core.Embedding{Dim: vv.Dim, Vectors: vv.Vectors}
 	}
 	r.prevIndex, r.prevEmb = index, embs
 	return nil

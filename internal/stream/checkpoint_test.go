@@ -19,7 +19,6 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/dnswire"
 	"repro/internal/faultio"
-	"repro/internal/line"
 	"repro/internal/obsv"
 	"repro/internal/pipeline"
 	"repro/internal/threatintel"
@@ -63,9 +62,9 @@ func tinyRolling(t testing.TB) *Rolling {
 	r.Consume(tinyInput(r.cfg, 1, "10.0.0.1", "evil.beta.net", "203.0.113.9"))
 	r.flagged["evil.beta.net"] = true
 	r.prevIndex = map[string]int{"alpha.com": 0, "beta.net": 1}
-	r.prevEmb = make(map[bipartite.View]*line.Embedding)
+	r.prevEmb = make(map[bipartite.View]*core.Embedding)
 	for vi, v := range bipartite.Views {
-		r.prevEmb[v] = &line.Embedding{Dim: 4, Vectors: [][]float64{
+		r.prevEmb[v] = &core.Embedding{Dim: 4, Vectors: [][]float64{
 			{0.1 * float64(vi+1), 0.2, 0.3, 0.4},
 			{-0.5, 0.6 * float64(vi+1), -0.7, 0.8},
 		}}

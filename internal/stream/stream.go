@@ -28,7 +28,6 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
-	"repro/internal/line"
 	"repro/internal/obsv"
 	"repro/internal/pipeline"
 )
@@ -109,10 +108,11 @@ type Rolling struct {
 	floor int
 
 	// prevIndex and prevEmb hold the last successful remodel's retained
-	// domain index and per-view embeddings; the next remodel seeds LINE
-	// from them for every domain that persists across windows.
+	// domain index and per-view embeddings; the next remodel seeds the
+	// embedder from them for every domain that persists across windows
+	// (through core.Config.EmbedInit, backend-agnostically).
 	prevIndex map[string]int
-	prevEmb   map[bipartite.View]*line.Embedding
+	prevEmb   map[bipartite.View]*core.Embedding
 }
 
 // New returns a Rolling detector.
@@ -238,7 +238,7 @@ func (r *Rolling) rememberModel(det *core.Detector) {
 	for i, d := range domains {
 		index[d] = i
 	}
-	embs := make(map[bipartite.View]*line.Embedding, len(bipartite.Views))
+	embs := make(map[bipartite.View]*core.Embedding, len(bipartite.Views))
 	for _, v := range bipartite.Views {
 		emb, err := det.Embedding(v)
 		if err != nil {

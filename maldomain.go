@@ -92,6 +92,44 @@ var Views = bipartite.Views
 // NewDetector returns a Detector for cfg.
 func NewDetector(cfg Config) *Detector { return core.NewDetector(cfg) }
 
+// Pluggable stage registry (see internal/core/registry.go for the
+// backend contract): embedders, classifiers, and view sets are
+// registered by name and selected through Config.Embedder,
+// Config.Classifier, and Config.Views. The defaults ("line", "svm",
+// "all") reproduce the paper's pipeline byte-identically.
+
+// Embedder learns one view's embedding from its similarity graph.
+type Embedder = core.Embedder
+
+// DomainClassifier scores feature vectors on the malicious/benign axis.
+type DomainClassifier = core.DomainClassifier
+
+// Embedding holds one view's learned vertex representations.
+type Embedding = core.Embedding
+
+// EmbedSpec carries the per-build parameters an Embedder receives.
+type EmbedSpec = core.EmbedSpec
+
+// RegisterEmbedder adds an embedding backend; duplicate names panic.
+func RegisterEmbedder(name string, factory func(Config) Embedder) {
+	core.RegisterEmbedder(name, factory)
+}
+
+// RegisterClassifier adds a classification backend with its persisted-
+// form loader; duplicate names panic.
+func RegisterClassifier(name string, factory func(Config) DomainClassifier, loader func(io.Reader) (DomainClassifier, error)) {
+	core.RegisterClassifier(name, factory, loader)
+}
+
+// RegisterViewSet adds a named view selection; duplicate names panic.
+func RegisterViewSet(name string, views []View) { core.RegisterViewSet(name, views) }
+
+// Embedders, Classifiers, and ViewSets list the registered backend
+// names, sorted.
+func Embedders() []string   { return core.Embedders() }
+func Classifiers() []string { return core.Classifiers() }
+func ViewSets() []string    { return core.ViewSets() }
+
 // LoadScorer reads a model stream written by Detector.SaveModel and
 // returns a serving-only Scorer.
 func LoadScorer(r io.Reader) (*Scorer, error) { return core.LoadScorer(r) }

@@ -26,7 +26,13 @@
 # and folds the socket-level reports into the same JSON via
 # benchjson -merge, writing BENCH_7.json.
 #
-# Usage: scripts/bench.sh [full|short|remodel|serve|loadgen]
+# ablation mode sweeps the pluggable stage registry's backend grid —
+# {line, mf} embedders x {svm, labelprop, ensemble} classifiers — with
+# Fig-6-style k-fold cross-validated AUC per cell (cmd/experiments
+# -ablation) and converts the log into BENCH_8.json, so backend quality
+# regressions are visible next to throughput numbers.
+#
+# Usage: scripts/bench.sh [full|short|remodel|serve|loadgen|ablation]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -98,8 +104,13 @@ loadgen)
         <"$log" >BENCH_7.json
     echo "wrote BENCH_7.json"
     ;;
+ablation)
+    go run ./cmd/experiments -ablation -scale small -seed 1 -kfolds 5 | tee "$log"
+    go run ./cmd/benchjson <"$log" >BENCH_8.json
+    echo "wrote BENCH_8.json"
+    ;;
 *)
-    echo "usage: scripts/bench.sh [full|short|remodel|serve|loadgen]" >&2
+    echo "usage: scripts/bench.sh [full|short|remodel|serve|loadgen|ablation]" >&2
     exit 1
     ;;
 esac

@@ -75,6 +75,24 @@ go build -o "$smokedir/maldetect" ./cmd/maldetect
     >"$smokedir/scores.txt"
 grep -q '^top 5 suspicious domains:' "$smokedir/scores.txt"
 
+echo "==> maldetect pluggable-backend round trip (mf + labelprop)"
+# The registry listing must name every built-in backend, and a
+# non-default selection must train, persist, reload, and score with the
+# backend names surfaced in the fingerprint.
+"$smokedir/maldetect" backends >"$smokedir/backends.txt"
+for name in line mf svm labelprop ensemble all query+ip; do
+    grep -q "^  $name" "$smokedir/backends.txt"
+done
+"$smokedir/maldetect" train -seed 7 \
+    -embedder mf -classifier labelprop \
+    -trace "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv" \
+    -out "$smokedir/model-mf.bin" >"$smokedir/train-mf.txt"
+grep -q 'embedder=mf classifier=labelprop' "$smokedir/train-mf.txt"
+"$smokedir/maldetect" score -model "$smokedir/model-mf.bin" -top 5 \
+    >"$smokedir/scores-mf.txt" 2>"$smokedir/score-mf.log"
+grep -q '^top 5 suspicious domains:' "$smokedir/scores-mf.txt"
+grep -q 'backends: embedder=mf classifier=labelprop' "$smokedir/score-mf.log"
+
 echo "==> maldetect serve smoke"
 # Start the daemon on an ephemeral port and parse the bound address
 # from its startup log.
