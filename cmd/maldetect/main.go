@@ -6,7 +6,7 @@
 //	maldetect -trace trace.tsv -truth truth.tsv [-train-frac 0.7] [-seed N] [-top 25]
 //	maldetect train -trace trace.tsv -truth truth.tsv -out model.bin [-dhcp leases.tsv] [-seed N]
 //	maldetect score -model model.bin [-top 25] [domain ...]
-//	maldetect serve -model model.bin [-addr 127.0.0.1:8953] [-max-inflight 256] [-timeout 5s] [-drain 10s] [-max-batch 10000] [-max-body N] [-pprof]
+//	maldetect serve -model model.bin [-addr 127.0.0.1:8953] [-max-inflight 256] [-timeout 5s] [-drain 10s] [-max-batch 10000] [-max-body N] [-foldin-cap N] [-foldin-ttl 15m] [-pprof]
 //	maldetect stream -trace trace.tsv -truth truth.tsv [-window 2] [-dim 16] [-feed alerts.tsv] [-checkpoint stream.ckpt]
 //	maldetect loadgen -url http://127.0.0.1:8953 (-model model.bin | -domains file) [-duration 10s | -n N] [-workers 8] [-qps 0] [-batch 0] [-ndjson] [-json] [-check]
 //
@@ -24,22 +24,28 @@
 // embeddings, classifier, config fingerprint) to -out; score loads such
 // a file and serves decision values for the given domains — or ranks all
 // retained domains when none are given — without rebuilding anything.
+// Explicitly queried domains print the full verdict: score, label,
+// confidence, and source (always "model" from a persisted file).
 // Every model build prints a per-stage report (wall time, vertex/edge/
 // sample counts) to stderr.
 //
 // The serve subcommand runs the scoring daemon (internal/serve) on a
 // persisted model: GET /v1/score/{domain} and POST /v1/score/batch
-// answer scoring queries, SIGHUP or POST /v1/reload hot-swaps the model
-// file without dropping in-flight requests, /healthz and /metrics
-// (Prometheus text) expose operational state, and SIGINT/SIGTERM drain
-// gracefully. The bound address is printed to stderr, so -addr with
-// port 0 works for smoke tests.
+// answer scoring queries, POST /v1/observe accepts fold-in evidence so
+// domains outside the model still get a provisional verdict (-foldin-cap
+// and -foldin-ttl bound the evidence cache), SIGHUP or POST /v1/reload
+// hot-swaps the model file without dropping in-flight requests,
+// /healthz and /metrics (Prometheus text) expose operational state, and
+// SIGINT/SIGTERM drain gracefully. The bound address is printed to
+// stderr, so -addr with port 0 works for smoke tests. docs/api.md is
+// the wire-format reference.
 //
 // The loadgen subcommand (loadgen.go) drives a running daemon with a
 // worker-pool HTTP client — paced or closed-loop, single GETs or
 // batches, optionally over the NDJSON framing — and reports sustained
 // throughput with latency percentiles, as text or in cmd/benchjson's
-// JSON schema.
+// JSON schema. NDJSON runs parse the enriched result lines and tally
+// verdict sources (model vs foldin vs knn) into the report.
 //
 // The stream subcommand runs the crash-safe rolling detector
 // (internal/stream) day by day over the trace, appending alerts to a
@@ -270,16 +276,17 @@ func runScore(args []string) error {
 
 	if fs.NArg() > 0 {
 		for _, d := range fs.Args() {
-			s, ok := sc.Score(d)
+			res, ok := sc.Result(d)
 			if !ok {
 				fmt.Printf("%-36s not in model\n", d)
 				continue
 			}
 			verdict := "benign"
-			if p, _ := sc.Predict(d); p == 1 {
+			if res.Label == 1 {
 				verdict = "malicious"
 			}
-			fmt.Printf("%-36s %10.4f  %s\n", d, s, verdict)
+			fmt.Printf("%-36s %10.4f  %-9s  conf %.2f  %s\n",
+				d, res.Score, verdict, res.Confidence, res.Source)
 		}
 		return nil
 	}
@@ -319,6 +326,8 @@ func runServe(args []string) error {
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		maxBatch    = fs.Int("max-batch", 10000, "max domains per batch request")
 		maxBody     = fs.Int64("max-body", 0, "max batch body bytes (0 derives from -max-batch)")
+		foldinCap   = fs.Int("foldin-cap", 0, "max fold-in cache entries (0 = default 65536)")
+		foldinTTL   = fs.Duration("foldin-ttl", 0, "fold-in evidence lifetime (0 = default 15m)")
 		pprofOn     = fs.Bool("pprof", false, "expose /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -328,14 +337,16 @@ func runServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "maldetect: "+format+"\n", a...)
 	}
 	srv, err := serve.New(serve.Config{
-		ModelPath:      *modelPath,
-		MaxInFlight:    *maxInflight,
-		RequestTimeout: *reqTimeout,
-		DrainTimeout:   *drain,
-		MaxBatch:       *maxBatch,
-		MaxBody:        *maxBody,
-		EnablePprof:    *pprofOn,
-		Logf:           logf,
+		ModelPath:        *modelPath,
+		MaxInFlight:      *maxInflight,
+		RequestTimeout:   *reqTimeout,
+		DrainTimeout:     *drain,
+		MaxBatch:         *maxBatch,
+		MaxBody:          *maxBody,
+		FoldInMaxEntries: *foldinCap,
+		FoldInTTL:        *foldinTTL,
+		EnablePprof:      *pprofOn,
+		Logf:             logf,
 	})
 	if err != nil {
 		return err

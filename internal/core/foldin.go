@@ -1,0 +1,492 @@
+package core
+
+// Fold-in scoring for domains outside the retained set — the "score
+// the unknown" path. A production deployment is asked about domains
+// the training window never retained; until now those lookups ended in
+// ErrUnknownDomain. ScoreObserved instead derives a provisional
+// embedding for an unseen domain from its observed relations to
+// retained neighbors (the standard fold-in construction for
+// LINE/MF-style embeddings: a weighted mean of neighbor vectors per
+// view, which is where SGD would pull a new vertex with those edges),
+// classifies it with the model's own classifier, and cross-checks the
+// verdict with a kNN vote over the retained decision table (cosine
+// similarity in the concatenated feature space). The two signals are
+// folded into a calibrated Confidence:
+//
+//   - classifier and kNN agree  → Source "foldin", the classifier's
+//     score, confidence = coverage · agreement;
+//   - they disagree             → Source "knn", the neighborhood's
+//     weighted mean score, confidence halved (the model is split);
+//   - no usable neighbors       → Source "foldin", classifier only,
+//     confidence halved.
+//
+// coverage is the fraction of the classifier's views with at least one
+// usable relation, agreement the winning label's share of the vote
+// weight; both are in [0,1] so Confidence is too.
+//
+// FoldInCache is the serving-side store for observed relations: a
+// bounded, TTL'd map the daemon's POST /v1/observe writes and the
+// score paths read, with the computed Result cached per model
+// generation so a warm lookup is two map probes and no allocation.
+// Everything here takes explicit time.Time values — this package is
+// //maldlint:deterministic, and eviction order must replay exactly.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bipartite"
+)
+
+// Relation is one observed association between a domain being folded
+// in and a retained neighbor: "these two shared an attribute in view
+// V". The serving layer builds them from /v1/observe bodies, the
+// streaming layer from each window's co-occurrence aggregates.
+type Relation struct {
+	// View is the behavioral view the association was observed in.
+	View bipartite.View
+	// Neighbor is the related domain; relations whose neighbor is not
+	// in the model's retained set are ignored.
+	Neighbor string
+	// Weight is the association strength (e.g. a Jaccard overlap).
+	// Zero or negative weights count as 1.
+	Weight float64
+}
+
+// foldinK is the kNN vote size: how many nearest retained domains
+// (by cosine over the concatenated feature space) check the
+// classifier's fold-in verdict.
+const foldinK = 8
+
+// foldinScratch is ScoreObserved's pooled working state: the sorted
+// relation copy, the provisional feature vector, per-view weight
+// sums, and the kNN top-k arrays.
+type foldinScratch struct {
+	rels []Relation
+	q    []float64
+	wsum []float64
+	nbr  [foldinK]int
+	sim  [foldinK]float64
+}
+
+func (s *Scorer) newFoldinScratch() *foldinScratch {
+	return &foldinScratch{
+		rels: make([]Relation, 0, 16),
+		q:    make([]float64, len(s.views)*s.dim),
+		wsum: make([]float64, len(s.views)),
+	}
+}
+
+// ScoreObserved scores a domain from its observed relations. Retained
+// domains return their exact model Result (bit-identical to Score,
+// Source "model", Confidence 1) regardless of the relations passed.
+// For an unseen domain the relations are folded into a provisional
+// embedding and classified as documented above; when no relation
+// names a retained neighbor in any of the classifier's views there is
+// no evidence to fold in and the zero Result (Known=false, empty
+// Source) is returned.
+//
+// The result is a pure function of (model, domain, relation set):
+// relations are canonicalized by sorting, so permutations of the same
+// set produce bit-identical Results at any worker count.
+func (s *Scorer) ScoreObserved(domain string, relations []Relation) Result {
+	if res, ok := s.Result(domain); ok {
+		return res
+	}
+	if len(relations) == 0 {
+		return Result{}
+	}
+	sc := s.foldinPool.Get().(*foldinScratch)
+	defer s.foldinPool.Put(sc)
+
+	// Canonical relation order: float accumulation is not commutative,
+	// so determinism across callers requires a total order first.
+	rels := append(sc.rels[:0], relations...)
+	sort.Slice(rels, func(i, j int) bool {
+		if rels[i].View != rels[j].View {
+			return rels[i].View < rels[j].View
+		}
+		if rels[i].Neighbor != rels[j].Neighbor {
+			return rels[i].Neighbor < rels[j].Neighbor
+		}
+		return rels[i].Weight < rels[j].Weight
+	})
+	sc.rels = rels
+
+	// Per-view weighted mean of retained neighbor vectors.
+	q := sc.q[:len(s.views)*s.dim]
+	wsum := sc.wsum[:len(s.views)]
+	for i := range q {
+		q[i] = 0
+	}
+	for i := range wsum {
+		wsum[i] = 0
+	}
+	for _, rel := range rels {
+		vi := -1
+		for i, v := range s.views {
+			if v == rel.View {
+				vi = i
+				break
+			}
+		}
+		if vi < 0 {
+			continue
+		}
+		j, ok := s.index[rel.Neighbor]
+		if !ok {
+			continue
+		}
+		w := rel.Weight
+		if w <= 0 {
+			w = 1
+		}
+		vec := s.embeddings[rel.View].Vectors[j]
+		block := q[vi*s.dim : (vi+1)*s.dim]
+		for d, x := range vec {
+			block[d] += w * x
+		}
+		wsum[vi] += w
+	}
+	covered := 0
+	for vi, w := range wsum {
+		if w == 0 {
+			continue
+		}
+		covered++
+		block := q[vi*s.dim : (vi+1)*s.dim]
+		for d := range block {
+			block[d] /= w
+		}
+	}
+	if covered == 0 {
+		return Result{}
+	}
+	coverage := float64(covered) / float64(len(s.views))
+
+	clfScore := s.clf.Decision(q)
+	clfLabel := 0
+	if clfScore > 0 {
+		clfLabel = 1
+	}
+
+	posW, negW, knnScore := s.knnVote(sc, q)
+	totW := posW + negW
+	if totW == 0 {
+		// No usable neighborhood: the classifier stands alone, at half
+		// confidence.
+		return Result{Score: clfScore, Label: clfLabel,
+			Confidence: 0.5 * coverage, Source: SourceFoldin}
+	}
+	knnLabel := 0
+	if posW > negW {
+		knnLabel = 1
+	}
+	agreement := math.Max(posW, negW) / totW
+	if knnLabel == clfLabel {
+		return Result{Score: clfScore, Label: clfLabel,
+			Confidence: coverage * agreement, Source: SourceFoldin}
+	}
+	// The neighborhood outvotes the classifier: report its weighted
+	// mean decision value, at half confidence — the model is split.
+	return Result{Score: knnScore, Label: knnLabel,
+		Confidence: 0.5 * coverage * agreement, Source: SourceKNN}
+}
+
+// knnVote finds the foldinK retained domains nearest to q by cosine
+// similarity and returns the positive and negative label vote weights
+// (each neighbor votes max(cos, 0) for its precomputed label) plus the
+// vote-weighted mean of the neighbors' decision values.
+func (s *Scorer) knnVote(sc *foldinScratch, q []float64) (posW, negW, knnScore float64) {
+	var qsq float64
+	for _, x := range q {
+		qsq += x * x
+	}
+	qNorm := math.Sqrt(qsq)
+	if qNorm == 0 {
+		return 0, 0, 0
+	}
+	// Fixed-size descending top-k by insertion; ties keep the earlier
+	// (lower-index) domain, so the selection is deterministic.
+	n := 0
+	for j := range s.domains {
+		fn := s.featNorm[j]
+		if fn == 0 {
+			continue
+		}
+		var dot float64
+		for vi, v := range s.views {
+			vec := s.embeddings[v].Vectors[j]
+			block := q[vi*s.dim : (vi+1)*s.dim]
+			for d, x := range vec {
+				dot += x * block[d]
+			}
+		}
+		cos := dot / (qNorm * fn)
+		if n == foldinK && cos <= sc.sim[n-1] {
+			continue
+		}
+		at := n
+		if n < foldinK {
+			n++
+		} else {
+			at = n - 1
+		}
+		for at > 0 && cos > sc.sim[at-1] {
+			sc.sim[at] = sc.sim[at-1]
+			sc.nbr[at] = sc.nbr[at-1]
+			at--
+		}
+		sc.sim[at] = cos
+		sc.nbr[at] = j
+	}
+	var wScore float64
+	for i := 0; i < n; i++ {
+		w := sc.sim[i]
+		if w <= 0 {
+			continue
+		}
+		j := sc.nbr[i]
+		if s.labels[j] == 1 {
+			posW += w
+		} else {
+			negW += w
+		}
+		wScore += w * s.scores[j]
+	}
+	if tot := posW + negW; tot > 0 {
+		knnScore = wScore / tot
+	}
+	return posW, negW, knnScore
+}
+
+// ---- the serving-side relation cache ----
+
+// FoldInConfig parameterizes a FoldInCache; the zero value is usable.
+type FoldInConfig struct {
+	// MaxEntries bounds the number of domains with buffered relations;
+	// beyond it the earliest-observed entries are evicted (default
+	// 65536).
+	MaxEntries int
+	// TTL is how long after its last observation an entry remains
+	// scorable (default 15m). Expired entries are treated as absent
+	// and reclaimed opportunistically.
+	TTL time.Duration
+}
+
+func (c FoldInConfig) withDefaults() FoldInConfig {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 1 << 16
+	}
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Minute
+	}
+	return c
+}
+
+// maxFoldinRelations bounds the merged relation set per cached domain;
+// further relations for already-saturated entries are dropped, keeping
+// the per-entry memory bounded against adversarial observers.
+const maxFoldinRelations = 256
+
+// foldinEntry is one domain's buffered evidence plus the last computed
+// Result, cached per model generation (resScorer identifies it; a
+// reload or new relations invalidate lazily).
+type foldinEntry struct {
+	rels []Relation
+	seen time.Time
+	seq  uint64
+
+	res       Result
+	resScorer *Scorer
+}
+
+type foldinQueued struct {
+	domain string
+	seq    uint64
+}
+
+// FoldInCache buffers observed relations for domains outside the
+// model and serves fold-in Results over them. It is bounded
+// (FIFO-by-observation eviction), TTL'd, and safe for concurrent use;
+// all methods take the current time explicitly so behavior is a pure
+// function of the call sequence (this package is deterministic — no
+// wall-clock reads).
+type FoldInCache struct {
+	mu      sync.RWMutex
+	cfg     FoldInConfig
+	entries map[string]*foldinEntry
+	queue   []foldinQueued
+	seq     uint64
+}
+
+// NewFoldInCache returns an empty cache under cfg's bounds.
+func NewFoldInCache(cfg FoldInConfig) *FoldInCache {
+	return &FoldInCache{
+		cfg:     cfg.withDefaults(),
+		entries: make(map[string]*foldinEntry),
+	}
+}
+
+// Observe merges relations into domain's entry (same-view same-neighbor
+// relations replace the buffered weight) and refreshes its TTL. It
+// returns how many other entries were dropped to make room: evicted
+// counts capacity evictions (earliest observation first), expired
+// counts entries whose TTL had already lapsed. Relations are copied;
+// the caller keeps ownership of rels.
+func (c *FoldInCache) Observe(domain string, rels []Relation, now time.Time) (evicted, expired int) {
+	if domain == "" || len(rels) == 0 {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[domain]
+	if e == nil {
+		e = &foldinEntry{rels: make([]Relation, 0, len(rels))}
+		c.entries[domain] = e
+	}
+	for _, rel := range rels {
+		merged := false
+		for i := range e.rels {
+			if e.rels[i].View == rel.View && e.rels[i].Neighbor == rel.Neighbor {
+				e.rels[i].Weight = rel.Weight
+				merged = true
+				break
+			}
+		}
+		if !merged && len(e.rels) < maxFoldinRelations {
+			e.rels = append(e.rels, rel)
+		}
+	}
+	e.seen = now
+	c.seq++
+	e.seq = c.seq
+	e.resScorer = nil // new evidence invalidates the cached verdict
+	c.queue = append(c.queue, foldinQueued{domain: domain, seq: e.seq})
+	return c.reclaim(now)
+}
+
+// reclaim drops expired and over-capacity entries, earliest
+// observation first. Caller holds mu.
+func (c *FoldInCache) reclaim(now time.Time) (evicted, expired int) {
+	for len(c.queue) > 0 {
+		head := c.queue[0]
+		e := c.entries[head.domain]
+		if e == nil || e.seq != head.seq {
+			// Stale queue record: the entry was re-observed (a newer
+			// record exists further back) or already removed.
+			c.queue = c.queue[1:]
+			continue
+		}
+		if now.Sub(e.seen) > c.cfg.TTL {
+			delete(c.entries, head.domain)
+			c.queue = c.queue[1:]
+			expired++
+			continue
+		}
+		if len(c.entries) <= c.cfg.MaxEntries {
+			break
+		}
+		delete(c.entries, head.domain)
+		c.queue = c.queue[1:]
+		evicted++
+	}
+	// Re-observations leave stale records behind the head; compact
+	// before they can outgrow the entry bound by more than a constant
+	// factor.
+	if len(c.queue) > 2*len(c.entries)+1024 {
+		live := c.queue[:0]
+		for _, rec := range c.queue {
+			if e := c.entries[rec.domain]; e != nil && e.seq == rec.seq {
+				live = append(live, rec)
+			}
+		}
+		c.queue = live
+	}
+	return evicted, expired
+}
+
+// Sweep removes every entry whose TTL has lapsed at now and returns
+// how many were dropped.
+func (c *FoldInCache) Sweep(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var stale []string
+	for d, e := range c.entries {
+		if now.Sub(e.seen) > c.cfg.TTL {
+			stale = append(stale, d)
+		}
+	}
+	sort.Strings(stale)
+	for _, d := range stale {
+		delete(c.entries, d)
+	}
+	return len(stale)
+}
+
+// Len reports the live entry count.
+func (c *FoldInCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Score serves a fold-in Result for domain from its buffered
+// relations, or ok=false when the cache holds no live evidence (never
+// observed, expired, or the relations named no retained neighbor).
+// The Result is cached per (entry, scorer) generation, so repeated
+// lookups against the same model are two map probes with no
+// allocation; a model reload or new observations recompute lazily.
+//
+//alloccheck:hot
+func (c *FoldInCache) Score(s *Scorer, domain string, now time.Time) (Result, bool) {
+	c.mu.RLock()
+	e := c.entries[domain]
+	if e == nil || now.Sub(e.seen) > c.cfg.TTL {
+		c.mu.RUnlock()
+		return Result{}, false
+	}
+	if e.resScorer == s {
+		res := e.res
+		c.mu.RUnlock()
+		return res, res.Source != ""
+	}
+	c.mu.RUnlock()
+	return c.scoreSlow(s, domain, now)
+}
+
+// scoreSlow recomputes and caches the entry's Result under the write
+// lock. Kept out of Score so the warm path stays allocation-free
+// under the escape-analysis gate.
+func (c *FoldInCache) scoreSlow(s *Scorer, domain string, now time.Time) (Result, bool) {
+	c.mu.Lock()
+	e := c.entries[domain]
+	if e == nil || now.Sub(e.seen) > c.cfg.TTL {
+		c.mu.Unlock()
+		return Result{}, false
+	}
+	if e.resScorer == s {
+		res := e.res
+		c.mu.Unlock()
+		return res, res.Source != ""
+	}
+	rels := append([]Relation(nil), e.rels...)
+	c.mu.Unlock()
+
+	// Fold in outside the lock: ScoreObserved can scan the whole
+	// decision table, and concurrent scores of other domains must not
+	// serialize behind it. Racing recomputes of one domain produce
+	// identical Results (ScoreObserved is deterministic), so last-
+	// writer-wins is safe.
+	res := s.ScoreObserved(domain, rels)
+
+	c.mu.Lock()
+	if e2 := c.entries[domain]; e2 != nil {
+		e2.res = res
+		e2.resScorer = s
+	}
+	c.mu.Unlock()
+	return res, res.Source != ""
+}

@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/crcio"
@@ -188,6 +190,14 @@ type Scorer struct {
 	// like domains.
 	scores []float64
 	labels []int8
+
+	// featNorm is the L2 norm of each retained domain's feature vector
+	// over the classifier's views, precomputed for the fold-in kNN's
+	// cosine similarities (foldin.go).
+	featNorm []float64
+
+	// foldinPool recycles ScoreObserved's scratch space (foldin.go).
+	foldinPool sync.Pool
 }
 
 // LoadScorer reads a model written by SaveModel. Corrupt, truncated, or
@@ -287,6 +297,7 @@ func LoadScorer(r io.Reader) (*Scorer, error) {
 func (s *Scorer) precompute() {
 	s.scores = make([]float64, len(s.domains))
 	s.labels = make([]int8, len(s.domains))
+	s.featNorm = make([]float64, len(s.domains))
 	buf := make([]float64, 0, len(s.views)*s.dim)
 	for i := range s.domains {
 		buf = s.appendFeaturesAt(buf[:0], i, s.views)
@@ -295,7 +306,13 @@ func (s *Scorer) precompute() {
 		if sc > 0 {
 			s.labels[i] = 1
 		}
+		var sq float64
+		for _, x := range buf {
+			sq += x * x
+		}
+		s.featNorm[i] = math.Sqrt(sq)
 	}
+	s.foldinPool.New = func() any { return s.newFoldinScratch() }
 }
 
 // appendFeaturesAt appends the feature vector of the i-th retained
@@ -403,17 +420,43 @@ func (s *Scorer) Result(domain string) (Result, bool) {
 	if !ok {
 		return Result{}, false
 	}
-	return Result{Score: s.scores[i], Label: int(s.labels[i]), Known: true}, true
+	return Result{Score: s.scores[i], Label: int(s.labels[i]), Known: true,
+		Confidence: 1, Source: SourceModel}, true
 }
 
+// Scoring sources: how a Result's verdict was produced. The serving
+// layer surfaces them verbatim in the v1 API's "source" field.
+const (
+	// SourceModel marks a retained domain scored from the precomputed
+	// decision table — the exact model verdict.
+	SourceModel = "model"
+	// SourceFoldin marks an unseen domain scored by classifying its
+	// folded-in provisional embedding (ScoreObserved), with the kNN
+	// vote agreeing or abstaining.
+	SourceFoldin = "foldin"
+	// SourceKNN marks an unseen domain whose kNN-over-embeddings vote
+	// overrode a disagreeing classifier verdict.
+	SourceKNN = "knn"
+)
+
 // Result is one domain's scoring outcome in a batch or error-form
-// lookup: the SVM decision value, the thresholded label (1 =
-// malicious), and whether the domain was in the retained set at all.
-// Known=false zero-values the other fields.
+// lookup: the decision value, the thresholded label (1 = malicious),
+// and whether the domain was in the retained set at all. Known=false
+// zero-values the other fields — unless the result came from
+// ScoreObserved, which scores domains outside the model (Known stays
+// false, Source and Confidence report how and how surely).
 type Result struct {
 	Score float64
 	Label int
 	Known bool
+	// Confidence calibrates the verdict into [0,1]: 1 for retained
+	// domains (the score is the model's exact output), and for fold-in
+	// results the product of relation coverage across views and the
+	// kNN neighborhood's label agreement (see foldin.go).
+	Confidence float64
+	// Source is one of SourceModel, SourceFoldin, SourceKNN; empty for
+	// a Known=false result with no fold-in evidence.
+	Source string
 }
 
 // ScoreBatch scores many domains in one call, returning one Result per
@@ -439,7 +482,8 @@ func (s *Scorer) ScoreBatchInto(dst []Result, domains []string) []Result {
 			dst = append(dst, Result{})
 			continue
 		}
-		dst = append(dst, Result{Score: s.scores[i], Label: int(s.labels[i]), Known: true})
+		dst = append(dst, Result{Score: s.scores[i], Label: int(s.labels[i]), Known: true,
+			Confidence: 1, Source: SourceModel})
 	}
 	return dst
 }

@@ -97,6 +97,14 @@ type Report struct {
 	Domains  uint64        `json:"domains"` // domains scored across all OK responses
 	Elapsed  time.Duration `json:"elapsed_ns"`
 
+	// Verdict-source tallies, collected in NDJSON mode where the
+	// result lines are parsed: how many scored domains were answered
+	// from the model's decision table versus the fold-in/kNN fallback.
+	// Model+Foldin+KNN ≤ Domains; the gap is no-evidence entries.
+	Model  uint64 `json:"source_model,omitempty"`
+	Foldin uint64 `json:"source_foldin,omitempty"`
+	KNN    uint64 `json:"source_knn,omitempty"`
+
 	P50, P90, P99 time.Duration `json:"-"`
 
 	ReqPerSec     float64 `json:"req_per_sec"`
@@ -112,6 +120,9 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "loadgen: %d requests in %v (%.1f req/s, %.1f domains/s)\n",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.ReqPerSec, r.DomainsPerSec)
 	fmt.Fprintf(&b, "  ok %d   errors %d   shed %d   retries %d\n", r.OK, r.Errors, r.Shed, r.Retries)
+	if r.Model+r.Foldin+r.KNN > 0 {
+		fmt.Fprintf(&b, "  sources: model %d   foldin %d   knn %d\n", r.Model, r.Foldin, r.KNN)
+	}
 	fmt.Fprintf(&b, "  latency p50 %v  p90 %v  p99 %v",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 	if r.FirstError != "" {
@@ -150,6 +161,12 @@ func (r Report) BenchJSON(name string) ([]byte, error) {
 				"shed":        float64(r.Shed),
 			},
 		},
+	}
+	if r.Model+r.Foldin+r.KNN > 0 {
+		m := doc[name].Metrics
+		m["source_model"] = float64(r.Model)
+		m["source_foldin"] = float64(r.Foldin)
+		m["source_knn"] = float64(r.KNN)
 	}
 	return json.MarshalIndent(doc, "", "  ")
 }
@@ -245,6 +262,7 @@ type loader struct {
 	budget  atomic.Int64 // remaining requests when limited
 
 	ok, errs, shed, retries, domains atomic.Uint64
+	srcModel, srcFoldin, srcKNN      atomic.Uint64
 
 	errOnce  sync.Once
 	firstErr atomic.Pointer[string]
@@ -319,6 +337,9 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		Shed:    l.shed.Load(),
 		Retries: l.retries.Load(),
 		Domains: l.domains.Load(),
+		Model:   l.srcModel.Load(),
+		Foldin:  l.srcFoldin.Load(),
+		KNN:     l.srcKNN.Load(),
 		Elapsed: elapsed,
 		P50:     time.Duration(l.hist.Quantile(0.50) * float64(time.Second)),
 		P90:     time.Duration(l.hist.Quantile(0.90) * float64(time.Second)),
@@ -456,11 +477,14 @@ func (l *loader) attempt(ctx context.Context, seq uint64, ndbuf []byte) (uint64,
 		return 0, resp.StatusCode, nil
 	}
 	if l.cfg.NDJSON && l.bodies != nil {
-		n, err := serve.CountNDJSON(resp.Body, ndbuf)
+		tally, err := serve.TallyNDJSON(resp.Body, ndbuf)
 		if err != nil {
 			return 0, resp.StatusCode, fmt.Errorf("malformed NDJSON response: %w", err)
 		}
-		return uint64(n), resp.StatusCode, nil
+		l.srcModel.Add(uint64(tally.Model))
+		l.srcFoldin.Add(uint64(tally.Foldin))
+		l.srcKNN.Add(uint64(tally.KNN))
+		return uint64(tally.Results), resp.StatusCode, nil
 	}
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		return 0, resp.StatusCode, err

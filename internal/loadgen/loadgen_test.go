@@ -54,7 +54,8 @@ func TestRunCounts(t *testing.T) {
 
 // TestBatchNDJSON drives the batch+NDJSON path against a handler that
 // decodes the batch body and streams a well-formed NDJSON response;
-// Domains must come from counting the streamed lines.
+// Domains must come from counting the streamed lines, and the verdict
+// sources on the enriched lines must land in the report's tallies.
 func TestBatchNDJSON(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/score/batch" {
@@ -69,8 +70,17 @@ func TestBatchNDJSON(t *testing.T) {
 		}
 		w.Header().Set("Content-Type", serve.NDJSONContentType)
 		fmt.Fprintln(w, `{"fingerprint":"test"}`)
-		for _, d := range req.Domains {
-			fmt.Fprintf(w, `{"domain":%q,"score":0.5,"label":1,"known":true}`+"\n", d)
+		for i, d := range req.Domains {
+			switch i {
+			case 0:
+				fmt.Fprintf(w, `{"domain":%q,"score":0.5,"label":1,"known":false,"confidence":0.4,"source":"foldin"}`+"\n", d)
+			case 1:
+				fmt.Fprintf(w, `{"domain":%q,"score":0.5,"label":1,"known":false,"confidence":0.3,"source":"knn"}`+"\n", d)
+			case 2:
+				fmt.Fprintf(w, `{"domain":%q,"score":0,"label":0,"known":false,"confidence":0}`+"\n", d)
+			default:
+				fmt.Fprintf(w, `{"domain":%q,"score":0.5,"label":1,"known":true,"confidence":1,"source":"model"}`+"\n", d)
+			}
 		}
 	}))
 	defer srv.Close()
@@ -90,6 +100,10 @@ func TestBatchNDJSON(t *testing.T) {
 	}
 	if rep.Domains != 80 {
 		t.Fatalf("domains = %d, want 80 (10 batches × 8 streamed lines)", rep.Domains)
+	}
+	if rep.Model != 50 || rep.Foldin != 10 || rep.KNN != 10 {
+		t.Fatalf("source tallies model/foldin/knn = %d/%d/%d, want 50/10/10",
+			rep.Model, rep.Foldin, rep.KNN)
 	}
 }
 

@@ -153,6 +153,46 @@ func BenchmarkServeBatchLarge(b *testing.B) {
 	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "domains/sec")
 }
 
+// BenchmarkServeFoldinScore measures the unknown-domain fold-in path
+// through the full stack after the cache is warm: routing, gate, the
+// decision-table miss, the fold-in cache hit, and the enriched
+// encoding. BENCH_9's ≤2 allocs/op acceptance gate reads this
+// benchmark.
+func BenchmarkServeFoldinScore(b *testing.B) {
+	s := benchServer(b)
+	neighbors := s.Scorer().Domains()
+	const unseen = "bench-foldin.example"
+	body, err := json.Marshal(ObserveRequest{Domain: unseen, Relations: []ObserveRelation{
+		{View: "query", Neighbor: neighbors[0], Weight: 2},
+		{View: "ip", Neighbor: neighbors[1], Weight: 1},
+		{View: "time", Neighbor: neighbors[2], Weight: 1},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := newBenchWriter()
+	s.ServeHTTP(w, httptest.NewRequest("POST", "/v1/observe", bytes.NewReader(body)))
+	if w.code != http.StatusOK {
+		b.Fatalf("observe status %d", w.code)
+	}
+	req := httptest.NewRequest("GET", "/v1/score/"+unseen, nil)
+	w.reset()
+	s.ServeHTTP(w, req) // warm the per-scorer result cache
+	if w.code != http.StatusOK {
+		b.Fatalf("warmup status %d", w.code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		s.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("status %d", w.code)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
 // BenchmarkServeBatchNDJSON measures the same MaxBatch-sized batch
 // through the streamed NDJSON framing, isolating the cost of
 // chunked encoding against the buffered document above.

@@ -2,7 +2,7 @@ package serve
 
 // Manual JSON encoding for the scoring hot path. The response shapes
 // the daemon serves per request are tiny and fixed (ScoreResponse,
-// BatchResponse, the {"error": ...} envelope), yet encoding/json
+// BatchResponse, the ErrorBody envelope), yet encoding/json
 // costs dozens of heap allocations per call: the encoder machinery,
 // reflection state, and intermediate buffers dominated the serve
 // profile (BENCH_4: 42 allocs and 7.9 KB per single score). This file
@@ -148,19 +148,7 @@ func appendJSONFloat(dst []byte, f float64) []byte {
 
 // appendScoreResponse appends the ScoreResponse JSON document,
 // including the trailing newline json.Encoder.Encode wrote.
-func appendScoreResponse(dst []byte, domain string, score float64, label int) []byte {
-	dst = append(dst, `{"domain":`...)
-	dst = appendJSONString(dst, domain)
-	dst = append(dst, `,"score":`...)
-	dst = appendJSONFloat(dst, score)
-	dst = append(dst, `,"label":`...)
-	dst = strconv.AppendInt(dst, int64(label), 10)
-	return append(dst, '}', '\n')
-}
-
-// appendBatchResult appends one BatchResult object (no newline; the
-// caller places it inside an array or an NDJSON line).
-func appendBatchResult(dst []byte, domain string, score float64, label int, known bool) []byte {
+func appendScoreResponse(dst []byte, domain string, score float64, label int, known bool, confidence float64, source string) []byte {
 	dst = append(dst, `{"domain":`...)
 	dst = appendJSONString(dst, domain)
 	dst = append(dst, `,"score":`...)
@@ -168,20 +156,58 @@ func appendBatchResult(dst []byte, domain string, score float64, label int, know
 	dst = append(dst, `,"label":`...)
 	dst = strconv.AppendInt(dst, int64(label), 10)
 	if known {
-		dst = append(dst, `,"known":true}`...)
+		dst = append(dst, `,"known":true`...)
 	} else {
-		dst = append(dst, `,"known":false}`...)
+		dst = append(dst, `,"known":false`...)
 	}
-	return dst
+	dst = append(dst, `,"confidence":`...)
+	dst = appendJSONFloat(dst, confidence)
+	dst = append(dst, `,"source":`...)
+	dst = appendJSONString(dst, source)
+	return append(dst, '}', '\n')
 }
 
-// appendErrorBody appends the {"error": msg} envelope every non-2xx
-// scoring response carries, newline-terminated like its encoding/json
-// predecessor.
-func appendErrorBody(dst []byte, msg string) []byte {
-	dst = append(dst, `{"error":`...)
+// appendBatchResult appends one BatchResult object (no newline; the
+// caller places it inside an array or an NDJSON line). An empty source
+// is omitted, matching the struct's omitempty tag.
+func appendBatchResult(dst []byte, domain string, score float64, label int, known bool, confidence float64, source string) []byte {
+	dst = append(dst, `{"domain":`...)
+	dst = appendJSONString(dst, domain)
+	dst = append(dst, `,"score":`...)
+	dst = appendJSONFloat(dst, score)
+	dst = append(dst, `,"label":`...)
+	dst = strconv.AppendInt(dst, int64(label), 10)
+	if known {
+		dst = append(dst, `,"known":true`...)
+	} else {
+		dst = append(dst, `,"known":false`...)
+	}
+	dst = append(dst, `,"confidence":`...)
+	dst = appendJSONFloat(dst, confidence)
+	if source != "" {
+		dst = append(dst, `,"source":`...)
+		dst = appendJSONString(dst, source)
+	}
+	return append(dst, '}')
+}
+
+// appendErrorEnvelope appends the structured error body every non-2xx
+// /v1 response carries, newline-terminated like json.Encoder.Encode:
+//
+//	{"error":{"code":"...","message":"...","retry_after_ms":N}}
+//
+// retry_after_ms is omitted when zero, matching ErrorDetail's
+// omitempty tag.
+func appendErrorEnvelope(dst []byte, code, msg string, retryAfterMS int64) []byte {
+	dst = append(dst, `{"error":{"code":`...)
+	dst = appendJSONString(dst, code)
+	dst = append(dst, `,"message":`...)
 	dst = appendJSONString(dst, msg)
-	return append(dst, '}', '\n')
+	if retryAfterMS != 0 {
+		dst = append(dst, `,"retry_after_ms":`...)
+		dst = strconv.AppendInt(dst, retryAfterMS, 10)
+	}
+	return append(dst, '}', '}', '\n')
 }
 
 // statusText returns the ASCII form of the HTTP status codes the

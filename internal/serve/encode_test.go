@@ -61,30 +61,45 @@ func encodeRef(t *testing.T, v any) []byte {
 // hand-encodes and the full nasty-input matrix. This test is the
 // license for encode.go to exist.
 func TestManualEncodingEquivalence(t *testing.T) {
+	sources := []string{"", "model", "foldin", "knn"}
 	for _, s := range nastyStrings {
 		for _, f := range nastyFloats {
 			for _, label := range []int{0, 1, -1} {
-				want := encodeRef(t, ScoreResponse{Domain: s, Score: f, Label: label})
-				got := appendScoreResponse(nil, s, f, label)
-				if !bytes.Equal(got, want) {
-					t.Fatalf("ScoreResponse(%q, %v, %d):\n got %s\nwant %s", s, f, label, got, want)
-				}
 				for _, known := range []bool{true, false} {
-					wantBR, err := json.Marshal(BatchResult{Domain: s, Score: f, Label: label, Known: known})
-					if err != nil {
-						t.Fatal(err)
-					}
-					gotBR := appendBatchResult(nil, s, f, label, known)
-					if !bytes.Equal(gotBR, wantBR) {
-						t.Fatalf("BatchResult(%q, %v, %d, %v):\n got %s\nwant %s", s, f, label, known, gotBR, wantBR)
+					for _, src := range sources {
+						want := encodeRef(t, ScoreResponse{
+							Domain: s, Score: f, Label: label,
+							Known: known, Confidence: f, Source: src,
+						})
+						got := appendScoreResponse(nil, s, f, label, known, f, src)
+						if !bytes.Equal(got, want) {
+							t.Fatalf("ScoreResponse(%q, %v, %d, %v, %q):\n got %s\nwant %s",
+								s, f, label, known, src, got, want)
+						}
+						wantBR, err := json.Marshal(BatchResult{
+							Domain: s, Score: f, Label: label,
+							Known: known, Confidence: f, Source: src,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotBR := appendBatchResult(nil, s, f, label, known, f, src)
+						if !bytes.Equal(gotBR, wantBR) {
+							t.Fatalf("BatchResult(%q, %v, %d, %v, %q):\n got %s\nwant %s",
+								s, f, label, known, src, gotBR, wantBR)
+						}
 					}
 				}
 			}
 		}
-		wantErr := encodeRef(t, map[string]string{"error": s})
-		gotErr := appendErrorBody(nil, s)
-		if !bytes.Equal(gotErr, wantErr) {
-			t.Fatalf("error body(%q):\n got %s\nwant %s", s, gotErr, wantErr)
+		for _, retry := range []int64{0, 1000} {
+			wantErr := encodeRef(t, ErrorBody{Error: ErrorDetail{
+				Code: "bad_request", Message: s, RetryAfterMS: retry,
+			}})
+			gotErr := appendErrorEnvelope(nil, "bad_request", s, retry)
+			if !bytes.Equal(gotErr, wantErr) {
+				t.Fatalf("error envelope(%q, retry=%d):\n got %s\nwant %s", s, retry, gotErr, wantErr)
+			}
 		}
 	}
 }
@@ -109,7 +124,10 @@ func TestServedEncodingEquivalence(t *testing.T) {
 	}
 	score, _ := scorerA.Score(domains[0])
 	label, _ := scorerA.Predict(domains[0])
-	want := encodeRef(t, ScoreResponse{Domain: domains[0], Score: score, Label: label})
+	want := encodeRef(t, ScoreResponse{
+		Domain: domains[0], Score: score, Label: label,
+		Known: true, Confidence: 1, Source: "model",
+	})
 	if got := rec.Body.Bytes(); !bytes.Equal(got, want) {
 		t.Fatalf("score body:\n got %s\nwant %s", got, want)
 	}
@@ -122,7 +140,9 @@ func TestServedEncodingEquivalence(t *testing.T) {
 		t.Fatalf("status %d", rec.Code)
 	}
 	_, lookupErr := scorerA.Lookup("not-here.example")
-	want = encodeRef(t, map[string]string{"error": lookupErr.Error()})
+	want = encodeRef(t, ErrorBody{Error: ErrorDetail{
+		Code: "unknown_domain", Message: lookupErr.Error(),
+	}})
 	if got := rec.Body.Bytes(); !bytes.Equal(got, want) {
 		t.Fatalf("404 body:\n got %s\nwant %s", got, want)
 	}
@@ -137,7 +157,10 @@ func TestServedEncodingEquivalence(t *testing.T) {
 	}
 	results := make([]BatchResult, 0, len(queries))
 	for _, r := range scorerA.ScoreBatch(queries) {
-		results = append(results, BatchResult{Score: r.Score, Label: r.Label, Known: r.Known})
+		results = append(results, BatchResult{
+			Score: r.Score, Label: r.Label, Known: r.Known,
+			Confidence: r.Confidence, Source: r.Source,
+		})
 	}
 	for i := range results {
 		results[i].Domain = queries[i]

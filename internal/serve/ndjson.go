@@ -6,8 +6,9 @@ package serve
 // document, a newline-delimited stream:
 //
 //	{"fingerprint":"..."}                         ← header line
-//	{"domain":"a.com","score":1.5,"label":1,"known":true}
-//	{"domain":"b.org","score":0,"label":0,"known":false}
+//	{"domain":"a.com","score":1.5,"label":1,"known":true,"confidence":1,"source":"model"}
+//	{"domain":"b.org","score":0.2,"label":0,"known":false,"confidence":0.41,"source":"foldin"}
+//	{"domain":"c.net","score":0,"label":0,"known":false,"confidence":0}
 //	...one line per requested domain, in request order
 //
 // Each line is a self-contained JSON document (the result lines are
@@ -20,6 +21,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -80,6 +82,71 @@ func DecodeNDJSON(r io.Reader) (NDJSONHeader, []BatchResult, error) {
 		return hdr, results, fmt.Errorf("%w: %v", ErrNDJSONSyntax, err)
 	}
 	return hdr, results, nil
+}
+
+// NDJSONTally is what TallyNDJSON measured over one stream: the result
+// line count, split by verdict source. Results ≥ Model+Foldin+KNN;
+// the difference is no-evidence lines, whose source field is omitted.
+type NDJSONTally struct {
+	Results int
+	Model   int
+	Foldin  int
+	KNN     int
+}
+
+// sourceTokens are the wire encodings of the source field, one per
+// core.Source* constant. Result lines are emitted by the manual
+// encoder, so the token appears verbatim when the source is set.
+var sourceTokens = [...]struct {
+	token []byte
+	add   func(*NDJSONTally)
+}{
+	{[]byte(`"source":"model"`), func(t *NDJSONTally) { t.Model++ }},
+	{[]byte(`"source":"foldin"`), func(t *NDJSONTally) { t.Foldin++ }},
+	{[]byte(`"source":"knn"`), func(t *NDJSONTally) { t.KNN++ }},
+}
+
+// TallyNDJSON streams through an NDJSON batch response counting result
+// lines and their verdict sources without a full JSON decode — the
+// consumption path a load generator uses to report how much of the
+// served traffic was answered from the model versus the fold-in
+// fallback. buf, when non-nil, becomes the line scanner's buffer so a
+// worker can reuse one allocation across responses. The header line is
+// validated; result lines are only token-scanned.
+func TallyNDJSON(r io.Reader, buf []byte) (NDJSONTally, error) {
+	var tally NDJSONTally
+	sc := bufio.NewScanner(r)
+	if buf == nil {
+		buf = make([]byte, 4096)
+	}
+	sc.Buffer(buf, maxNDJSONLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return tally, fmt.Errorf("%w: header: %v", ErrNDJSONSyntax, err)
+		}
+		return tally, fmt.Errorf("%w: empty stream", ErrNDJSONSyntax)
+	}
+	var hdr NDJSONHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return tally, fmt.Errorf("%w: header: %v", ErrNDJSONSyntax, err)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue // tolerate a trailing blank line
+		}
+		tally.Results++
+		for _, st := range sourceTokens {
+			if bytes.Contains(line, st.token) {
+				st.add(&tally)
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return tally, fmt.Errorf("%w: %v", ErrNDJSONSyntax, err)
+	}
+	return tally, nil
 }
 
 // CountNDJSON streams through an NDJSON batch response counting result

@@ -84,6 +84,7 @@ func TestNDJSONLineEquivalence(t *testing.T) {
 	for i, r := range scorerA.ScoreBatch(queries) {
 		wantLine, _ := json.Marshal(BatchResult{
 			Domain: queries[i], Score: r.Score, Label: r.Label, Known: r.Known,
+			Confidence: r.Confidence, Source: r.Source,
 		})
 		if lines[i+1] != string(wantLine) {
 			t.Fatalf("line %d: %q, want %q", i+1, lines[i+1], wantLine)

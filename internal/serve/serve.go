@@ -7,10 +7,20 @@
 //	POST /v1/score/batch     {"domains": [...]} scored in one call;
 //	                         Accept: application/x-ndjson streams the
 //	                         results line by line (see ndjson.go)
+//	POST /v1/observe         feed observed relations for a domain
+//	                         outside the model into the fold-in cache
 //	POST /v1/reload          re-read the model file and swap atomically
 //	GET  /healthz            liveness + loaded-model identity
 //	GET  /metrics            Prometheus text exposition (internal/obsv)
 //	GET  /debug/pprof/...    profiling (when Config.EnablePprof)
+//
+// Domains outside the model are no longer a dead end: when a caller
+// has fed relations for a domain through POST /v1/observe (or a stream
+// pipeline shares its fold-in cache via Config.FoldIn), the scoring
+// routes derive a provisional verdict through core.Scorer.ScoreObserved
+// and return it with known=false, a calibrated confidence, and a
+// source of "foldin" or "knn" instead of a 404. Every non-2xx /v1
+// response carries the structured ErrorBody envelope.
 //
 // The lifecycle is production-shaped. Reload (also triggered by SIGHUP
 // in cmd/maldetect) loads the replacement model fully before swapping
@@ -48,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/obsv"
 )
@@ -76,6 +87,17 @@ type Config struct {
 	// 64 + 260·MaxBatch (a DNS name is at most 255 bytes; quoting and
 	// a comma cost 3 more).
 	MaxBody int64
+	// FoldIn is the fold-in evidence cache consulted for domains
+	// outside the model. Nil creates a private cache sized by
+	// FoldInMaxEntries/FoldInTTL; pass a stream pipeline's cache to
+	// serve its rolling window's evidence through the same endpoints.
+	FoldIn *core.FoldInCache
+	// FoldInMaxEntries bounds the private fold-in cache when FoldIn is
+	// nil (default 65536 domains).
+	FoldInMaxEntries int
+	// FoldInTTL is the private fold-in cache's evidence lifetime when
+	// FoldIn is nil (default 15m).
+	FoldInTTL time.Duration
 	// Metrics receives request instrumentation and backs /metrics. A
 	// private registry is created when nil; pass the registry used for
 	// model builds to expose both vocabularies on one endpoint.
@@ -142,7 +164,20 @@ type Server struct {
 	modelInfo *obsv.GaugeVec
 	lastInfo  *obsv.Gauge
 
-	mScore, mBatch, mReload, mHealth *routeMetrics
+	// foldin is the evidence cache behind POST /v1/observe and the
+	// unknown-domain fallback on every scoring route.
+	foldin        *core.FoldInCache
+	foldinObs     *obsv.Counter
+	foldinEntries *obsv.Gauge
+	foldinEvicted *obsv.Counter
+	foldinExpired *obsv.Counter
+	foldinScores  *obsv.CounterVec // source
+	// scoredFoldin and scoredKNN are foldinScores' two live series,
+	// resolved once so the hot path never builds a label key.
+	scoredFoldin *obsv.Counter
+	scoredKNN    *obsv.Counter
+
+	mScore, mBatch, mObserve, mReload, mHealth *routeMetrics
 }
 
 // New loads the model at cfg.ModelPath and returns a ready Server. A
@@ -180,9 +215,29 @@ func New(cfg Config) (*Server, error) {
 		modelInfo: reg.GaugeVec("maldomain_model_info",
 			"Backend identity of the currently served model (1 = serving).",
 			"embedder", "classifier"),
+		foldinObs: reg.Counter("maldomain_foldin_observations_total",
+			"Observe calls accepted into the fold-in evidence cache."),
+		foldinEntries: reg.Gauge("maldomain_foldin_cache_entries",
+			"Domains currently holding evidence in the fold-in cache."),
+		foldinEvicted: reg.Counter("maldomain_foldin_evictions_total",
+			"Fold-in cache entries evicted by the size bound."),
+		foldinExpired: reg.Counter("maldomain_foldin_expired_total",
+			"Fold-in cache entries dropped by TTL expiry."),
+		foldinScores: reg.CounterVec("maldomain_foldin_scores_total",
+			"Domains scored through the fold-in path, by verdict source.", "source"),
+	}
+	s.scoredFoldin = s.foldinScores.With(core.SourceFoldin)
+	s.scoredKNN = s.foldinScores.With(core.SourceKNN)
+	s.foldin = cfg.FoldIn
+	if s.foldin == nil {
+		s.foldin = core.NewFoldInCache(core.FoldInConfig{
+			MaxEntries: cfg.FoldInMaxEntries,
+			TTL:        cfg.FoldInTTL,
+		})
 	}
 	s.mScore = s.newRouteMetrics("/v1/score")
 	s.mBatch = s.newRouteMetrics("/v1/score/batch")
+	s.mObserve = s.newRouteMetrics("/v1/observe")
 	s.mReload = s.newRouteMetrics("/v1/reload")
 	s.mHealth = s.newRouteMetrics("/healthz")
 	st, err := s.loadModel()
@@ -256,6 +311,11 @@ func (s *Server) Scorer() *core.Scorer {
 	return s.model.Load().scorer
 }
 
+// FoldIn returns the fold-in evidence cache the scoring routes consult
+// for domains outside the model — Config.FoldIn when one was shared,
+// the private cache otherwise.
+func (s *Server) FoldIn() *core.FoldInCache { return s.foldin }
+
 // Handler returns the daemon's full route table, for tests and
 // embedding.
 func (s *Server) Handler() http.Handler { return s }
@@ -308,19 +368,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch path {
+	case "/v1/observe":
+		s.serveObserve(w, r)
 	case "/v1/reload":
 		s.serveReload(w, r)
 	case "/healthz":
 		s.serveHealthz(w, r)
 	case "/metrics":
 		if r.Method != http.MethodGet {
-			methodNotAllowed(w, "GET")
+			s.methodNotAllowed(w, "GET")
 			return
 		}
 		s.metricsH.ServeHTTP(w, r)
 	default:
 		if s.cfg.EnablePprof && strings.HasPrefix(path, "/debug/pprof/") {
 			s.servePprof(w, r)
+			return
+		}
+		if strings.HasPrefix(path, "/v1/") {
+			s.writeError(w, http.StatusNotFound, codeNotFound, "no such route: "+path)
 			return
 		}
 		http.NotFound(w, r)
@@ -396,7 +462,8 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 	default:
 		s.shed.Inc()
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusServiceUnavailable, "server at capacity")
+		s.writeErrorRetry(w, http.StatusServiceUnavailable, codeCapacity,
+			"server at capacity", 1000)
 		return false
 	}
 }
@@ -406,9 +473,10 @@ func (s *Server) release() {
 	<-s.gate
 }
 
-func methodNotAllowed(w http.ResponseWriter, allow string) int {
+func (s *Server) methodNotAllowed(w http.ResponseWriter, allow string) int {
 	w.Header().Set("Allow", allow)
-	http.Error(w, http.StatusText(http.StatusMethodNotAllowed), http.StatusMethodNotAllowed)
+	s.writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+		"method not allowed, use "+allow)
 	return http.StatusMethodNotAllowed
 }
 
@@ -431,11 +499,42 @@ func writeBody(w http.ResponseWriter, code int, ct []string, body []byte) {
 	_, _ = w.Write(body)
 }
 
-// writeError sends the {"error": msg} envelope with the given status.
-func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+// ErrorBody is the envelope every non-2xx /v1 response carries. The
+// shape is part of the wire contract (docs/api.md): code is a stable
+// machine-readable string, message is human-readable detail, and
+// retry_after_ms appears only on 503 shed responses.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the inner object of ErrorBody.
+type ErrorDetail struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// The stable error codes the /v1 routes emit. These strings are wire
+// contract: additive-only within v1.
+const (
+	codeUnknownDomain    = "unknown_domain"
+	codeBadRequest       = "bad_request"
+	codeOverLimit        = "over_batch_limit"
+	codeCapacity         = "capacity"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeNotFound         = "not_found"
+)
+
+// writeError sends the ErrorBody envelope with the given status.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeErrorRetry(w, status, code, msg, 0)
+}
+
+// writeErrorRetry is writeError with a retry_after_ms hint (503 shed).
+func (s *Server) writeErrorRetry(w http.ResponseWriter, status int, code, msg string, retryAfterMS int64) {
 	buf := getBuf()
-	b := appendErrorBody((*buf)[:0], msg)
-	writeBody(w, code, ctJSON, b)
+	b := appendErrorEnvelope((*buf)[:0], code, msg, retryAfterMS)
+	writeBody(w, status, ctJSON, b)
 	*buf = b
 	putBuf(buf)
 }
@@ -453,11 +552,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // ---- scoring handlers ----
 
-// ScoreResponse is the body of GET /v1/score/{domain}.
+// ScoreResponse is the body of GET /v1/score/{domain}. Known reports
+// whether the domain is in the model's decision table; Confidence and
+// Source qualify the verdict (source "model" at confidence 1 for
+// retained domains, "foldin" or "knn" with a calibrated confidence for
+// domains scored from observed relations).
 type ScoreResponse struct {
-	Domain string  `json:"domain"`
-	Score  float64 `json:"score"`
-	Label  int     `json:"label"`
+	Domain     string  `json:"domain"`
+	Score      float64 `json:"score"`
+	Label      int     `json:"label"`
+	Known      bool    `json:"known"`
+	Confidence float64 `json:"confidence"`
+	Source     string  `json:"source"`
 }
 
 // serveScore handles GET /v1/score/{domain}: method check, gate,
@@ -467,11 +573,11 @@ func (s *Server) serveScore(w http.ResponseWriter, r *http.Request, domain strin
 	var code int
 	switch {
 	case r.Method != http.MethodGet:
-		code = methodNotAllowed(w, "GET")
+		code = s.methodNotAllowed(w, "GET")
 	case strings.IndexByte(domain, '/') >= 0:
 		// {domain} is a single path segment; deeper paths are not
 		// routes.
-		http.NotFound(w, r)
+		s.writeError(w, http.StatusNotFound, codeNotFound, "no such route: "+r.URL.Path)
 		code = http.StatusNotFound
 	case !s.admit(w):
 		code = http.StatusServiceUnavailable
@@ -483,23 +589,37 @@ func (s *Server) serveScore(w http.ResponseWriter, r *http.Request, domain strin
 }
 
 // handleScore is the single-domain hot path: one decision-table
-// lookup, one pooled buffer encode, zero steady-state allocations.
+// lookup (or, for domains outside the model, one fold-in cache probe),
+// one pooled buffer encode, zero steady-state allocations.
 //
 //alloccheck:hot
 func (s *Server) handleScore(w http.ResponseWriter, domain string) int {
-	res, ok := s.Scorer().Result(domain)
-	if !ok {
+	sc := s.Scorer()
+	res, ok := sc.Result(domain)
+	if ok {
+		s.scored.Inc()
+	} else if res, ok = s.foldin.Score(sc, domain, time.Now()); ok {
+		s.countFoldin(res.Source)
+	} else {
 		s.unknown.Inc()
-		s.writeError(w, http.StatusNotFound, unknownDomainMessage(domain))
+		s.writeError(w, http.StatusNotFound, codeUnknownDomain, unknownDomainMessage(domain))
 		return http.StatusNotFound
 	}
-	s.scored.Inc()
 	buf := getBuf()
-	b := appendScoreResponse((*buf)[:0], domain, res.Score, res.Label)
+	b := appendScoreResponse((*buf)[:0], domain, res.Score, res.Label, res.Known, res.Confidence, res.Source)
 	writeBody(w, http.StatusOK, ctJSON, b)
 	*buf = b
 	putBuf(buf)
 	return http.StatusOK
+}
+
+// countFoldin attributes one fold-in verdict to its source series.
+func (s *Server) countFoldin(source string) {
+	if source == core.SourceKNN {
+		s.scoredKNN.Inc()
+	} else {
+		s.scoredFoldin.Inc()
+	}
 }
 
 // unknownDomainMessage renders the 404 body text for one domain,
@@ -517,12 +637,18 @@ type BatchRequest struct {
 }
 
 // BatchResult is one entry of BatchResponse.Results, aligned with the
-// request's domain order. Known=false marks domains outside the model.
+// request's domain order. Known=false marks domains outside the model;
+// such a domain still carries a score when fold-in evidence exists, in
+// which case Source names the path that produced it ("foldin" or
+// "knn"). Source is empty — and omitted on the wire — only when the
+// daemon had nothing at all to say about the domain.
 type BatchResult struct {
-	Domain string  `json:"domain"`
-	Score  float64 `json:"score"`
-	Label  int     `json:"label"`
-	Known  bool    `json:"known"`
+	Domain     string  `json:"domain"`
+	Score      float64 `json:"score"`
+	Label      int     `json:"label"`
+	Known      bool    `json:"known"`
+	Confidence float64 `json:"confidence"`
+	Source     string  `json:"source,omitempty"`
 }
 
 // BatchResponse is the body of POST /v1/score/batch.
@@ -560,7 +686,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 	var code int
 	switch {
 	case r.Method != http.MethodPost:
-		code = methodNotAllowed(w, "POST")
+		code = s.methodNotAllowed(w, "POST")
 	case !s.admit(w):
 		code = http.StatusServiceUnavailable
 	default:
@@ -585,15 +711,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.writeError(w, http.StatusRequestEntityTooLarge,
+			s.writeError(w, http.StatusRequestEntityTooLarge, codeOverLimit,
 				fmt.Sprintf("batch body exceeds %d bytes", s.cfg.MaxBody))
 			return http.StatusRequestEntityTooLarge
 		}
-		s.writeError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "bad batch request: "+err.Error())
 		return http.StatusBadRequest
 	}
 	if len(req.Domains) > s.cfg.MaxBatch {
-		s.writeError(w, http.StatusRequestEntityTooLarge,
+		s.writeError(w, http.StatusRequestEntityTooLarge, codeOverLimit,
 			fmt.Sprintf("batch of %d domains exceeds limit %d", len(req.Domains), s.cfg.MaxBatch))
 		return http.StatusRequestEntityTooLarge
 	}
@@ -610,23 +736,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 func (s *Server) writeBatchJSON(w http.ResponseWriter, sc *core.Scorer, domains []string) int {
 	resPtr := getResults()
 	results := sc.ScoreBatchInto((*resPtr)[:0], domains)
+	now := time.Now()
 	buf := getBuf()
 	b := append((*buf)[:0], `{"results":[`...)
-	var known uint64
+	var known, unknown uint64
 	for i, res := range results {
 		if i > 0 {
 			b = append(b, ',')
 		}
-		b = appendBatchResult(b, domains[i], res.Score, res.Label, res.Known)
-		if res.Known {
+		switch {
+		case res.Known:
 			known++
+		default:
+			if fr, ok := s.foldin.Score(sc, domains[i], now); ok {
+				res = fr
+				s.countFoldin(res.Source)
+			} else {
+				unknown++
+			}
 		}
+		b = appendBatchResult(b, domains[i], res.Score, res.Label, res.Known, res.Confidence, res.Source)
 	}
 	b = append(b, `],"fingerprint":`...)
 	b = appendJSONString(b, sc.Fingerprint())
 	b = append(b, '}', '\n')
 	s.scored.Add(known)
-	s.unknown.Add(uint64(len(results)) - known)
+	s.unknown.Add(unknown)
 	writeBody(w, http.StatusOK, ctJSON, b)
 	*buf = b
 	putBuf(buf)
@@ -657,16 +792,22 @@ func (s *Server) writeBatchNDJSON(w http.ResponseWriter, rc *http.ResponseContro
 
 	resPtr := getResults()
 	chunk := *resPtr
-	var known uint64
+	now := time.Now()
+	var known, unknown uint64
 	for off := 0; off < len(domains); off += ndjsonChunk {
 		end := min(off+ndjsonChunk, len(domains))
 		chunk = sc.ScoreBatchInto(chunk[:0], domains[off:end])
 		for i, res := range chunk {
-			b = appendBatchResult(b, domains[off+i], res.Score, res.Label, res.Known)
-			b = append(b, '\n')
 			if res.Known {
 				known++
+			} else if fr, ok := s.foldin.Score(sc, domains[off+i], now); ok {
+				res = fr
+				s.countFoldin(res.Source)
+			} else {
+				unknown++
 			}
+			b = appendBatchResult(b, domains[off+i], res.Score, res.Label, res.Known, res.Confidence, res.Source)
+			b = append(b, '\n')
 		}
 		if len(b) >= ndjsonFlushBytes {
 			if _, err := w.Write(b); err != nil {
@@ -683,12 +824,121 @@ func (s *Server) writeBatchNDJSON(w http.ResponseWriter, rc *http.ResponseContro
 		_ = rc.Flush()
 	}
 	s.scored.Add(known)
-	s.unknown.Add(uint64(len(domains)) - known)
+	s.unknown.Add(unknown)
 	*buf = b
 	putBuf(buf)
 	*resPtr = chunk
 	putResults(resPtr)
 	return http.StatusOK
+}
+
+// ---- fold-in observation ----
+
+// ObserveRelation is one observed edge in an ObserveRequest: the
+// domain co-occurred with a retained neighbor in the named behavioral
+// view. Weight is the co-occurrence strength; values ≤ 0 count as 1.
+type ObserveRelation struct {
+	View     string  `json:"view"` // "query", "ip", or "time"
+	Neighbor string  `json:"neighbor"`
+	Weight   float64 `json:"weight"`
+}
+
+// ObserveRequest is the body of POST /v1/observe.
+type ObserveRequest struct {
+	Domain    string            `json:"domain"`
+	Relations []ObserveRelation `json:"relations"`
+}
+
+// ObserveResponse is the body of a successful POST /v1/observe.
+// Relations counts the relations accepted from this request; Entries
+// is the fold-in cache's domain count after the observation.
+type ObserveResponse struct {
+	Domain    string `json:"domain"`
+	Relations int    `json:"relations"`
+	Entries   int    `json:"entries"`
+}
+
+func (s *Server) serveObserve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var code int
+	switch {
+	case r.Method != http.MethodPost:
+		code = s.methodNotAllowed(w, "POST")
+	case !s.admit(w):
+		code = http.StatusServiceUnavailable
+	default:
+		code = s.handleObserve(w, r)
+		s.release()
+	}
+	s.mObserve.observe(start, code)
+}
+
+// handleObserve feeds one domain's observed relations into the fold-in
+// cache. This is a cold control-plane-shaped path (it allocates); the
+// hot path is the cached Score probe the scoring routes make.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	var req ObserveRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, codeOverLimit,
+				fmt.Sprintf("observe body exceeds %d bytes", s.cfg.MaxBody))
+			return http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "bad observe request: "+err.Error())
+		return http.StatusBadRequest
+	}
+	if req.Domain == "" {
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "observe needs a domain")
+		return http.StatusBadRequest
+	}
+	if len(req.Relations) == 0 {
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "observe needs at least one relation")
+		return http.StatusBadRequest
+	}
+	rels := make([]core.Relation, len(req.Relations))
+	for i, rel := range req.Relations {
+		v, ok := viewByName(rel.View)
+		if !ok {
+			s.writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Sprintf("relation %d: unknown view %q (use query, ip, or time)", i, rel.View))
+			return http.StatusBadRequest
+		}
+		if rel.Neighbor == "" {
+			s.writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Sprintf("relation %d: missing neighbor", i))
+			return http.StatusBadRequest
+		}
+		rels[i] = core.Relation{View: v, Neighbor: rel.Neighbor, Weight: rel.Weight}
+	}
+	evicted, expired := s.foldin.Observe(req.Domain, rels, time.Now())
+	s.foldinObs.Inc()
+	s.foldinEvicted.Add(uint64(evicted))
+	s.foldinExpired.Add(uint64(expired))
+	s.foldinEntries.Set(float64(s.foldin.Len()))
+	writeJSON(w, http.StatusOK, ObserveResponse{
+		Domain:    req.Domain,
+		Relations: len(rels),
+		Entries:   s.foldin.Len(),
+	})
+	return http.StatusOK
+}
+
+// viewByName maps the wire names of the behavioral views to their
+// bipartite identifiers.
+func viewByName(name string) (bipartite.View, bool) {
+	switch name {
+	case "query":
+		return bipartite.ViewQuery, true
+	case "ip":
+		return bipartite.ViewIP, true
+	case "time":
+		return bipartite.ViewTime, true
+	}
+	return 0, false
 }
 
 // ---- control-plane handlers ----
@@ -706,7 +956,7 @@ func (s *Server) serveReload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var code int
 	if r.Method != http.MethodPost {
-		code = methodNotAllowed(w, "POST")
+		code = s.methodNotAllowed(w, "POST")
 	} else {
 		code = s.handleReload(w)
 	}
@@ -747,7 +997,7 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var code int
 	if r.Method != http.MethodGet {
-		code = methodNotAllowed(w, "GET")
+		code = s.methodNotAllowed(w, "GET")
 	} else {
 		st := s.model.Load()
 		writeJSON(w, http.StatusOK, HealthResponse{
@@ -765,7 +1015,7 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) servePprof(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		methodNotAllowed(w, "GET")
+		s.methodNotAllowed(w, "GET")
 		return
 	}
 	switch r.URL.Path {

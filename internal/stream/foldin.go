@@ -1,0 +1,202 @@
+// Fold-in evidence extraction for the rolling detector: at each day
+// boundary, domains that were observed in the window but pruned out of
+// the model (single-host domains, over-popular domains, late
+// arrivals) are exactly the ones a serving daemon will be asked about
+// and cannot answer from the decision table. feedFoldIn derives their
+// relations to retained domains from the merged window aggregates and
+// publishes them into a shared core.FoldInCache, so `maldetect stream`
+// and `maldetect serve` score the unknown through one code path
+// (core.Scorer.ScoreObserved).
+//
+// Determinism contract: the relations fed for a given window are a
+// pure function of the aggregates. All map iterations either
+// accumulate commutatively or are sorted before emitting, and time is
+// virtual — the observation timestamp is the day boundary, not the
+// wall clock — so replaying a capture reproduces the cache bit for
+// bit.
+
+package stream
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// foldinNeighbors bounds how many retained neighbors per view are fed
+// for one unknown domain: the strongest-overlap neighbors carry nearly
+// all of the fold-in embedding's mass, and the cap keeps a window's
+// evidence well under core's per-domain relation bound.
+const foldinNeighbors = 8
+
+// viewIndex is one behavioral view's inverted index: attribute key →
+// retained-domain positions sharing it, plus each retained domain's
+// attribute-set size for the Jaccard denominator.
+type viewIndex struct {
+	view  bipartite.View
+	byKey map[string][]int32
+	size  []int
+}
+
+// feedFoldIn publishes fold-in relations for every observed-but-not-
+// retained domain of the window ending at day. The observation time is
+// the day boundary itself, so TTL expiry in the shared cache follows
+// stream time, not wall time.
+func (r *Rolling) feedFoldIn(day int, retained []string, stats map[string]*pipeline.DomainStats) {
+	cache := r.cfg.FoldIn
+	if cache == nil {
+		return
+	}
+	ridx := make(map[string]struct{}, len(retained))
+	for _, d := range retained {
+		ridx[d] = struct{}{}
+	}
+	var unknowns []string
+	for d := range stats {
+		if _, ok := ridx[d]; !ok {
+			unknowns = append(unknowns, d)
+		}
+	}
+	if len(unknowns) == 0 {
+		return
+	}
+	sort.Strings(unknowns)
+
+	indexes := buildViewIndexes(retained, stats)
+	now := r.cfg.Start.Add(time.Duration(day+1) * 24 * time.Hour)
+	var rels []core.Relation
+	for _, u := range unknowns {
+		rels = appendRelations(rels[:0], stats[u], retained, stats, indexes)
+		if len(rels) > 0 {
+			cache.Observe(u, rels, now)
+		}
+	}
+}
+
+// buildViewIndexes inverts the retained domains' attribute sets, one
+// index per behavioral view. Iterating retained (a sorted slice)
+// outermost makes every per-key posting list ascending by domain
+// position, independent of the inner map iteration order.
+func buildViewIndexes(retained []string, stats map[string]*pipeline.DomainStats) [3]*viewIndex {
+	indexes := [3]*viewIndex{
+		{view: bipartite.ViewQuery, byKey: make(map[string][]int32), size: make([]int, len(retained))},
+		{view: bipartite.ViewIP, byKey: make(map[string][]int32), size: make([]int, len(retained))},
+		{view: bipartite.ViewTime, byKey: make(map[string][]int32), size: make([]int, len(retained))},
+	}
+	var minuteKey [8]byte
+	for i, dom := range retained {
+		st := stats[dom]
+		if st == nil {
+			continue
+		}
+		indexes[0].size[i] = len(st.Hosts)
+		for h := range st.Hosts {
+			indexes[0].byKey[h] = append(indexes[0].byKey[h], int32(i))
+		}
+		indexes[1].size[i] = len(st.IPs)
+		for ip := range st.IPs {
+			indexes[1].byKey[ip] = append(indexes[1].byKey[ip], int32(i))
+		}
+		indexes[2].size[i] = len(st.Minutes)
+		for m := range st.Minutes {
+			indexes[2].byKey[string(minuteBytes(&minuteKey, m))] = append(
+				indexes[2].byKey[string(minuteBytes(&minuteKey, m))], int32(i))
+		}
+	}
+	return indexes
+}
+
+// minuteBytes renders a minute index as a fixed-width big-endian key.
+func minuteBytes(buf *[8]byte, m int) []byte {
+	v := uint64(m)
+	for i := 7; i >= 0; i-- {
+		buf[i] = byte(v)
+		v >>= 8
+	}
+	return buf[:]
+}
+
+// appendRelations appends u's top-overlap relations per view, weighted
+// by Jaccard similarity of the attribute sets — the same similarity
+// the §4.1 projections use — and truncated to foldinNeighbors.
+func appendRelations(dst []core.Relation, st *pipeline.DomainStats, retained []string, stats map[string]*pipeline.DomainStats, indexes [3]*viewIndex) []core.Relation {
+	if st == nil {
+		return dst
+	}
+	counts := make(map[int32]int)
+	var minuteKey [8]byte
+	for _, idx := range indexes {
+		clear(counts)
+		switch idx.view {
+		case bipartite.ViewQuery:
+			for h := range st.Hosts {
+				for _, i := range idx.byKey[h] {
+					counts[i]++
+				}
+			}
+		case bipartite.ViewIP:
+			for ip := range st.IPs {
+				for _, i := range idx.byKey[ip] {
+					counts[i]++
+				}
+			}
+		case bipartite.ViewTime:
+			for m := range st.Minutes {
+				for _, i := range idx.byKey[string(minuteBytes(&minuteKey, m))] {
+					counts[i]++
+				}
+			}
+		}
+		if len(counts) == 0 {
+			continue
+		}
+		own := ownSize(st, idx.view)
+		type cand struct {
+			i int32
+			w float64
+		}
+		cands := make([]cand, 0, len(counts))
+		for i, overlap := range counts {
+			union := own + idx.size[i] - overlap
+			if union <= 0 {
+				continue
+			}
+			cands = append(cands, cand{i, float64(overlap) / float64(union)})
+		}
+		// Strongest first; equal weights break by domain position so the
+		// truncation below is deterministic regardless of map order.
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].w != cands[b].w {
+				return cands[a].w > cands[b].w
+			}
+			return cands[a].i < cands[b].i
+		})
+		if len(cands) > foldinNeighbors {
+			cands = cands[:foldinNeighbors]
+		}
+		for _, c := range cands {
+			dst = append(dst, core.Relation{
+				View:     idx.view,
+				Neighbor: retained[c.i],
+				Weight:   c.w,
+			})
+		}
+	}
+	return dst
+}
+
+// ownSize returns the unknown domain's attribute-set size in one view.
+func ownSize(st *pipeline.DomainStats, view bipartite.View) int {
+	switch view {
+	case bipartite.ViewQuery:
+		return len(st.Hosts)
+	case bipartite.ViewIP:
+		return len(st.IPs)
+	case bipartite.ViewTime:
+		return len(st.Minutes)
+	}
+	return 0
+}

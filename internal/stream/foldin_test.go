@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// foldinStart anchors the hand-crafted fold-in traffic.
+var foldinStart = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// foldinInputs is the tiny serve fixture plus one domain queried by a
+// single host: rare.example shares dom0's host, resolved IP, and
+// minutes, but the single-host pruning rule keeps it out of the model
+// — exactly the shape the fold-in feeder exists for.
+func foldinInputs() []pipeline.Input {
+	var in []pipeline.Input
+	for i := 0; i < 8; i++ {
+		for h := 0; h < 3; h++ {
+			for m := 0; m < 3; m++ {
+				in = append(in, pipeline.Input{
+					Time:     foldinStart.Add(time.Duration(2*i+m) * time.Minute),
+					ClientIP: fmt.Sprintf("10.0.0.%d", (i+h)%10),
+					QName:    fmt.Sprintf("www.dom%d.com", i),
+					Answers:  []string{fmt.Sprintf("198.51.100.%d", (i+m)%8)},
+				})
+			}
+		}
+	}
+	for m := 0; m < 2; m++ {
+		in = append(in, pipeline.Input{
+			Time:     foldinStart.Add(time.Duration(m) * time.Minute),
+			ClientIP: "10.0.0.0",
+			QName:    "www.rare.example",
+			Answers:  []string{"198.51.100.0"},
+		})
+	}
+	return in
+}
+
+// foldinDetectorConfig is shared between the rolling fixture and the
+// reference batch build so both retain the same domain set.
+func foldinDetectorConfig() core.Config {
+	return core.Config{Seed: 42, EmbedDim: 4, EmbedSamples: 20_000, Workers: 1}
+}
+
+// runFoldinDay drives one rolling day over foldinInputs with cache
+// attached and returns the cache's state after the boundary.
+func runFoldinDay(t *testing.T, cache *core.FoldInCache) {
+	t.Helper()
+	r, err := New(Config{
+		Start:      foldinStart,
+		WindowDays: 1,
+		Detector:   foldinDetectorConfig(),
+		FoldIn:     cache,
+		Labeler: func(candidates []string) ([]string, []int) {
+			labels := make([]int, len(candidates))
+			for i := range candidates {
+				labels[i] = i % 2
+			}
+			return candidates, labels
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range foldinInputs() {
+		r.Consume(in)
+	}
+	if _, err := r.EndOfDay(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// foldinScorer builds the equivalent persisted model over the same
+// window through the batch path, so the cached relations can be scored
+// against a real Scorer.
+func foldinScorer(t *testing.T) *core.Scorer {
+	t.Helper()
+	cfg := foldinDetectorConfig()
+	cfg.Start = foldinStart
+	cfg.Days = 1
+	det := core.NewDetector(cfg)
+	for _, in := range foldinInputs() {
+		det.Consume(in)
+	}
+	if err := det.BuildModel(); err != nil {
+		t.Fatal(err)
+	}
+	domains, err := det.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, len(domains))
+	for i := range domains {
+		labels[i] = i % 2
+	}
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := core.LoadScorer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestStreamFeedsFoldIn checks the end-to-end seam: a domain pruned
+// out of the rolling model lands in the shared fold-in cache at the
+// day boundary, and a Scorer over the same window turns that evidence
+// into a foldin/knn verdict — the relations reference retained
+// neighbors, not ghosts.
+func TestStreamFeedsFoldIn(t *testing.T) {
+	cache := core.NewFoldInCache(core.FoldInConfig{})
+	runFoldinDay(t, cache)
+	if cache.Len() == 0 {
+		t.Fatal("day boundary fed no fold-in evidence")
+	}
+
+	sc := foldinScorer(t)
+	if _, ok := sc.Score("rare.example"); ok {
+		t.Fatal("fixture broken: rare.example was retained")
+	}
+	now := foldinStart.Add(24 * time.Hour)
+	res, ok := cache.Score(sc, "rare.example", now)
+	if !ok {
+		t.Fatal("no verdict for the pruned domain from stream-fed evidence")
+	}
+	if res.Known {
+		t.Fatal("fold-in verdict claims known=true")
+	}
+	if res.Source != core.SourceFoldin && res.Source != core.SourceKNN {
+		t.Fatalf("source %q, want foldin or knn", res.Source)
+	}
+	if res.Confidence <= 0 || res.Confidence > 1 {
+		t.Fatalf("confidence %v outside (0,1]", res.Confidence)
+	}
+}
+
+// TestStreamFoldInDeterministic replays the same capture through two
+// independent rolling detectors and requires bit-identical verdicts
+// from their caches: the fed relations are a pure function of the
+// window's aggregates (sorted iteration, virtual time).
+func TestStreamFoldInDeterministic(t *testing.T) {
+	a := core.NewFoldInCache(core.FoldInConfig{})
+	b := core.NewFoldInCache(core.FoldInConfig{})
+	runFoldinDay(t, a)
+	runFoldinDay(t, b)
+	if a.Len() != b.Len() {
+		t.Fatalf("cache sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+
+	sc := foldinScorer(t)
+	now := foldinStart.Add(24 * time.Hour)
+	ra, oka := a.Score(sc, "rare.example", now)
+	rb, okb := b.Score(sc, "rare.example", now)
+	if !oka || !okb {
+		t.Fatalf("verdicts missing: %v %v", oka, okb)
+	}
+	if ra != rb {
+		t.Fatalf("replay diverged: %+v vs %+v", ra, rb)
+	}
+}

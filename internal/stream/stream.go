@@ -56,6 +56,11 @@ type Config struct {
 	Detector core.Config
 	// Labeler supplies training labels at each remodel; required.
 	Labeler Labeler
+	// FoldIn, when set, receives fold-in relations for every domain
+	// observed in a window but pruned out of its model, timestamped at
+	// the day boundary (stream time). Share the cache with a
+	// serve.Server to let it score the window's unknown domains.
+	FoldIn *core.FoldInCache
 	// Metrics, when set, receives checkpoint/restore/degradation
 	// instrumentation: maldomain_checkpoints_total{result},
 	// maldomain_checkpoint_bytes, maldomain_checkpoint_last_unix_seconds,
@@ -177,7 +182,9 @@ func (r *Rolling) window(day int) []int {
 
 // remodel merges the window's per-day aggregates and builds a detector
 // over them, warm-starting the embeddings from the previous remodel.
-func (r *Rolling) remodel(day int) (*core.Detector, error) {
+// The merged processor is returned alongside the detector so the
+// fold-in feeder can read the window's aggregates.
+func (r *Rolling) remodel(day int) (*core.Detector, *pipeline.Processor, error) {
 	var procs []*pipeline.Processor
 	for _, d := range r.window(day) {
 		if p := r.days[d]; p != nil {
@@ -185,23 +192,23 @@ func (r *Rolling) remodel(day int) (*core.Detector, error) {
 		}
 	}
 	if len(procs) == 0 {
-		return nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
+		return nil, nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
 	}
 	merged, err := pipeline.Merge(procs...)
 	if err != nil {
-		return nil, fmt.Errorf("stream: merging window ending day %d: %w", day, err)
+		return nil, nil, fmt.Errorf("stream: merging window ending day %d: %w", day, err)
 	}
 	if merged.TotalQueries() == 0 {
-		return nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
+		return nil, nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
 	}
 	cfg := withWindow(r.cfg.Detector, r.cfg.Start, day)
 	cfg.EmbedInit = r.embedInit
 	det := core.NewDetectorWith(cfg, merged)
 	if err := det.BuildModel(); err != nil {
-		return nil, fmt.Errorf("stream: remodel at day %d: %w", day, err)
+		return nil, nil, fmt.Errorf("stream: remodel at day %d: %w", day, err)
 	}
 	r.rememberModel(det)
-	return det, nil
+	return det, merged, nil
 }
 
 // embedInit implements core.Config.EmbedInit over the previous remodel's
@@ -301,7 +308,7 @@ func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
 // modelDay runs the remodel → train → rank sequence for one day
 // boundary, returning the failing stage on error.
 func (r *Rolling) modelDay(day int) ([]Alert, string, error) {
-	det, err := r.remodel(day)
+	det, merged, err := r.remodel(day)
 	if err != nil {
 		return nil, "remodel", err
 	}
@@ -314,6 +321,10 @@ func (r *Rolling) modelDay(day int) ([]Alert, string, error) {
 	if err != nil {
 		return nil, "train", fmt.Errorf("stream: training at day %d: %w", day, err)
 	}
+	// A healthy model is the moment to publish the window's pruned
+	// domains as fold-in evidence: the relations reference exactly the
+	// retained set this model scores against.
+	r.feedFoldIn(day, retained, merged.Stats())
 
 	type scored struct {
 		domain string

@@ -66,10 +66,45 @@ type StageReport = core.StageReport
 // retained domains. Load one with LoadScorer.
 type Scorer = core.Scorer
 
-// Result is one domain's scoring outcome from Scorer.ScoreBatch or
-// Scorer.Lookup: decision value, thresholded label (1 = malicious),
-// and whether the domain was in the model at all.
+// Result is one domain's scoring outcome from Scorer.ScoreBatch,
+// Scorer.Lookup, or the fold-in path: decision value, thresholded
+// label (1 = malicious), whether the domain was in the model, a
+// calibrated confidence in [0,1], and the verdict's source.
 type Result = core.Result
+
+// Verdict sources carried in Result.Source: "model" for domains in the
+// persisted decision table, "foldin" for provisional embeddings scored
+// by the classifier, "knn" when the nearest-neighbor vote overrode the
+// classifier on a fold-in embedding.
+const (
+	SourceModel  = core.SourceModel
+	SourceFoldin = core.SourceFoldin
+	SourceKNN    = core.SourceKNN
+)
+
+// Fold-in: scoring domains outside the model from observed relations
+// to retained domains (the deployment answer to "what about a domain
+// the window never retained?"). Relation is one weighted edge in one
+// behavioral view; Scorer.ScoreObserved folds the relations into a
+// provisional embedding and scores it. FoldInCache accumulates
+// per-domain evidence with bounded capacity and TTL expiry — the state
+// behind the daemon's POST /v1/observe — and Rolling feeds it at day
+// boundaries through StreamConfig.FoldIn.
+
+// Relation is one observed edge between an unknown domain and a
+// retained neighbor in one behavioral view.
+type Relation = core.Relation
+
+// FoldInCache is a bounded, TTL'd store of fold-in evidence shared by
+// the serving daemon and the streaming detector.
+type FoldInCache = core.FoldInCache
+
+// FoldInConfig bounds a FoldInCache (entries, relations per domain,
+// evidence lifetime); the zero value uses the serving defaults.
+type FoldInConfig = core.FoldInConfig
+
+// NewFoldInCache returns an empty fold-in cache for cfg.
+func NewFoldInCache(cfg FoldInConfig) *FoldInCache { return core.NewFoldInCache(cfg) }
 
 // Observation is one joined DNS query/response record — the schema the
 // paper's collector extracts from packet captures (§2).

@@ -26,13 +26,19 @@
 # and folds the socket-level reports into the same JSON via
 # benchjson -merge, writing BENCH_7.json.
 #
+# foldin mode runs the fold-in scoring benchmarks — the core engine
+# (ScoreObserved cold, cache-warm Score) and the daemon's unknown-
+# domain path through the full middleware stack — with -benchmem and
+# converts the log into BENCH_9.json: the allocs/op column is the
+# ≤2-allocs-after-warm acceptance figure.
+#
 # ablation mode sweeps the pluggable stage registry's backend grid —
 # {line, mf} embedders x {svm, labelprop, ensemble} classifiers — with
 # Fig-6-style k-fold cross-validated AUC per cell (cmd/experiments
 # -ablation) and converts the log into BENCH_8.json, so backend quality
 # regressions are visible next to throughput numbers.
 #
-# Usage: scripts/bench.sh [full|short|remodel|serve|loadgen|ablation]
+# Usage: scripts/bench.sh [full|short|remodel|serve|loadgen|foldin|ablation]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -104,13 +110,19 @@ loadgen)
         <"$log" >BENCH_7.json
     echo "wrote BENCH_7.json"
     ;;
+foldin)
+    go test -run='^$' -bench='^BenchmarkFoldIn' -benchmem ./internal/core | tee "$log"
+    go test -run='^$' -bench='^BenchmarkServeFoldin' -benchmem ./internal/serve | tee -a "$log"
+    go run ./cmd/benchjson <"$log" >BENCH_9.json
+    echo "wrote BENCH_9.json"
+    ;;
 ablation)
     go run ./cmd/experiments -ablation -scale small -seed 1 -kfolds 5 | tee "$log"
     go run ./cmd/benchjson <"$log" >BENCH_8.json
     echo "wrote BENCH_8.json"
     ;;
 *)
-    echo "usage: scripts/bench.sh [full|short|remodel|serve|loadgen|ablation]" >&2
+    echo "usage: scripts/bench.sh [full|short|remodel|serve|loadgen|foldin|ablation]" >&2
     exit 1
     ;;
 esac

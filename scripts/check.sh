@@ -7,8 +7,9 @@
 # (scripts/alloccheck.sh against its committed baseline), the full
 # test suite under the race detector, a train/score persistence round
 # trip on a tiny generated trace, a serving-daemon smoke
-# (score/batch/404/healthz/metrics over HTTP, a ~1s loadgen burst that
-# must complete error-free, SIGHUP hot reload, graceful SIGTERM
+# (score/batch/404/healthz/metrics over HTTP, an observe→score fold-in
+# round trip for an unseen domain, a ~1s loadgen burst that must
+# complete error-free, SIGHUP hot reload, graceful SIGTERM
 # shutdown), a crash-recovery smoke (streaming run SIGKILLed
 # mid-window, resumed from its checkpoint, feed compared byte-for-byte
 # against an uninterrupted run), and a short fuzz smoke for each
@@ -123,6 +124,28 @@ grep -q '"known":true' <<<"$(curl -fsS -X POST \
     "http://$addr/v1/score/batch")"
 grep -q '"status":"ok"' <<<"$(curl -fsS "http://$addr/healthz")"
 grep -q '^maldomain_http_requests_total' <<<"$(curl -fsS "http://$addr/metrics")"
+# Fold-in round trip: an unseen domain 404s with the structured error
+# envelope, POST /v1/observe feeds relations to ranked known domains,
+# and the next score is a provisional fold-in verdict with a
+# confidence in [0,1].
+n2="$(awk 'NR==4 {print $1}' "$smokedir/scores.txt")"
+n3="$(awk 'NR==5 {print $1}' "$smokedir/scores.txt")"
+grep -q '"code":"unknown_domain"' \
+    <<<"$(curl -s "http://$addr/v1/score/folded.invalid")"
+grep -q '"entries":1' <<<"$(curl -fsS -X POST -d '{
+    "domain":"folded.invalid",
+    "relations":[{"view":"query","neighbor":"'"$known"'","weight":2},
+                 {"view":"ip","neighbor":"'"$n2"'","weight":1},
+                 {"view":"time","neighbor":"'"$n3"'","weight":1}]}' \
+    "http://$addr/v1/observe")"
+folded="$(curl -fsS "http://$addr/v1/score/folded.invalid")"
+grep -q '"known":false' <<<"$folded"
+grep -q '"source":"foldin"' <<<"$folded"
+conf="$(sed -n 's/.*"confidence":\([0-9.eE+-]*\),.*/\1/p' <<<"$folded")"
+awk -v c="$conf" 'BEGIN { exit !(c >= 0 && c <= 1) }'
+grep -q '"code":"bad_request"' <<<"$(curl -s -X POST \
+    -d '{"domain":"x.invalid","relations":[{"view":"dns","neighbor":"y"}]}' \
+    "http://$addr/v1/observe")"
 # Load-generator burst: ~1s of paced mixed batch traffic over the
 # NDJSON framing; -check fails the script on any error or if nothing
 # got through.
