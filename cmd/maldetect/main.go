@@ -7,7 +7,7 @@
 //	maldetect train -trace trace.tsv -truth truth.tsv -out model.bin [-dhcp leases.tsv] [-seed N]
 //	maldetect score -model model.bin [-top 25] [domain ...]
 //	maldetect serve -model model.bin [-addr 127.0.0.1:8953] [-max-inflight 256] [-timeout 5s] [-drain 10s] [-max-batch 10000] [-max-body N] [-foldin-cap N] [-foldin-ttl 15m] [-pprof]
-//	maldetect stream -trace trace.tsv -truth truth.tsv [-window 2] [-dim 16] [-feed alerts.tsv] [-checkpoint stream.ckpt]
+//	maldetect stream -trace trace.tsv -truth truth.tsv [-window 2] [-dim 16] [-feed alerts.tsv] [-checkpoint stream.ckpt] [-shards N] [-shard-dir DIR]
 //	maldetect loadgen -url http://127.0.0.1:8953 (-model model.bin | -domains file) [-duration 10s | -n N] [-workers 8] [-qps 0] [-batch 0] [-ndjson] [-json] [-check]
 //
 // The default (no subcommand) mode builds the model, trains the SVM on a
@@ -35,7 +35,8 @@
 // domains outside the model still get a provisional verdict (-foldin-cap
 // and -foldin-ttl bound the evidence cache), SIGHUP or POST /v1/reload
 // hot-swaps the model file without dropping in-flight requests,
-// /healthz and /metrics (Prometheus text) expose operational state, and
+// /healthz/live, /healthz/ready (alias /healthz), and /metrics
+// (Prometheus text) expose operational state, and
 // SIGINT/SIGTERM drain gracefully. The bound address is printed to
 // stderr, so -addr with port 0 works for smoke tests. docs/api.md is
 // the wire-format reference.
@@ -51,7 +52,13 @@
 // (internal/stream) day by day over the trace, appending alerts to a
 // feed file. With -checkpoint, a checkpoint is written atomically after
 // every day boundary and a restart resumes from it, reproducing the
-// feed byte-identically (see stream.go).
+// feed byte-identically (see stream.go). With -shards N (N > 1),
+// ingestion runs through the fault-tolerant shard pool
+// (internal/shard): the trace is partitioned by device across N
+// supervised workers, crashes and hangs are retried with backoff, and
+// the merged output — feed and checkpoint alike — stays byte-identical
+// to a serial run; quarantined shards degrade the affected days and
+// are logged, never fatal.
 package main
 
 import (

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mathx"
 	"repro/internal/obsv"
 	"repro/internal/serve"
 )
@@ -60,9 +61,16 @@ type Config struct {
 	// Retries is how many times a transport error or 503 is retried
 	// before counting as a failure (default 0: fail fast).
 	Retries int
-	// Backoff is the base of the exponential retry backoff
-	// (default 20ms; attempt n waits Backoff·2ⁿ).
+	// Backoff is the base of the exponential retry backoff (default
+	// 20ms). Attempt n draws its wait uniformly from [d/2, d) where
+	// d = Backoff·2ⁿ capped at MaxBackoff — equal jitter, so workers
+	// shed together do not retry together and re-convoy on the daemon.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter (default 1). Fixed seeds make
+	// retry schedules reproducible run to run.
+	Seed uint64
 	// Timeout bounds one HTTP request (default 5s).
 	Timeout time.Duration
 	// Client overrides the HTTP client, for tests. When nil a client
@@ -79,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = 20 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 5 * time.Second
@@ -321,11 +335,13 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 
 	start := time.Now()
 	var wg sync.WaitGroup
+	jitter := mathx.NewRNG(cfg.Seed).SplitLabeled("loadgen-backoff")
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
+		rng := jitter.SplitLabeled(fmt.Sprint(w))
 		go func() {
 			defer wg.Done()
-			l.worker(ctx)
+			l.worker(ctx, rng)
 		}()
 	}
 	wg.Wait()
@@ -375,7 +391,7 @@ func (l *loader) buildBodies() error {
 	return nil
 }
 
-func (l *loader) worker(ctx context.Context) {
+func (l *loader) worker(ctx context.Context, rng *mathx.RNG) {
 	// Per-worker NDJSON counting buffer, reused across responses.
 	var ndbuf []byte
 	if l.cfg.NDJSON {
@@ -391,13 +407,30 @@ func (l *loader) worker(ctx context.Context) {
 		if err := l.pace.wait(ctx); err != nil {
 			return
 		}
-		l.one(ctx, l.next.Add(1)-1, ndbuf)
+		l.one(ctx, l.next.Add(1)-1, ndbuf, rng)
 	}
 }
 
+// backoffFor computes the jittered wait before retry attempt n
+// (0-based): Backoff·2ⁿ capped at MaxBackoff, drawn uniformly from the
+// upper half of that delay. The shift is clamped so pathological retry
+// budgets cannot overflow the duration arithmetic.
+func (l *loader) backoffFor(attempt int, rng *mathx.RNG) time.Duration {
+	shift := uint(attempt)
+	if shift > 16 {
+		shift = 16
+	}
+	d := l.cfg.Backoff << shift
+	if d <= 0 || d > l.cfg.MaxBackoff {
+		d = l.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rng.Float64()*float64(half))
+}
+
 // one issues a single logical request, retrying transport errors and
-// 503s with exponential backoff up to cfg.Retries.
-func (l *loader) one(ctx context.Context, seq uint64, ndbuf []byte) {
+// 503s with jittered exponential backoff up to cfg.Retries.
+func (l *loader) one(ctx context.Context, seq uint64, ndbuf []byte, rng *mathx.RNG) {
 	var timer *time.Timer // reused across retries; Reset is safe after a receive
 	defer func() {
 		if timer != nil {
@@ -432,9 +465,15 @@ func (l *loader) one(ctx context.Context, seq uint64, ndbuf []byte) {
 			l.errs.Add(1)
 			return
 		}
+		if ctx.Err() != nil {
+			// The run was cancelled between attempts: stop retrying
+			// immediately rather than arming a backoff timer against a
+			// dead context. Like a cancelled in-flight request, the
+			// unfinished logical request counts neither OK nor error.
+			return
+		}
 		l.retries.Add(1)
-		backoff := l.cfg.Backoff << attempt
-		timer = resetTimer(timer, backoff)
+		timer = resetTimer(timer, l.backoffFor(attempt, rng))
 		select {
 		case <-ctx.Done():
 			return

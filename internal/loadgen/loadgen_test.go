@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/mathx"
 	"repro/internal/serve"
 )
 
@@ -244,3 +246,79 @@ func TestBenchJSON(t *testing.T) {
 		t.Errorf("domains/sec = %v", got.Metrics["domains/sec"])
 	}
 }
+
+// TestBackoffJitterBounds pins the retry schedule contract: attempt n
+// waits in [d/2, d) for d = Backoff·2ⁿ capped at MaxBackoff, and the
+// draws actually vary (jitter, not a fixed fraction).
+func TestBackoffJitterBounds(t *testing.T) {
+	l := &loader{cfg: Config{
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond,
+	}.withDefaults()}
+	rng := mathx.NewRNG(7)
+	distinct := make(map[time.Duration]bool)
+	for attempt := 0; attempt < 12; attempt++ {
+		d := l.cfg.Backoff << uint(attempt)
+		if d <= 0 || d > l.cfg.MaxBackoff {
+			d = l.cfg.MaxBackoff
+		}
+		for draw := 0; draw < 8; draw++ {
+			got := l.backoffFor(attempt, rng)
+			if got < d/2 || got >= d {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, got, d/2, d)
+			}
+			distinct[got] = true
+		}
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct draws across 96 backoffs; jitter missing", len(distinct))
+	}
+}
+
+// TestCancelledContextStopsRetrying: once the run context is
+// cancelled, a shed response is not retried — the worker returns
+// without sleeping out its backoff budget, and the unfinished request
+// counts neither OK nor error. The stub transport delivers a real 503
+// and cancels the run in the same instant, pinning the exact
+// shed-then-cancelled window.
+func TestCancelledContextStopsRetrying(t *testing.T) {
+	var calls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	client := &http.Client{Transport: rtFunc(func(r *http.Request) (*http.Response, error) {
+		calls.Add(1)
+		cancel() // run dies while the daemon is shedding
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader(`{"error":"server at capacity"}`)),
+			Request:    r,
+		}, nil
+	})}
+	start := time.Now()
+	rep, err := Run(ctx, Config{
+		BaseURL:  "http://stub.invalid",
+		Domains:  testDomains,
+		Workers:  1,
+		Requests: 5,
+		Retries:  1000,
+		Backoff:  time.Hour, // a single honored backoff would hang the test
+		Client:   client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run took %v; cancelled context did not stop the retry loop", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d attempts after cancellation, want 1", calls.Load())
+	}
+	if rep.OK != 0 || rep.Errors != 0 || rep.Shed != 1 || rep.Retries != 0 {
+		t.Fatalf("counts after cancelled retry: %+v", rep)
+	}
+}
+
+// rtFunc adapts a function to http.RoundTripper for stub transports.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

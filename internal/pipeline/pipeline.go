@@ -10,6 +10,7 @@ package pipeline
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/dhcp"
@@ -237,6 +238,26 @@ func (p *Processor) Stats() map[string]*DomainStats { return p.stats }
 // Config returns the processor's effective (defaulted) configuration.
 func (p *Processor) Config() Config { return p.cfg }
 
+// MismatchError reports why a set of processors cannot be merged:
+// their configurations disagree on a field that would make minute, day,
+// or bucket indices mean different things in different shards, or their
+// day cursors have drifted further apart than the caller's window
+// allows. Field is one of "start", "bucket", "suffixes", or "days";
+// Want/Got render the disagreeing values. A shard supervisor acts on
+// the typed error by quarantining the shard whose aggregate disagrees
+// instead of aborting the whole merge.
+type MismatchError struct {
+	// Field names the disagreeing configuration dimension.
+	Field string
+	// Want and Got render the expected and offending values.
+	Want, Got string
+}
+
+// Error implements error.
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("pipeline: merge mismatch on %s: want %s, got %s", e.Field, e.Want, e.Got)
+}
+
 // Merge combines the aggregates of several processors into one new
 // processor, leaving the inputs untouched (their state is deep-copied,
 // never aliased). It is how sharded aggregation composes: the streaming
@@ -250,23 +271,63 @@ func (p *Processor) Config() Config { return p.cfg }
 // merge is deterministic: every combination step — set unions, count
 // sums, min/max folds — is commutative and associative, so the merged
 // aggregates are identical regardless of argument order or internal map
-// iteration order.
+// iteration order. Configuration disagreements surface as a typed
+// *MismatchError.
 func Merge(ps ...*Processor) (*Processor, error) {
+	return MergeWindow(0, ps...)
+}
+
+// MergeWindow is Merge with a day-cursor guard: when window > 0, inputs
+// whose Days cursors disagree by more than window days are rejected
+// with a *MismatchError on field "days". A rolling deployment merging
+// the per-day processors of a W-day window expects cursors to span at
+// most W consecutive days; a wider spread means a stale or corrupt
+// aggregate (for example a shard restored from the wrong generation)
+// slipped in, and merging it would silently rewrite history. window <= 0
+// disables the guard, which is plain Merge.
+func MergeWindow(window int, ps ...*Processor) (*Processor, error) {
 	if len(ps) == 0 {
 		return nil, errors.New("pipeline: Merge needs at least one processor")
 	}
 	base := ps[0].cfg
-	days := base.Days
+	minDays, maxDays := base.Days, base.Days
 	for _, p := range ps[1:] {
-		if !p.cfg.Start.Equal(base.Start) || p.cfg.Bucket != base.Bucket || p.cfg.Suffixes != base.Suffixes {
-			return nil, errors.New("pipeline: Merge needs identical Start, Bucket, and Suffixes")
+		switch {
+		case !p.cfg.Start.Equal(base.Start):
+			return nil, &MismatchError{
+				Field: "start",
+				Want:  base.Start.UTC().Format(time.RFC3339),
+				Got:   p.cfg.Start.UTC().Format(time.RFC3339),
+			}
+		case p.cfg.Bucket != base.Bucket:
+			return nil, &MismatchError{
+				Field: "bucket",
+				Want:  base.Bucket.String(),
+				Got:   p.cfg.Bucket.String(),
+			}
+		case p.cfg.Suffixes != base.Suffixes:
+			return nil, &MismatchError{
+				Field: "suffixes",
+				Want:  fmt.Sprintf("%p", base.Suffixes),
+				Got:   fmt.Sprintf("%p", p.cfg.Suffixes),
+			}
 		}
-		if p.cfg.Days > days {
-			days = p.cfg.Days
+		if p.cfg.Days > maxDays {
+			maxDays = p.cfg.Days
+		}
+		if p.cfg.Days < minDays {
+			minDays = p.cfg.Days
+		}
+	}
+	if window > 0 && maxDays-minDays > window {
+		return nil, &MismatchError{
+			Field: "days",
+			Want:  fmt.Sprintf("cursors within %d day(s)", window),
+			Got:   fmt.Sprintf("cursors span days %d..%d", minDays, maxDays),
 		}
 	}
 	cfg := base
-	cfg.Days = days
+	cfg.Days = maxDays
 	out := NewProcessor(cfg)
 	for _, p := range ps {
 		out.absorb(p)

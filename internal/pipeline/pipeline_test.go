@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -359,9 +360,67 @@ func TestMergeRejectsMismatchedConfigs(t *testing.T) {
 		"bucket":   NewProcessor(Config{Start: t0, Bucket: time.Hour}),
 		"suffixes": NewProcessor(Config{Start: t0, Suffixes: etld.NewTable([]string{"com"})}),
 	} {
-		if _, err := Merge(base, other); err == nil {
+		_, err := Merge(base, other)
+		if err == nil {
 			t.Errorf("Merge accepted mismatched %s", name)
+			continue
 		}
+		var mm *MismatchError
+		if !errors.As(err, &mm) {
+			t.Errorf("mismatched %s: error %v is not a *MismatchError", name, err)
+			continue
+		}
+		if mm.Field != name {
+			t.Errorf("mismatched %s: MismatchError.Field = %q", name, mm.Field)
+		}
+	}
+}
+
+func TestMergeWindowDayCursorGuard(t *testing.T) {
+	proc := func(days int) *Processor { return NewProcessor(Config{Start: t0, Days: days}) }
+	cases := []struct {
+		name      string
+		window    int
+		days      []int
+		wantField string // "" = merge must succeed
+	}{
+		{name: "identical cursors", window: 1, days: []int{4, 4, 4}},
+		{name: "spread equals window", window: 3, days: []int{2, 4, 5}},
+		{name: "spread exceeds window", window: 3, days: []int{1, 4, 5}, wantField: "days"},
+		{name: "stale shard aggregate", window: 1, days: []int{7, 7, 2}, wantField: "days"},
+		{name: "guard disabled", window: 0, days: []int{1, 9}},
+		{name: "single input", window: 1, days: []int{6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := make([]*Processor, len(tc.days))
+			for i, d := range tc.days {
+				ps[i] = proc(d)
+			}
+			merged, err := MergeWindow(tc.window, ps...)
+			if tc.wantField == "" {
+				if err != nil {
+					t.Fatalf("MergeWindow(%d) rejected %v: %v", tc.window, tc.days, err)
+				}
+				want := tc.days[0]
+				for _, d := range tc.days {
+					if d > want {
+						want = d
+					}
+				}
+				if merged.Config().Days != want {
+					t.Errorf("merged Days = %d, want %d", merged.Config().Days, want)
+				}
+				return
+			}
+			var mm *MismatchError
+			if !errors.As(err, &mm) {
+				t.Fatalf("MergeWindow(%d) on %v: error %v is not a *MismatchError", tc.window, tc.days, err)
+			}
+			if mm.Field != tc.wantField {
+				t.Errorf("MismatchError.Field = %q, want %q", mm.Field, tc.wantField)
+			}
+		})
 	}
 }
 

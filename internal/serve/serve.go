@@ -10,7 +10,11 @@
 //	POST /v1/observe         feed observed relations for a domain
 //	                         outside the model into the fold-in cache
 //	POST /v1/reload          re-read the model file and swap atomically
-//	GET  /healthz            liveness + loaded-model identity
+//	GET  /healthz/live       liveness: 200 whenever HTTP is served
+//	GET  /healthz/ready      readiness: loaded-model identity, or 503
+//	                         (code "not_ready") while a (re)load is in
+//	                         flight or no model is installed
+//	GET  /healthz            alias of /healthz/ready (back-compat)
 //	GET  /metrics            Prometheus text exposition (internal/obsv)
 //	GET  /debug/pprof/...    profiling (when Config.EnablePprof)
 //
@@ -146,6 +150,10 @@ type Server struct {
 	httpSrv  *http.Server
 	metricsH http.Handler
 	reloadMu sync.Mutex // serializes Reload; requests never block on it
+	// reloading is observed by the readiness probe: while a (re)load is
+	// decoding the next generation, /healthz and /healthz/ready answer
+	// 503 so orchestrators hold traffic, while /healthz/live stays 200.
+	reloading atomic.Bool
 
 	requests *obsv.CounterVec   // path, code
 	latency  *obsv.HistogramVec // path
@@ -177,7 +185,7 @@ type Server struct {
 	scoredFoldin *obsv.Counter
 	scoredKNN    *obsv.Counter
 
-	mScore, mBatch, mObserve, mReload, mHealth *routeMetrics
+	mScore, mBatch, mObserve, mReload, mHealth, mLive *routeMetrics
 }
 
 // New loads the model at cfg.ModelPath and returns a ready Server. A
@@ -240,6 +248,7 @@ func New(cfg Config) (*Server, error) {
 	s.mObserve = s.newRouteMetrics("/v1/observe")
 	s.mReload = s.newRouteMetrics("/v1/reload")
 	s.mHealth = s.newRouteMetrics("/healthz")
+	s.mLive = s.newRouteMetrics("/healthz/live")
 	st, err := s.loadModel()
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading initial model: %w", err)
@@ -291,6 +300,8 @@ func (s *Server) install(st *modelState) {
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	s.reloading.Store(true)
+	defer s.reloading.Store(false)
 	st, err := s.loadModel()
 	if err != nil {
 		s.reloads.With("error").Inc()
@@ -372,8 +383,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveObserve(w, r)
 	case "/v1/reload":
 		s.serveReload(w, r)
-	case "/healthz":
+	case "/healthz", "/healthz/ready":
 		s.serveHealthz(w, r)
+	case "/healthz/live":
+		s.serveLive(w, r)
 	case "/metrics":
 		if r.Method != http.MethodGet {
 			s.methodNotAllowed(w, "GET")
@@ -523,6 +536,7 @@ const (
 	codeCapacity         = "capacity"
 	codeMethodNotAllowed = "method_not_allowed"
 	codeNotFound         = "not_found"
+	codeNotReady         = "not_ready"
 )
 
 // writeError sends the ErrorBody envelope with the given status.
@@ -983,7 +997,8 @@ func (s *Server) handleReload(w http.ResponseWriter) int {
 	return http.StatusOK
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz and GET /healthz/ready
+// when the server is ready to score.
 type HealthResponse struct {
 	Status      string    `json:"status"`
 	Domains     int       `json:"domains"`
@@ -993,6 +1008,33 @@ type HealthResponse struct {
 	LoadedAt    time.Time `json:"loaded_at"`
 }
 
+// LivenessResponse is the body of GET /healthz/live.
+type LivenessResponse struct {
+	Status string `json:"status"`
+}
+
+// serveLive is the liveness probe: it answers 200 whenever the process
+// can serve HTTP at all, deliberately ignoring model state. Restarting
+// a daemon because its model reload is slow would destroy the very
+// generation still serving traffic — readiness, not liveness, gates
+// that.
+func (s *Server) serveLive(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var code int
+	if r.Method != http.MethodGet {
+		code = s.methodNotAllowed(w, "GET")
+	} else {
+		writeJSON(w, http.StatusOK, LivenessResponse{Status: "alive"})
+		code = http.StatusOK
+	}
+	s.mLive.observe(start, code)
+}
+
+// serveHealthz is the readiness probe, served at both /healthz
+// (back-compat) and /healthz/ready: 200 with the served model's
+// identity when ready, 503 with the structured error envelope (code
+// "not_ready") while a (re)load is in flight or no model generation is
+// installed.
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var code int
@@ -1000,15 +1042,26 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		code = s.methodNotAllowed(w, "GET")
 	} else {
 		st := s.model.Load()
-		writeJSON(w, http.StatusOK, HealthResponse{
-			Status:      "ok",
-			Domains:     len(st.scorer.Domains()),
-			Fingerprint: st.scorer.Fingerprint(),
-			Embedder:    st.scorer.EmbedderName(),
-			Classifier:  st.scorer.ClassifierName(),
-			LoadedAt:    st.loadedAt,
-		})
-		code = http.StatusOK
+		switch {
+		case s.reloading.Load():
+			s.writeError(w, http.StatusServiceUnavailable, codeNotReady,
+				"model (re)load in flight")
+			code = http.StatusServiceUnavailable
+		case st == nil:
+			s.writeError(w, http.StatusServiceUnavailable, codeNotReady,
+				"no model loaded")
+			code = http.StatusServiceUnavailable
+		default:
+			writeJSON(w, http.StatusOK, HealthResponse{
+				Status:      "ok",
+				Domains:     len(st.scorer.Domains()),
+				Fingerprint: st.scorer.Fingerprint(),
+				Embedder:    st.scorer.EmbedderName(),
+				Classifier:  st.scorer.ClassifierName(),
+				LoadedAt:    st.loadedAt,
+			})
+			code = http.StatusOK
+		}
 	}
 	s.mHealth.observe(start, code)
 }

@@ -569,3 +569,75 @@ func TestNewRejectsBadModel(t *testing.T) {
 		t.Error("New accepted a corrupt model file")
 	}
 }
+
+// TestHealthSplit checks the liveness/readiness split: /healthz/live
+// answers 200 regardless of model state, /healthz/ready (and the
+// /healthz alias) answers 200 with the model identity when serving and
+// 503 with the not_ready envelope while a reload is in flight or no
+// model generation is installed.
+func TestHealthSplit(t *testing.T) {
+	modelA, _, scorerA, _ := models(t)
+	s, _ := newTestServer(t, modelA, nil)
+
+	var live LivenessResponse
+	if rec := getJSON(t, s.Handler(), "GET", "/healthz/live", nil, &live); rec.Code != http.StatusOK {
+		t.Fatalf("live: status %d", rec.Code)
+	}
+	if live.Status != "alive" {
+		t.Fatalf("live = %+v", live)
+	}
+
+	for _, path := range []string{"/healthz", "/healthz/ready"} {
+		var health HealthResponse
+		if rec := getJSON(t, s.Handler(), "GET", path, nil, &health); rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, rec.Code)
+		}
+		if health.Status != "ok" || health.Fingerprint != scorerA.Fingerprint() {
+			t.Fatalf("%s = %+v", path, health)
+		}
+	}
+
+	// Simulate a (re)load in flight: readiness flips to 503 not_ready,
+	// liveness stays 200 — an orchestrator must not kill a daemon whose
+	// next model generation is still decoding.
+	s.reloading.Store(true)
+	for _, path := range []string{"/healthz", "/healthz/ready"} {
+		rec := getJSON(t, s.Handler(), "GET", path, nil, nil)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s during reload: status %d", path, rec.Code)
+		}
+		var body ErrorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s during reload: bad envelope %q: %v", path, rec.Body.String(), err)
+		}
+		if body.Error.Code != codeNotReady {
+			t.Fatalf("%s during reload: code %q, want %q", path, body.Error.Code, codeNotReady)
+		}
+	}
+	if rec := getJSON(t, s.Handler(), "GET", "/healthz/live", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("live during reload: status %d", rec.Code)
+	}
+	s.reloading.Store(false)
+
+	// A server with no installed generation is alive but not ready.
+	s.model.Store(nil)
+	rec := getJSON(t, s.Handler(), "GET", "/healthz/ready", nil, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ready without model: status %d", rec.Code)
+	}
+	var body ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("ready without model: bad envelope %q: %v", rec.Body.String(), err)
+	}
+	if body.Error.Code != codeNotReady {
+		t.Fatalf("ready without model: code %q", body.Error.Code)
+	}
+	if rec := getJSON(t, s.Handler(), "GET", "/healthz/live", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("live without model: status %d", rec.Code)
+	}
+
+	// Wrong method: the probes are GET-only.
+	if rec := getJSON(t, s.Handler(), "POST", "/healthz/live", nil, nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST live: status %d", rec.Code)
+	}
+}

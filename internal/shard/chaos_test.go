@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/faultio"
+	"repro/internal/pipeline"
+)
+
+// chaosFS injects periodic persistence faults into the shard checkpoint
+// path: every third temp-file creation fails outright, and every fourth
+// created file tears its write mid-stream. Counters are only touched by
+// the supervisor goroutine (checkpoints are written between barriers).
+type chaosFS struct {
+	inner   faultio.Faults
+	creates int
+}
+
+func (c *chaosFS) CreateTemp(dir, pattern string) (faultio.File, error) {
+	c.creates++
+	c.inner.FailCreate = c.creates%3 == 0
+	if c.creates%4 == 0 {
+		c.inner.WrapWriter = func(w io.Writer) io.Writer { return faultio.TornWriter(w, 100) }
+	} else {
+		c.inner.WrapWriter = nil
+	}
+	return c.inner.CreateTemp(dir, pattern)
+}
+
+func (c *chaosFS) Rename(oldpath, newpath string) error { return c.inner.Rename(oldpath, newpath) }
+func (c *chaosFS) Remove(name string) error             { return c.inner.Remove(name) }
+
+// buildModel runs the full window build — merge the last windowDays of
+// per-day aggregates, embed, train — and returns the saved model bytes.
+// The configuration is fixed-seed and single-worker, so identical
+// aggregates must produce identical bytes.
+func buildModel(t testing.TB, s *dnssim.Scenario, days map[int]*pipeline.Processor, lastDay, windowDays int) []byte {
+	t.Helper()
+	var procs []*pipeline.Processor
+	for d := lastDay - windowDays + 1; d <= lastDay; d++ {
+		if p := days[d]; p != nil {
+			procs = append(procs, p)
+		}
+	}
+	merged, err := pipeline.Merge(procs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewDetectorWith(core.Config{
+		Start:        s.Config.Start,
+		Days:         lastDay + 1,
+		DHCP:         s.DHCP(),
+		EmbedDim:     8,
+		EmbedSamples: 5_000,
+		Workers:      1,
+		Seed:         99,
+	}, merged)
+	if err := det.BuildModel(); err != nil {
+		t.Fatal(err)
+	}
+	retained, err := det.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var domains []string
+	var labels []int
+	for _, d := range retained {
+		if l, ok := s.Truth(d); ok {
+			domains = append(domains, d)
+			lab := 0
+			if l.Malicious {
+				lab = 1
+			}
+			labels = append(labels, lab)
+		}
+	}
+	clf, err := det.TrainClassifier(domains, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosRecoveredModelSHAMatchesSerial is the acceptance test for
+// the shard supervisor: with worker panics, an artificial hang, and
+// periodic checkpoint write faults all injected into a sharded run, the
+// recovered build's saved model must be byte-identical (SHA-256) to the
+// serial build's — crashes and restarts may cost retries, never
+// observations.
+func TestChaosRecoveredModelSHAMatchesSerial(t *testing.T) {
+	s := tinyScenario(91)
+	days := eventsByDay(s)
+	serial := serialDays(s, days)
+
+	release := make(chan struct{})
+	defer close(release)
+	var deliveries atomic.Int64
+	var hangs atomic.Int64
+	cfg := poolConfig(s, 3)
+	cfg.Dir = t.TempDir()
+	cfg.FS = &chaosFS{}
+	cfg.BatchSize = 64
+	cfg.Deadline = 100 * time.Millisecond
+	cfg.MaxRetries = 10
+	cfg.consumeHook = func(shard int, in pipeline.Input) {
+		// Deterministic-count chaos: the Nth delivery panics or hangs,
+		// wherever the schedule happens to put it. Replayed deliveries
+		// keep counting, so each site fires exactly once.
+		switch deliveries.Add(1) {
+		case 500, 1700, 2900:
+			panic("chaos: injected worker crash")
+		case 1000:
+			hangs.Add(1)
+			<-release
+		}
+	}
+	got, deg := runPool(t, cfg, days)
+	if deg != nil {
+		t.Fatalf("chaos run degraded (retries should have absorbed the faults): %v", deg)
+	}
+	if n := deliveries.Load(); n < 2900 {
+		t.Fatalf("only %d deliveries; chaos sites never all fired", n)
+	}
+	if hangs.Load() == 0 {
+		t.Fatal("injected hang never fired")
+	}
+	assertDaysEqual(t, got, serial)
+
+	lastDay := s.Config.Days - 1
+	shardedModel := buildModel(t, s, got, lastDay, 2)
+	serialModel := buildModel(t, s, serial, lastDay, 2)
+	if sha256.Sum256(shardedModel) != sha256.Sum256(serialModel) {
+		t.Fatal("sharded model SHA-256 differs from serial model")
+	}
+}
+
+// TestChaosQuarantinedRunStaysDegradedNotDead: a shard whose worker
+// fails terminally is quarantined, and every subsequent boundary keeps
+// producing models over the healthy shards with an exact missing-
+// partition report — the pool never escalates a dead partition into a
+// dead pipeline.
+func TestChaosQuarantinedRunStaysDegradedNotDead(t *testing.T) {
+	s := tinyScenario(93)
+	days := eventsByDay(s)
+
+	cfg := poolConfig(s, 4)
+	cfg.MaxRetries = 2
+	probe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := probe.route(days[0][0])
+	probe.Close()
+	cfg.consumeHook = func(shard int, in pipeline.Input) {
+		if shard == bad {
+			panic("chaos: terminally poisoned shard")
+		}
+	}
+	pool, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var healthy [][]pipeline.Input
+	for _, ins := range days {
+		var keep []pipeline.Input
+		for _, in := range ins {
+			if pool.route(in) != bad {
+				keep = append(keep, in)
+			}
+		}
+		healthy = append(healthy, keep)
+	}
+	want := serialDays(s, healthy)
+
+	merged := make(map[int]*pipeline.Processor)
+	for day, ins := range days {
+		for _, in := range ins {
+			pool.Consume(in)
+		}
+		m, deg, err := pool.CloseDay(day)
+		if err != nil {
+			t.Fatalf("CloseDay(%d): %v", day, err)
+		}
+		if m != nil {
+			merged[day] = m
+		}
+		if deg == nil {
+			t.Fatalf("day %d: no Degraded report", day)
+		}
+		if deg.Day != day || len(deg.Missing) != 1 || deg.Missing[0] != bad {
+			t.Fatalf("day %d: Degraded = %+v, want exactly shard %d missing", day, deg, bad)
+		}
+	}
+	assertDaysEqual(t, merged, want)
+}

@@ -1,0 +1,154 @@
+package shard
+
+// Per-shard checkpoint persistence. Each shard's file captures the
+// worker's open-day aggregates plus its (day floor, sequence) cursor,
+// CRC-sealed and committed atomically through the same
+// temp-fsync-rename sequence the stream checkpoint uses — through the
+// injectable faultio seam, so the chaos tests can tear a write at any
+// step and prove the previous generation survives. The files are
+// process-scratch, not durable deployment state: a restart of the whole
+// process goes through the stream checkpoint and replay instead, so New
+// clears stale shard files.
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/crcio"
+	"repro/internal/pipeline"
+)
+
+const (
+	shardMagic       = "maldomain-shard\n"
+	shardCkptVersion = 1
+)
+
+// ErrCorruptCheckpoint reports a shard checkpoint that is not one, is
+// truncated, fails its CRC, or disagrees with the supervisor's replay
+// bookkeeping.
+var ErrCorruptCheckpoint = errors.New("shard: corrupt checkpoint")
+
+// shardWire is the gob body of a shard checkpoint.
+type shardWire struct {
+	Version     int
+	Fingerprint string
+	Shard       int
+	Seq         uint64
+	DayFloor    int
+	Days        []shardDaySnap
+}
+
+// writeCheckpoint commits one shard's snapshot to its file atomically:
+// temp file in the same directory, flush, fsync, close, rename. On any
+// failure the temp file is removed and the previous checkpoint is left
+// untouched.
+func (p *Pool) writeCheckpoint(id int, rep ckptReply) error {
+	wire := shardWire{
+		Version:     shardCkptVersion,
+		Fingerprint: p.fp,
+		Shard:       id,
+		Seq:         rep.seq,
+		DayFloor:    rep.dayFloor,
+		Days:        rep.days,
+	}
+	fs := p.cfg.FS
+	path := p.ckptPath(id)
+	f, err := fs.CreateTemp(filepath.Dir(path), ".shard-*")
+	if err != nil {
+		return fmt.Errorf("shard %d: creating checkpoint temp file: %w", id, err)
+	}
+	tmp := f.Name()
+	fail := func(step string, err error) error {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("shard %d: %s checkpoint %s: %w", id, step, tmp, err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := crcio.NewWriter(bw)
+	if _, err := io.WriteString(cw, shardMagic); err != nil {
+		return fail("writing", err)
+	}
+	if err := gob.NewEncoder(cw).Encode(wire); err != nil {
+		return fail("encoding", err)
+	}
+	if err := cw.WriteTrailer(); err != nil {
+		return fail("sealing", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail("flushing", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("shard %d: closing checkpoint %s: %w", id, tmp, err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("shard %d: committing checkpoint %s: %w", id, path, err)
+	}
+	return nil
+}
+
+// readCheckpoint loads a shard's checkpoint file into a worker state.
+func (p *Pool) readCheckpoint(id int) (workerState, error) {
+	f, err := os.Open(p.ckptPath(id))
+	if err != nil {
+		return workerState{}, err
+	}
+	st, rerr := p.decodeCheckpoint(bufio.NewReaderSize(f, 1<<20), id)
+	if cerr := f.Close(); rerr == nil && cerr != nil {
+		return workerState{}, cerr
+	}
+	return st, rerr
+}
+
+func (p *Pool) decodeCheckpoint(rd io.Reader, id int) (workerState, error) {
+	cr := crcio.NewReader(rd)
+	magic := make([]byte, len(shardMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return workerState{}, fmt.Errorf("%w: reading magic: %v", ErrCorruptCheckpoint, err)
+	}
+	if string(magic) != shardMagic {
+		return workerState{}, fmt.Errorf("%w: not a shard checkpoint", ErrCorruptCheckpoint)
+	}
+	var wire shardWire
+	if err := gob.NewDecoder(cr).Decode(&wire); err != nil {
+		return workerState{}, fmt.Errorf("%w: decoding: %v", ErrCorruptCheckpoint, err)
+	}
+	if err := cr.VerifyTrailer(); err != nil {
+		return workerState{}, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	if wire.Version != shardCkptVersion {
+		return workerState{}, fmt.Errorf("shard: checkpoint version %d, this build reads %d",
+			wire.Version, shardCkptVersion)
+	}
+	if wire.Fingerprint != p.fp {
+		return workerState{}, fmt.Errorf("%w: fingerprint %q, pool %q", ErrCorruptCheckpoint, wire.Fingerprint, p.fp)
+	}
+	if wire.Shard != id {
+		return workerState{}, fmt.Errorf("%w: file is for shard %d, not %d", ErrCorruptCheckpoint, wire.Shard, id)
+	}
+	st := freshState(wire.DayFloor, wire.Seq)
+	rc := pipeline.RestoreConfig{DHCP: p.cfg.DHCP, Suffixes: p.cfg.Suffixes}
+	for _, ds := range wire.Days {
+		if ds.Day <= wire.DayFloor {
+			return workerState{}, fmt.Errorf("%w: open day %d at or below floor %d", ErrCorruptCheckpoint, ds.Day, wire.DayFloor)
+		}
+		if _, dup := st.days[ds.Day]; dup {
+			return workerState{}, fmt.Errorf("%w: duplicate day %d", ErrCorruptCheckpoint, ds.Day)
+		}
+		proc, err := pipeline.FromSnapshot(ds.Snap, rc)
+		if err != nil {
+			return workerState{}, fmt.Errorf("%w: day %d: %v", ErrCorruptCheckpoint, ds.Day, err)
+		}
+		st.days[ds.Day] = proc
+	}
+	return st, nil
+}

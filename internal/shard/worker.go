@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// request is one unit of work for a shard worker: exactly one of batch,
+// close, or ckpt is set. The supervisor is the channel's only sender
+// and closes it to retire the worker.
+type request struct {
+	batch []seqInput
+	close *closeReq
+	ckpt  *ckptReq
+}
+
+// closeReq asks the worker to hand off its aggregates for every open
+// day at or before day and to floor itself there.
+type closeReq struct {
+	day   int
+	reply chan closeReply
+}
+
+type closeReply struct {
+	// procs holds the handed-off (day, aggregate) pairs, ascending by
+	// day; normally exactly one entry, the boundary day itself.
+	procs []dayProc
+}
+
+type dayProc struct {
+	day  int
+	proc *pipeline.Processor
+}
+
+// ckptReq asks the worker for a serializable snapshot of its state.
+type ckptReq struct {
+	reply chan ckptReply
+}
+
+type ckptReply struct {
+	// seq is the highest sequence number folded into the snapshot; the
+	// supervisor trims its replay buffer through it once the snapshot
+	// is durable.
+	seq      uint64
+	dayFloor int
+	days     []shardDaySnap
+}
+
+// shardDaySnap is one open day's aggregate in checkpoint form.
+type shardDaySnap struct {
+	Day  int
+	Snap *pipeline.Snapshot
+}
+
+// workerState is everything a worker owns. It crosses goroutines only
+// by value handoff: the supervisor builds it (fresh, or restored from a
+// checkpoint) before the worker goroutine starts, and never touches it
+// after.
+type workerState struct {
+	id   int
+	base pipeline.Config
+	hook func(shard int, in pipeline.Input)
+
+	// days holds one aggregation processor per open day.
+	days map[int]*pipeline.Processor
+	// maxSeq is the highest sequence number received; seqFloor and
+	// dayFloor implement exactly-once replay: inputs at or below either
+	// floor are already represented (by the restored checkpoint, or by
+	// a day handed off to the merge) and are dropped.
+	maxSeq   uint64
+	seqFloor uint64
+	dayFloor int
+}
+
+// freshState is a worker state with no aggregates, floored at the given
+// day and sequence.
+func freshState(dayFloor int, seqFloor uint64) workerState {
+	return workerState{
+		days:     make(map[int]*pipeline.Processor),
+		maxSeq:   seqFloor,
+		seqFloor: seqFloor,
+		dayFloor: dayFloor,
+	}
+}
+
+// worker is the supervisor's handle on one shard goroutine.
+type worker struct {
+	// in carries requests; capacity 1 so the supervisor can pipeline
+	// one batch while the previous one is processed.
+	in chan request
+	// done receives the worker's dying breath when it panics; the
+	// supervisor selects on it wherever it would otherwise block.
+	done chan error
+}
+
+func newWorker() *worker {
+	return &worker{in: make(chan request, 1), done: make(chan error, 1)}
+}
+
+// run processes requests until the supervisor closes the channel. A
+// panic anywhere in the loop — a poisoned input, a bug in an injected
+// hook — is reported on done instead of crashing the process.
+func (w *worker) run(st workerState) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.done <- fmt.Errorf("shard %d: worker panic: %v", st.id, r)
+		}
+	}()
+	for req := range w.in {
+		switch {
+		case req.batch != nil:
+			st.consume(req.batch)
+		case req.close != nil:
+			req.close.reply <- st.closeThrough(req.close.day)
+		case req.ckpt != nil:
+			req.ckpt.reply <- st.snapshot()
+		}
+	}
+}
+
+// consume folds a batch into the per-day aggregates, dropping inputs
+// already represented by the floors.
+func (st *workerState) consume(batch []seqInput) {
+	for _, e := range batch {
+		if e.seq > st.maxSeq {
+			st.maxSeq = e.seq
+		}
+		if e.seq <= st.seqFloor {
+			continue
+		}
+		day := st.dayIndex(e.in.Time)
+		if day <= st.dayFloor {
+			continue
+		}
+		if st.hook != nil {
+			st.hook(st.id, e.in)
+		}
+		p := st.days[day]
+		if p == nil {
+			// Mirror the serial streaming mode exactly: same anchor,
+			// same day cursor, so merged shard aggregates are
+			// indistinguishable from a single processor's.
+			cfg := st.base
+			cfg.Days = day + 1
+			p = pipeline.NewProcessor(cfg)
+			st.days[day] = p
+		}
+		p.Consume(e.in)
+	}
+}
+
+func (st *workerState) dayIndex(t time.Time) int {
+	day := int(t.Sub(st.base.Start) / (24 * time.Hour))
+	if day < 0 {
+		day = 0
+	}
+	return day
+}
+
+// closeThrough hands off every open day at or before day (ascending)
+// and floors the worker there.
+func (st *workerState) closeThrough(day int) closeReply {
+	var rep closeReply
+	for d, p := range st.days {
+		if d <= day {
+			rep.procs = append(rep.procs, dayProc{day: d, proc: p})
+		}
+	}
+	sort.Slice(rep.procs, func(i, j int) bool { return rep.procs[i].day < rep.procs[j].day })
+	for _, dp := range rep.procs {
+		delete(st.days, dp.day)
+	}
+	if day > st.dayFloor {
+		st.dayFloor = day
+	}
+	return rep
+}
+
+// snapshot serializes the open days in ascending order, so identical
+// state always produces identical checkpoint bytes.
+func (st *workerState) snapshot() ckptReply {
+	rep := ckptReply{seq: st.maxSeq, dayFloor: st.dayFloor}
+	keys := make([]int, 0, len(st.days))
+	for d := range st.days {
+		keys = append(keys, d)
+	}
+	sort.Ints(keys)
+	for _, d := range keys {
+		rep.days = append(rep.days, shardDaySnap{Day: d, Snap: st.days[d].Snapshot()})
+	}
+	return rep
+}

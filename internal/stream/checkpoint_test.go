@@ -625,3 +625,69 @@ func FuzzRestore(f *testing.F) {
 		}
 	})
 }
+
+// TestRestoreSurvivesCrashBeforeRename simulates a process crash in
+// the middle of the atomic checkpoint sequence, after the temp file was
+// (partially or even fully) written but before the commit rename. A
+// real crash runs no failure-path cleanup, so the directory is left
+// with orphaned temp files: one torn mid-write, one complete but never
+// committed. The invariant: the previous generation at the committed
+// path restores byte-intact, orphaned temps are never trusted, and the
+// next successful write still commits normally.
+func TestRestoreSurvivesCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.ckpt")
+	r := tinyRolling(t)
+	if err := r.WriteCheckpoint(path, Cursor{Day: 0, FeedBytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2 dies before rename: serialize it, then plant its temp
+	// files directly, exactly as a crashed writer would leave them.
+	var gen2 bytes.Buffer
+	if err := r.Checkpoint(&gen2, Cursor{Day: 1, FeedBytes: 20}); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, ".ckpt-1111111")
+	full := filepath.Join(dir, ".ckpt-2222222")
+	if err := os.WriteFile(torn, gen2.Bytes()[:100], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, gen2.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// The committed path is untouched by the crash and restores to
+	// generation 1.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prev, after) {
+		t.Fatal("previous checkpoint generation modified by a crashed write")
+	}
+	restored, cur, err := RestoreFile(path, tinyConfig())
+	if err != nil || cur.Day != 0 {
+		t.Fatalf("previous generation unloadable after crash: cur=%+v err=%v", cur, err)
+	}
+
+	// A torn temp is not a checkpoint: restoring it must be refused with
+	// ErrCorruptCheckpoint, never a panic or a silent partial load.
+	if _, _, err := RestoreFile(torn, tinyConfig()); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("torn temp restore: err = %v, want ErrCorruptCheckpoint", err)
+	}
+
+	// Recovery: the restored detector's next write commits a fresh
+	// generation over the old path despite the leftover temp litter.
+	restored.Consume(tinyInput(restored.cfg, 1, "10.0.0.3", "www.gamma.org", "198.51.100.3"))
+	if err := restored.WriteCheckpoint(path, Cursor{Day: 1, FeedBytes: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, cur, err := RestoreFile(path, tinyConfig()); err != nil || cur.Day != 1 {
+		t.Fatalf("post-crash commit unloadable: cur=%+v err=%v", cur, err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obsv"
 	"repro/internal/pipeline"
+	"repro/internal/shard"
 )
 
 // Labeler supplies the currently known labels when a model is rebuilt.
@@ -67,6 +68,25 @@ type Config struct {
 	// maldomain_checkpoint_write_seconds, maldomain_restores_total{result},
 	// and maldomain_degraded_days_total.
 	Metrics *obsv.Registry
+	// Shards, when greater than 1, runs ingestion through a supervised
+	// shard pool: observations are partitioned by device across Shards
+	// workers, each aggregating independently, and every EndOfDay merges
+	// the shard aggregates back into the day's processor. Because the
+	// merge is deterministic and order-independent, the alert feed and
+	// checkpoint bytes are identical to a serial run for any shard count
+	// — Shards is excluded from the checkpoint fingerprint, so a
+	// checkpoint taken at one shard count restores at another. Worker
+	// crashes and hangs are retried with backoff; retry exhaustion
+	// quarantines the shard and surfaces through ShardDegraded. Sharded
+	// mode expects EndOfDay at every day boundary in order (the usual
+	// streaming protocol); skipping a boundary folds the skipped day's
+	// aggregates into the next closed day.
+	Shards int
+	// ShardDir, when set alongside Shards, gives the pool a scratch
+	// directory for per-shard mid-stream checkpoints, bounding how much
+	// of the current day a crashed shard worker must replay from memory.
+	// The files are process-scratch, not durable state.
+	ShardDir string
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -118,6 +138,12 @@ type Rolling struct {
 	// (through core.Config.EmbedInit, backend-agnostically).
 	prevIndex map[string]int
 	prevEmb   map[bipartite.View]*core.Embedding
+
+	// pool is the sharded-ingestion supervisor when Config.Shards > 1,
+	// nil in serial mode. shardDeg is the degraded-merge report from the
+	// most recent EndOfDay (nil when every shard contributed).
+	pool     *shard.Pool
+	shardDeg *shard.Degraded
 }
 
 // New returns a Rolling detector.
@@ -126,14 +152,57 @@ func New(cfg Config) (*Rolling, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Rolling{
+	r := &Rolling{
 		cfg:     cfg,
 		days:    make(map[int]*pipeline.Processor),
 		lastDay: -1,
 		floor:   -1,
 		flagged: make(map[string]bool),
-	}, nil
+	}
+	if err := r.attachPool(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
+
+// attachPool creates the shard supervisor for sharded ingestion. The
+// pool shares the detector's DHCP table, suffix table, and seed so
+// shard-side day processors are configured exactly like serial ones.
+func (r *Rolling) attachPool() error {
+	if r.cfg.Shards <= 1 {
+		return nil
+	}
+	pool, err := shard.New(shard.Config{
+		Shards:   r.cfg.Shards,
+		Start:    r.cfg.Start,
+		DHCP:     r.cfg.Detector.DHCP,
+		Suffixes: r.cfg.Detector.Suffixes,
+		Dir:      r.cfg.ShardDir,
+		Seed:     r.cfg.Detector.Seed,
+		Metrics:  r.cfg.Metrics,
+	})
+	if err != nil {
+		return fmt.Errorf("stream: creating shard pool: %w", err)
+	}
+	r.pool = pool
+	return nil
+}
+
+// Close stops the shard workers in sharded mode; a serial detector
+// needs no teardown and Close is a no-op. Safe to call more than once.
+func (r *Rolling) Close() error {
+	if r.pool == nil {
+		return nil
+	}
+	return r.pool.Close()
+}
+
+// ShardDegraded reports the shard pool's degraded-merge report from the
+// most recent EndOfDay: nil when every shard contributed (or in serial
+// mode), otherwise the day, the missing partitions, and how many
+// observations they dropped. The detector keeps running degraded —
+// models are built over the healthy shards' aggregates.
+func (r *Rolling) ShardDegraded() *shard.Degraded { return r.shardDeg }
 
 // Consume folds one observation into its day's aggregation processor.
 // Observations timestamped before Config.Start are clamped into day 0
@@ -149,6 +218,13 @@ func (r *Rolling) Consume(in pipeline.Input) {
 	if day <= r.floor {
 		// Already represented by the restored checkpoint: a caller
 		// replaying its input stream after Restore need not filter it.
+		return
+	}
+	if r.pool != nil {
+		r.pool.Consume(in)
+		if day > r.lastDay {
+			r.lastDay = day
+		}
 		return
 	}
 	p := r.days[day]
@@ -194,7 +270,11 @@ func (r *Rolling) remodel(day int) (*core.Detector, *pipeline.Processor, error) 
 	if len(procs) == 0 {
 		return nil, nil, fmt.Errorf("stream: no traffic in window ending day %d", day)
 	}
-	merged, err := pipeline.Merge(procs...)
+	// The window guard rejects day cursors that have drifted further
+	// apart than the window itself — per-day processors within one
+	// window can never legitimately do that, so skew means the caller
+	// mixed aggregates from different runs.
+	merged, err := pipeline.MergeWindow(r.cfg.WindowDays, procs...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("stream: merging window ending day %d: %w", day, err)
 	}
@@ -289,6 +369,21 @@ func (r *Rolling) EndOfDay(day int) ([]Alert, error) {
 	if day <= r.floor {
 		return nil, fmt.Errorf("stream: day %d already covered by the restored checkpoint (through day %d)",
 			day, r.floor)
+	}
+	if r.pool != nil {
+		// Day-boundary barrier: collect every shard's aggregates for this
+		// day (and any earlier still-open day) and merge them into the
+		// same per-day processor a serial run would have built. Quarantine
+		// never fails the boundary — the merge covers the healthy shards
+		// and the loss is reported through ShardDegraded.
+		merged, deg, err := r.pool.CloseDay(day)
+		if err != nil {
+			return nil, fmt.Errorf("stream: closing shard pool at day %d: %w", day, err)
+		}
+		if merged != nil {
+			r.days[day] = merged
+		}
+		r.shardDeg = deg
 	}
 	alerts, stage, err := r.modelDay(day)
 	// Evict in all paths: a bad day must not pin its window in memory

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"bytes"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -208,5 +210,83 @@ func TestWarmStartStateCarries(t *testing.T) {
 	}
 	if len(r.prevEmb) != 3 {
 		t.Fatal("warm-start state lost after second remodel")
+	}
+}
+
+// shardedFixture builds a Rolling over a deterministic model config
+// (fixed seed, single worker) so two instances fed the same traffic
+// must produce byte-identical alert feeds and checkpoints regardless
+// of shard count.
+func shardedFixture(t testing.TB, shards int) (*Rolling, *dnssim.Scenario) {
+	t.Helper()
+	cfg := dnssim.SmallScenario(777)
+	cfg.Hosts = 80
+	cfg.BenignDomains = 200
+	s := dnssim.NewScenario(cfg)
+	ti := threatintel.NewService(s.TruthTable(), threatintel.Config{Seed: 777})
+	r, err := New(Config{
+		Start:      s.Config.Start,
+		WindowDays: 2,
+		Shards:     shards,
+		Detector: core.Config{
+			Seed:         777,
+			EmbedDim:     8,
+			EmbedSamples: 20_000,
+			Workers:      1,
+			DHCP:         s.DHCP(),
+		},
+		Labeler: ti.LabeledSet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s
+}
+
+// TestShardedStreamMatchesSerial is the integration half of the shard
+// determinism guarantee: the same capture driven through a serial
+// Rolling and a sharded one must yield the same alert feed, the same
+// checkpoint bytes, and no degradation report.
+func TestShardedStreamMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming end-to-end test")
+	}
+	skipIfRace(t)
+	run := func(shards int) ([][]Alert, []byte) {
+		r, s := shardedFixture(t, shards)
+		defer r.Close()
+		s.Generate(func(ev dnssim.Event) { r.Consume(pipeline.Input(ev)) })
+		var feed [][]Alert
+		for day := 0; day < s.Config.Days; day++ {
+			alerts, err := r.EndOfDay(day)
+			if err != nil {
+				t.Fatalf("shards=%d day %d: %v", shards, day, err)
+			}
+			if deg := r.ShardDegraded(); deg != nil {
+				t.Fatalf("shards=%d day %d: unexpected degradation: %v", shards, day, deg)
+			}
+			feed = append(feed, alerts)
+		}
+		var buf bytes.Buffer
+		if err := r.Checkpoint(&buf, Cursor{Day: s.Config.Days - 1}); err != nil {
+			t.Fatalf("shards=%d checkpoint: %v", shards, err)
+		}
+		return feed, buf.Bytes()
+	}
+
+	serialFeed, serialCkpt := run(1)
+	shardedFeed, shardedCkpt := run(3)
+	if !reflect.DeepEqual(serialFeed, shardedFeed) {
+		t.Errorf("alert feeds differ:\nserial:  %+v\nsharded: %+v", serialFeed, shardedFeed)
+	}
+	if !bytes.Equal(serialCkpt, shardedCkpt) {
+		t.Error("checkpoint bytes differ between serial and sharded runs")
+	}
+	var total int
+	for _, alerts := range serialFeed {
+		total += len(alerts)
+	}
+	if total == 0 {
+		t.Fatal("no alerts over the whole capture; equivalence is vacuous")
 	}
 }

@@ -38,7 +38,13 @@
 # -ablation) and converts the log into BENCH_8.json, so backend quality
 # regressions are visible next to throughput numbers.
 #
-# Usage: scripts/bench.sh [full|short|remodel|serve|loadgen|foldin|ablation]
+# shard mode runs the sharded-ingestion scaling curve (internal/shard:
+# a 10x dnsgen trace pushed through a supervised pool at 1, 2, 4, and
+# 8 shards, ingest + day-boundary merge per iteration) and converts
+# the log into BENCH_10.json. On a single-core host the curve measures
+# pure supervision overhead, not speedup — see README.
+#
+# Usage: scripts/bench.sh [full|short|remodel|serve|loadgen|foldin|ablation|shard]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -121,8 +127,14 @@ ablation)
     go run ./cmd/benchjson <"$log" >BENCH_8.json
     echo "wrote BENCH_8.json"
     ;;
+shard)
+    go test -run='^$' -bench='^BenchmarkShardIngest' -benchmem -timeout 30m \
+        ./internal/shard | tee "$log"
+    go run ./cmd/benchjson <"$log" >BENCH_10.json
+    echo "wrote BENCH_10.json"
+    ;;
 *)
-    echo "usage: scripts/bench.sh [full|short|remodel|serve|loadgen|foldin|ablation]" >&2
+    echo "usage: scripts/bench.sh [full|short|remodel|serve|loadgen|foldin|ablation|shard]" >&2
     exit 1
     ;;
 esac

@@ -196,6 +196,18 @@ stream_pid=""
 grep -q 'resumed from' "$smokedir/stream.log"
 cmp "$smokedir/ref-alerts.tsv" "$smokedir/alerts.tsv"
 
+echo "==> sharded-ingestion smoke"
+# Chaos suite under the race detector: shard workers are panicked,
+# hung, and starved of temp files mid-run, and the recovered merged
+# model must hash identically to a serial build.
+go test -race -run Chaos ./internal/shard
+# A 2-shard streaming run over the same trace must produce a feed
+# byte-identical to the serial reference from the crash-recovery smoke.
+"$smokedir/maldetect" stream -seed 7 -shards 2 \
+    -trace "$smokedir/trace.tsv" -truth "$smokedir/truth.tsv" \
+    -feed "$smokedir/shard-alerts.tsv" 2>"$smokedir/shard-stream.log"
+cmp "$smokedir/ref-alerts.tsv" "$smokedir/shard-alerts.tsv"
+
 echo "==> benchmark smoke (scripts/bench.sh short)"
 scripts/bench.sh short
 
